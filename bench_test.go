@@ -1,0 +1,303 @@
+// Package epvf_test holds the benchmark harness: one testing.B benchmark
+// per table and figure of the paper's evaluation, plus the ablation
+// benches called out in DESIGN.md. Each bench regenerates its artifact at
+// reduced campaign size (use cmd/experiments for paper-scale runs) and
+// reports domain metrics (rates, bits) alongside time.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package epvf_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+)
+
+// benchSuite builds a reduced-size suite over a benchmark subset. The same
+// suite is rebuilt per benchmark function so -bench filters stay
+// independent.
+func benchSuite(b *testing.B, names ...string) *experiments.Suite {
+	b.Helper()
+	cfg := experiments.QuickConfig()
+	cfg.Runs = 120
+	cfg.PrecisionSamples = 40
+	if len(names) > 0 {
+		var bs []*bench.Benchmark
+		for _, n := range names {
+			bb, ok := bench.Get(n)
+			if !ok {
+				b.Fatalf("unknown benchmark %q", n)
+			}
+			bs = append(bs, bb)
+		}
+		cfg.Benchmarks = bs
+	}
+	return experiments.NewSuite(cfg)
+}
+
+func BenchmarkTable1_CrashTaxonomy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1().Render() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2_CrashTypeFrequency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "pathfinder", "lud")
+		r, err := experiments.Table2(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AvgSegFault, "segfault-share")
+	}
+}
+
+func BenchmarkTable3_RangeRules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table3().Render() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable4_BenchmarkInventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.QuickConfig())
+		if len(experiments.Table4(s).Rows) != 10 {
+			b.Fatal("wrong inventory")
+		}
+	}
+}
+
+func BenchmarkTable5_AnalysisCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "lud")
+		r, err := experiments.Table5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Rows[0].ACENodes), "ace-nodes")
+	}
+}
+
+func BenchmarkFig5_OutcomeDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "pathfinder")
+		r, err := experiments.Fig5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AvgCrash, "crash-rate")
+		b.ReportMetric(r.AvgSDC, "sdc-rate")
+	}
+}
+
+func BenchmarkFig6_Recall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "pathfinder")
+		r, err := experiments.Fig6(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Avg, "recall")
+	}
+}
+
+func BenchmarkFig7_Precision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "pathfinder")
+		r, err := experiments.Fig7(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Avg, "precision")
+	}
+}
+
+func BenchmarkFig8_CrashRateModelVsFI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "pathfinder")
+		r, err := experiments.Fig8(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := r.Rows[0]
+		gap := row.ModelRate - row.FIRate
+		if gap < 0 {
+			gap = -gap
+		}
+		b.ReportMetric(gap, "rate-gap")
+	}
+}
+
+func BenchmarkFig9_PVFvsEPVFvsSDC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "pathfinder", "lud")
+		r, err := experiments.Fig9(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AvgReduction, "pvf-reduction")
+	}
+}
+
+func BenchmarkFig10_TimeBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "lud")
+		r, err := experiments.Fig10(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].Models, "model-seconds")
+	}
+}
+
+func BenchmarkFig11_Sampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "mm")
+		r, err := experiments.Fig11(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AvgErr, "sampling-abs-err")
+	}
+}
+
+func BenchmarkFig12_InstructionCDFs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "nw", "lud")
+		r, err := experiments.Fig12(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Series[0].FracAbove90, "pvf-frac-near-1")
+	}
+}
+
+func BenchmarkFig13_SelectiveDuplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "mm")
+		r, err := experiments.Fig13(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GeoBase, "sdc-base")
+		b.ReportMetric(r.GeoEPVF, "sdc-epvf")
+	}
+}
+
+func BenchmarkAblationStackRule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "pathfinder")
+		r, err := experiments.AblationStackRule(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.DeltaBits), "naive-only-bits")
+		b.ReportMetric(r.DeltaCrashRate, "delta-crash-rate")
+	}
+}
+
+func BenchmarkAblationExactVsRange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "pathfinder")
+		r, err := experiments.AblationExactVsRange(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Rows[0].IntervalBits-r.Rows[0].ExactBits), "interval-overclaim")
+	}
+}
+
+func BenchmarkAblationJitter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "pathfinder")
+		r, err := experiments.AblationJitter(s, []uint64{0, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[len(r.Rows)-1].Recall, "recall-at-64p")
+	}
+}
+
+func BenchmarkAblationBranchRoots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "pathfinder")
+		r, err := experiments.AblationBranchRoots(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].PVFWith-r.Rows[0].PVFWithout, "pvf-delta")
+	}
+}
+
+func BenchmarkExtMultiBit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "pathfinder")
+		r, err := experiments.ExtMultiBit(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[len(r.Rows)-1].Crash, "crash-4bit")
+	}
+}
+
+func BenchmarkExtYBranch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "pathfinder")
+		r, err := experiments.ExtYBranch(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].SDCShare, "branch-sdc-share")
+	}
+}
+
+func BenchmarkExtLuckyLoads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "pathfinder")
+		r, err := experiments.ExtLuckyLoads(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].BenignShare, "lucky-benign-share")
+	}
+}
+
+func BenchmarkExtCheckpoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "pathfinder")
+		r, err := experiments.ExtCheckpoint(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].Overhead, "ckpt-overhead")
+	}
+}
+
+func BenchmarkAblationFullDDG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "lavamd")
+		r, err := experiments.AblationFullDDG(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].RecallFull-r.Rows[0].RecallACE, "recall-gain")
+	}
+}
+
+func BenchmarkAblationDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, "pathfinder")
+		r, err := experiments.AblationDepth(s, []int{2, 24})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Rows[1].CrashBits), "crash-bits-d24")
+	}
+}

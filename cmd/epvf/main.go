@@ -1,0 +1,211 @@
+// Command epvf runs the ePVF analysis on a built-in benchmark (or a MiniC
+// source file) and prints the PVF, ePVF and crash-rate estimates together
+// with the ACE-graph statistics of Table V.
+//
+// Usage:
+//
+//	epvf -bench mm [-scale 1] [-sample 0.1] [-per-instr 10]
+//	epvf -src kernel.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/ddg"
+	"repro/internal/epvf"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "epvf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("epvf", flag.ContinueOnError)
+	benchName := fs.String("bench", "", "built-in benchmark name (see -list)")
+	srcPath := fs.String("src", "", "path to a MiniC source file (or .ll textual IR) to analyze instead")
+	scale := fs.Int("scale", 1, "benchmark input scale")
+	list := fs.Bool("list", false, "list built-in benchmarks and exit")
+	sample := fs.Float64("sample", 0, "also estimate ePVF from this fraction of the ACE graph (e.g. 0.1)")
+	perInstr := fs.Int("per-instr", 0, "print the N most SDC-prone static instructions by ePVF")
+	perFunc := fs.Bool("per-func", false, "print the per-function vulnerability breakdown")
+	printIR := fs.Bool("print-ir", false, "dump the compiled IR before analyzing")
+	saveTrace := fs.String("save-trace", "", "save the recorded golden trace to this file")
+	loadTrace := fs.String("load-trace", "", "analyze a previously saved trace instead of re-profiling")
+	dotFile := fs.String("dot", "", "write a Graphviz rendering of the DDG prefix to this file")
+	dotEvents := fs.Int64("dot-events", 400, "number of events included in the -dot rendering")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		t := report.NewTable("Built-in benchmarks", "Name", "Domain", "MiniC LOC")
+		for _, b := range bench.All() {
+			t.AddRow(b.Name, b.Domain, b.LOC())
+		}
+		fmt.Print(t.String())
+		return nil
+	}
+
+	m, err := loadModule(*benchName, *srcPath, *scale)
+	if err != nil {
+		return err
+	}
+	if *printIR {
+		fmt.Println(ir.Print(m))
+	}
+
+	var a *epvf.Analysis
+	var dynInstrs int64
+	if *loadTrace != "" {
+		f, err := os.Open(*loadTrace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.Load(f, m)
+		if err != nil {
+			return err
+		}
+		a = epvf.AnalyzeTrace(tr, epvf.Config{})
+		dynInstrs = tr.NumEvents()
+	} else {
+		var golden *interp.Result
+		a, golden, err = epvf.AnalyzeModule(m, epvf.Config{})
+		if err != nil {
+			return err
+		}
+		dynInstrs = golden.DynInstrs
+	}
+	if *saveTrace != "" {
+		f, err := os.Create(*saveTrace)
+		if err != nil {
+			return err
+		}
+		if err := a.Trace.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved golden trace to %s\n", *saveTrace)
+	}
+	if *dotFile != "" {
+		dot := a.Graph.Dot(ddg.DotOptions{
+			MaxEvents: *dotEvents,
+			ACEMask:   a.ACEMask,
+			CrashDefs: a.CrashResult.DefCrashBits,
+		})
+		if err := os.WriteFile(*dotFile, []byte(dot), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote DDG rendering to %s\n", *dotFile)
+	}
+	st := ddg.New(a.Trace).ComputeStats()
+
+	t := report.NewTable(fmt.Sprintf("ePVF analysis: %s", m.Name), "Metric", "Value")
+	t.AddRow("dynamic IR instructions", dynInstrs)
+	t.AddRow("register definitions", st.RegisterDefs)
+	t.AddRow("memory accesses", st.MemAccesses)
+	t.AddRow("ACE-graph nodes", a.ACENodes)
+	t.AddRow("total register bits", a.TotalBits)
+	t.AddRow("ACE bits", a.ACEBits)
+	t.AddRow("crash-causing bits", a.CrashResult.CrashBitCount)
+	t.AddRow("PVF", a.PVF())
+	t.AddRow("ePVF", a.EPVF())
+	t.AddRow("estimated crash rate", report.Percent(a.CrashRate()))
+	t.AddRow("vulnerable-bit reduction vs PVF", report.Percent(a.VulnerableBitReduction()))
+	t.AddRow("graph construction time", fmt.Sprintf("%.3fs", a.Timing.GraphBuild.Seconds()))
+	t.AddRow("crash+propagation model time", fmt.Sprintf("%.3fs", a.Timing.Models.Seconds()))
+	fmt.Print(t.String())
+
+	if *sample > 0 {
+		est := epvf.SampledEstimate(a.Trace, *sample, epvf.Config{})
+		fmt.Printf("\nSampled ePVF (%.0f%% of output nodes, linearly extrapolated): %.4f (full: %.4f)\n",
+			*sample*100, est, a.EPVF())
+	}
+
+	if *perFunc {
+		ft := report.NewTable("\nPer-function vulnerability",
+			"Function", "Dyn instrs", "PVF", "ePVF")
+		for _, v := range a.PerFunction() {
+			ft.AddRow("@"+v.Func.Name, v.Dynamic, v.PVF(), v.EPVF())
+		}
+		fmt.Print(ft.String())
+	}
+
+	if *perInstr > 0 {
+		per := a.PerInstruction()
+		type entry struct {
+			v *epvf.InstrVuln
+		}
+		var entries []entry
+		for _, v := range per {
+			if v.TotalBits > 0 {
+				entries = append(entries, entry{v})
+			}
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].v.EPVF() != entries[j].v.EPVF() {
+				return entries[i].v.EPVF() > entries[j].v.EPVF()
+			}
+			return entries[i].v.Instr.ID < entries[j].v.Instr.ID
+		})
+		if len(entries) > *perInstr {
+			entries = entries[:*perInstr]
+		}
+		pt := report.NewTable("\nMost SDC-prone static instructions (by ePVF)",
+			"ID", "Opcode", "Dynamic", "PVF", "ePVF")
+		for _, e := range entries {
+			pt.AddRow(e.v.Instr.ID, e.v.Instr.Op.String(), e.v.Dynamic, e.v.PVF(), e.v.EPVF())
+		}
+		fmt.Print(pt.String())
+	}
+	return nil
+}
+
+func loadModule(benchName, srcPath string, scale int) (*ir.Module, error) {
+	switch {
+	case benchName != "" && srcPath != "":
+		return nil, fmt.Errorf("-bench and -src are mutually exclusive")
+	case benchName != "":
+		b, ok := bench.Get(benchName)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q (try -list); available: %s",
+				benchName, strings.Join(names(), ", "))
+		}
+		return b.Module(scale)
+	case srcPath != "":
+		src, err := os.ReadFile(srcPath)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(srcPath, ".ll") {
+			return ir.Parse(string(src))
+		}
+		return lang.Compile(strings.TrimSuffix(srcPath, ".c"), string(src))
+	default:
+		return nil, fmt.Errorf("specify -bench <name> or -src <file> (or -list)")
+	}
+}
+
+func names() []string {
+	var out []string
+	for _, b := range bench.All() {
+		out = append(out, b.Name)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadModuleBench(t *testing.T) {
+	m, err := loadModule("mm", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "mm" {
+		t.Errorf("module %q", m.Name)
+	}
+}
+
+func TestLoadModuleErrors(t *testing.T) {
+	if _, err := loadModule("", "", 1); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadModule("mm", "x.c", 1); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, err := loadModule("nope", "", 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := loadModule("", "/does/not/exist.c", 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadModuleFromSourceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k.c")
+	src := `void main() { output(41 + 1); }`
+	if err := os.WriteFile(path, []byte(src), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadModule("", path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Func("main") == nil {
+		t.Error("compiled module missing main")
+	}
+}
+
+func TestLoadModuleFromIRFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k.ll")
+	src := "define void @main() {\nentry:\n  output i32 42\n  ret void\n}\n"
+	if err := os.WriteFile(path, []byte(src), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadModule("", path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Func("main") == nil {
+		t.Error("parsed module missing main")
+	}
+}
+
+func TestRunListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+}
+
+func TestRunAnalysis(t *testing.T) {
+	// Analyze the smallest benchmark end to end through the CLI.
+	if err := run([]string{"-bench", "lud", "-sample", "0.1", "-per-instr", "3", "-per-func"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bench", "ghost"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown benchmark") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestSaveAndLoadTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lud.trace")
+	if err := run([]string{"-bench", "lud", "-save-trace", path}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+	if err := run([]string{"-bench", "lud", "-load-trace", path}); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	// Loading against the wrong module fails.
+	if err := run([]string{"-bench", "mm", "-load-trace", path}); err == nil {
+		t.Error("loaded a lud trace against mm")
+	}
+}
+
+func TestDotExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.dot")
+	if err := run([]string{"-bench", "lud", "-dot", path, "-dot-events", "50"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || !strings.Contains(string(b), "digraph ddg") {
+		t.Fatalf("dot file bad: %v", err)
+	}
+}

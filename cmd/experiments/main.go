@@ -1,0 +1,219 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated substrate.
+//
+// Usage:
+//
+//	experiments [flags] all                 # everything, in paper order
+//	experiments [flags] table2 fig9 fig13   # selected artifacts
+//	experiments [flags] ablations           # the DESIGN.md ablations
+//
+// Flags scale the campaigns: -runs (default 3000, the paper's size),
+// -quick (CI-scale), -benchmarks (comma-separated subset).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+)
+
+// renderer is any experiment result.
+type renderer interface{ Render() string }
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	runs := fs.Int("runs", 3000, "fault injections per benchmark per campaign")
+	targeted := fs.Int("targeted", 400, "targeted injections per benchmark (precision)")
+	quick := fs.Bool("quick", false, "CI-scale campaigns (overrides -runs)")
+	scale := fs.Int("scale", 1, "benchmark input scale for analysis")
+	caseScale := fs.Int("case-scale", 2, "input scale for the §V case-study campaigns")
+	seed := fs.Int64("seed", 2016, "random seed")
+	benchList := fs.String("benchmarks", "", "comma-separated benchmark subset (default: the paper's ten)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		names = []string{"all"}
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Runs = *runs
+	cfg.PrecisionSamples = *targeted
+	cfg.Scale = *scale
+	cfg.CaseStudyScale = *caseScale
+	cfg.Seed = *seed
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *benchList != "" {
+		var bs []*bench.Benchmark
+		for _, n := range strings.Split(*benchList, ",") {
+			b, ok := bench.Get(strings.TrimSpace(n))
+			if !ok {
+				return fmt.Errorf("unknown benchmark %q", n)
+			}
+			bs = append(bs, b)
+		}
+		cfg.Benchmarks = bs
+	}
+	s := experiments.NewSuite(cfg)
+
+	order := []string{"table1", "table2", "table3", "table4", "table5",
+		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+	want := map[string]bool{}
+	for _, n := range names {
+		switch n {
+		case "all":
+			for _, o := range order {
+				want[o] = true
+			}
+		case "ablations":
+			want["ablations"] = true
+		case "extensions":
+			want["extensions"] = true
+		default:
+			want[n] = true
+		}
+	}
+
+	runOne := func(name string) (renderer, error) {
+		switch name {
+		case "table1":
+			return experiments.Table1(), nil
+		case "table2":
+			return experiments.Table2(s)
+		case "table3":
+			return experiments.Table3(), nil
+		case "table4":
+			return experiments.Table4(s), nil
+		case "table5":
+			return experiments.Table5(s)
+		case "fig5":
+			return experiments.Fig5(s)
+		case "fig6":
+			return experiments.Fig6(s)
+		case "fig7":
+			return experiments.Fig7(s)
+		case "fig8":
+			return experiments.Fig8(s)
+		case "fig9":
+			return experiments.Fig9(s)
+		case "fig10":
+			return experiments.Fig10(s)
+		case "fig11":
+			return experiments.Fig11(s)
+		case "fig12":
+			return experiments.Fig12(s)
+		case "fig13":
+			return experiments.Fig13(s)
+		default:
+			return nil, fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	for _, name := range order {
+		if !want[name] {
+			continue
+		}
+		r, err := runOne(name)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(r.Render())
+	}
+
+	if want["ablations"] {
+		if err := runAblations(s); err != nil {
+			return err
+		}
+	}
+	if want["extensions"] {
+		if err := runExtensions(s); err != nil {
+			return err
+		}
+	}
+	// Any leftover unknown names?
+	for n := range want {
+		known := n == "ablations" || n == "extensions"
+		for _, o := range order {
+			if n == o {
+				known = true
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown experiment %q (known: %s, ablations, extensions, all)",
+				n, strings.Join(order, ", "))
+		}
+	}
+	return nil
+}
+
+func runExtensions(s *experiments.Suite) error {
+	mb, err := experiments.ExtMultiBit(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println(mb.Render())
+	yb, err := experiments.ExtYBranch(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println(yb.Render())
+	ll, err := experiments.ExtLuckyLoads(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ll.Render())
+	cp, err := experiments.ExtCheckpoint(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println(cp.Render())
+	return nil
+}
+
+func runAblations(s *experiments.Suite) error {
+	stack, err := experiments.AblationStackRule(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println(stack.Render())
+	exact, err := experiments.AblationExactVsRange(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println(exact.Render())
+	jit, err := experiments.AblationJitter(s, []uint64{0, 16, 64, 256, 1024})
+	if err != nil {
+		return err
+	}
+	fmt.Println(jit.Render())
+	br, err := experiments.AblationBranchRoots(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println(br.Render())
+	depth, err := experiments.AblationDepth(s, []int{1, 2, 4, 8, 16, 24, 48})
+	if err != nil {
+		return err
+	}
+	fmt.Println(depth.Render())
+	full, err := experiments.AblationFullDDG(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println(full.Render())
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunSelectedExperiments(t *testing.T) {
+	// Table artifacts are cheap even at quick scale.
+	args := []string{"-quick", "-benchmarks", "lud", "table1", "table3", "table4"}
+	if err := run(args); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-quick", "nosuchfig"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-benchmarks", "ghost", "table1"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunOneCampaignExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign experiment")
+	}
+	args := []string{"-quick", "-benchmarks", "lud", "fig6"}
+	if err := run(args); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunCampaignCLI(t *testing.T) {
+	if err := run([]string{"-bench", "lud", "-runs", "60", "-accuracy", "-targeted", "30"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no target accepted")
+	}
+	if err := run([]string{"-bench", "ghost"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,369 @@
+package bench
+
+import "fmt"
+
+// sradSource is the Rodinia speckle-reducing anisotropic diffusion kernel
+// (Table IV: srad): per-iteration image statistics, diffusion-coefficient
+// computation, and the diffusion update over a 2D image.
+func sradSource(scale int) string {
+	n, iters := 12*scale, 3
+	return lcgPrelude + fmt.Sprintf(`
+void main() {
+  int n = %d;
+  int iters = %d;
+  double lambda = 0.5;
+  double *img = malloc(n * n * 8);
+  double *c = malloc(n * n * 8);
+  double *dn = malloc(n * n * 8);
+  double *ds = malloc(n * n * 8);
+  double *dw = malloc(n * n * 8);
+  double *de = malloc(n * n * 8);
+  seed = 42;
+  for (int i = 0; i < n * n; i = i + 1) { img[i] = exp(frand() * 0.5); }
+  for (int it = 0; it < iters; it = it + 1) {
+    double sum = 0.0;
+    double sum2 = 0.0;
+    for (int i = 0; i < n * n; i = i + 1) {
+      sum = sum + img[i];
+      sum2 = sum2 + img[i] * img[i];
+    }
+    double sz = (double)(n * n);
+    double mean = sum / sz;
+    double variance = sum2 / sz - mean * mean;
+    double q0sqr = variance / (mean * mean);
+    for (int i = 0; i < n; i = i + 1) {
+      for (int j = 0; j < n; j = j + 1) {
+        int idx = i * n + j;
+        double v = img[idx];
+        double vn = v;
+        double vs = v;
+        double vw = v;
+        double ve = v;
+        if (i > 0) { vn = img[(i - 1) * n + j]; }
+        if (i < n - 1) { vs = img[(i + 1) * n + j]; }
+        if (j > 0) { vw = img[i * n + j - 1]; }
+        if (j < n - 1) { ve = img[i * n + j + 1]; }
+        dn[idx] = vn - v;
+        ds[idx] = vs - v;
+        dw[idx] = vw - v;
+        de[idx] = ve - v;
+        double g2 = (dn[idx] * dn[idx] + ds[idx] * ds[idx]
+          + dw[idx] * dw[idx] + de[idx] * de[idx]) / (v * v);
+        double l = (dn[idx] + ds[idx] + dw[idx] + de[idx]) / v;
+        double num = 0.5 * g2 - 0.0625 * l * l;
+        double den = 1.0 + 0.25 * l;
+        double qsqr = num / (den * den);
+        double d2 = (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr));
+        double cc = 1.0 / (1.0 + d2);
+        if (cc < 0.0) { cc = 0.0; }
+        if (cc > 1.0) { cc = 1.0; }
+        c[idx] = cc;
+      }
+    }
+    for (int i = 0; i < n; i = i + 1) {
+      for (int j = 0; j < n; j = j + 1) {
+        int idx = i * n + j;
+        double cn = c[idx];
+        double cs = c[idx];
+        double cw = c[idx];
+        double ce = c[idx];
+        if (i < n - 1) { cs = c[(i + 1) * n + j]; }
+        if (j < n - 1) { ce = c[i * n + j + 1]; }
+        double d = cn * dn[idx] + cs * ds[idx] + cw * dw[idx] + ce * de[idx];
+        img[idx] = img[idx] + 0.25 * lambda * d;
+      }
+    }
+  }
+  for (int i = 0; i < n * n; i = i + 1) { output(img[i]); }
+  free(img);
+  free(c);
+  free(dn);
+  free(ds);
+  free(dw);
+  free(de);
+}
+`, n, iters)
+}
+
+// kmeansSource is the kmeans clustering kernel that appears in the paper's
+// Table II: iterative assignment of points to the nearest center followed
+// by center recomputation.
+func kmeansSource(scale int) string {
+	n, d, k, iters := 80*scale, 3, 4, 4
+	return lcgPrelude + fmt.Sprintf(`
+void main() {
+  int n = %d;
+  int d = %d;
+  int k = %d;
+  int iters = %d;
+  double *pts = malloc(n * d * 8);
+  double *ctr = malloc(k * d * 8);
+  double *sums = malloc(k * d * 8);
+  int *counts = malloc(k * 4);
+  int *assign = malloc(n * 4);
+  seed = 17;
+  for (int i = 0; i < n * d; i = i + 1) { pts[i] = frand() * 100.0; }
+  for (int c = 0; c < k; c = c + 1) {
+    for (int j = 0; j < d; j = j + 1) { ctr[c * d + j] = pts[c * d + j]; }
+  }
+  for (int it = 0; it < iters; it = it + 1) {
+    for (int c = 0; c < k * d; c = c + 1) { sums[c] = 0.0; }
+    for (int c = 0; c < k; c = c + 1) { counts[c] = 0; }
+    for (int i = 0; i < n; i = i + 1) {
+      int best = 0;
+      double bestDist = 1.0e30;
+      for (int c = 0; c < k; c = c + 1) {
+        double dist = 0.0;
+        for (int j = 0; j < d; j = j + 1) {
+          double diff = pts[i * d + j] - ctr[c * d + j];
+          dist = dist + diff * diff;
+        }
+        if (dist < bestDist) {
+          bestDist = dist;
+          best = c;
+        }
+      }
+      assign[i] = best;
+      counts[best] = counts[best] + 1;
+      for (int j = 0; j < d; j = j + 1) {
+        sums[best * d + j] = sums[best * d + j] + pts[i * d + j];
+      }
+    }
+    for (int c = 0; c < k; c = c + 1) {
+      if (counts[c] > 0) {
+        for (int j = 0; j < d; j = j + 1) {
+          ctr[c * d + j] = sums[c * d + j] / (double)counts[c];
+        }
+      }
+    }
+  }
+  for (int c = 0; c < k * d; c = c + 1) { output(ctr[c]); }
+  for (int i = 0; i < n; i = i + 1) { output(assign[i]); }
+  free(pts);
+  free(ctr);
+  free(sums);
+  free(counts);
+  free(assign);
+}
+`, n, d, k, iters)
+}
+
+// particlefilterSource is the Rodinia particle filter (Table IV:
+// particlefilter): per-frame propagation, Gaussian-style likelihood
+// weighting, normalization, and systematic resampling.
+func particlefilterSource(scale int) string {
+	np, frames := 48*scale, 4
+	return lcgPrelude + fmt.Sprintf(`
+void main() {
+  int np = %d;
+  int frames = %d;
+  double *x = malloc(np * 8);
+  double *xn = malloc(np * 8);
+  double *w = malloc(np * 8);
+  double *cdf = malloc(np * 8);
+  seed = 271;
+  for (int i = 0; i < np; i = i + 1) { x[i] = frand() * 10.0; }
+  for (int f = 0; f < frames; f = f + 1) {
+    double target = 5.0 + (double)f;
+    double sum = 0.0;
+    for (int i = 0; i < np; i = i + 1) {
+      x[i] = x[i] + (frand() - 0.5);
+      double diff = x[i] - target;
+      w[i] = exp(0.0 - diff * diff);
+      sum = sum + w[i];
+    }
+    sum = sum + 0.00000001;
+    double run = 0.0;
+    for (int i = 0; i < np; i = i + 1) {
+      w[i] = w[i] / sum;
+      run = run + w[i];
+      cdf[i] = run;
+    }
+    double u0 = frand() / (double)np;
+    for (int j = 0; j < np; j = j + 1) {
+      double u = u0 + (double)j / (double)np;
+      int pick = np - 1;
+      for (int i = 0; i < np; i = i + 1) {
+        if (cdf[i] >= u) {
+          pick = i;
+          break;
+        }
+      }
+      xn[j] = x[pick];
+    }
+    double *tmp = x;
+    x = xn;
+    xn = tmp;
+  }
+  for (int i = 0; i < np; i = i + 1) { output(x[i]); }
+  free(x);
+  free(xn);
+  free(w);
+  free(cdf);
+}
+`, np, frames)
+}
+
+// lavamdSource is the Rodinia LAVA molecular-dynamics kernel (Table IV:
+// lavaMD): particles in a 3D box grid interacting with particles in
+// neighboring boxes through an exponential potential.
+func lavamdSource(scale int) string {
+	b, p := 2, 5*scale
+	return lcgPrelude + fmt.Sprintf(`
+void main() {
+  int b = %d;
+  int p = %d;
+  int boxes = b * b * b;
+  int n = boxes * p;
+  double *px = malloc(n * 8);
+  double *py = malloc(n * 8);
+  double *pz = malloc(n * 8);
+  double *q = malloc(n * 8);
+  double *fx = malloc(n * 8);
+  double *fy = malloc(n * 8);
+  double *fz = malloc(n * 8);
+  double *fe = malloc(n * 8);
+  seed = 1234;
+  for (int i = 0; i < n; i = i + 1) {
+    px[i] = frand();
+    py[i] = frand();
+    pz[i] = frand();
+    q[i] = frand();
+    fx[i] = 0.0;
+    fy[i] = 0.0;
+    fz[i] = 0.0;
+    fe[i] = 0.0;
+  }
+  for (int bx = 0; bx < b; bx = bx + 1) {
+    for (int by = 0; by < b; by = by + 1) {
+      for (int bz = 0; bz < b; bz = bz + 1) {
+        int home = (bx * b + by) * b + bz;
+        for (int dx = 0 - 1; dx <= 1; dx = dx + 1) {
+          for (int dy = 0 - 1; dy <= 1; dy = dy + 1) {
+            for (int dz = 0 - 1; dz <= 1; dz = dz + 1) {
+              int nx = bx + dx;
+              int ny = by + dy;
+              int nz = bz + dz;
+              if (nx >= 0 && nx < b && ny >= 0 && ny < b && nz >= 0 && nz < b) {
+                int nb = (nx * b + ny) * b + nz;
+                for (int i = 0; i < p; i = i + 1) {
+                  int ii = home * p + i;
+                  for (int j = 0; j < p; j = j + 1) {
+                    int jj = nb * p + j;
+                    double ddx = px[ii] - px[jj];
+                    double ddy = py[ii] - py[jj];
+                    double ddz = pz[ii] - pz[jj];
+                    double r2 = ddx * ddx + ddy * ddy + ddz * ddz + 0.5;
+                    double u = exp(0.0 - r2) * q[jj];
+                    fe[ii] = fe[ii] + u;
+                    fx[ii] = fx[ii] + ddx * u;
+                    fy[ii] = fy[ii] + ddy * u;
+                    fz[ii] = fz[ii] + ddz * u;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  for (int i = 0; i < n; i = i + 1) {
+    output(fe[i]);
+    output(fx[i]);
+  }
+  free(px);
+  free(py);
+  free(pz);
+  free(q);
+  free(fx);
+  free(fy);
+  free(fz);
+  free(fe);
+}
+`, b, p)
+}
+
+// luleshSource is a reduced LULESH (Table IV: lulesh): the 1D Lagrangian
+// shock-hydrodynamics structure of the DOE proxy app — staggered
+// node/element mesh, pressure-gradient nodal forces, velocity/position
+// integration, volume update and an ideal-gas EOS with artificial
+// viscosity — seeded by a Sedov-style central energy deposit.
+func luleshSource(scale int) string {
+	n, steps := 40*scale, 8
+	return lcgPrelude + fmt.Sprintf(`
+void main() {
+  int n = %d;
+  int steps = %d;
+  int nodes = n + 1;
+  double dt = 0.01;
+  double gamma = 1.4;
+  double *xpos = malloc(nodes * 8);
+  double *vel = malloc(nodes * 8);
+  double *force = malloc(nodes * 8);
+  double *mass = malloc(nodes * 8);
+  double *e = malloc(n * 8);
+  double *pr = malloc(n * 8);
+  double *vol = malloc(n * 8);
+  double *qv = malloc(n * 8);
+  seed = 2718;
+  for (int i = 0; i < nodes; i = i + 1) {
+    xpos[i] = (double)i;
+    vel[i] = 0.0;
+    mass[i] = 1.0 + frand() * 0.01;
+  }
+  for (int i = 0; i < n; i = i + 1) {
+    e[i] = 0.01;
+    vol[i] = 1.0;
+    qv[i] = 0.0;
+  }
+  e[n / 2] = 10.0;
+  for (int i = 0; i < n; i = i + 1) {
+    pr[i] = (gamma - 1.0) * e[i] / vol[i];
+  }
+  for (int s = 0; s < steps; s = s + 1) {
+    for (int i = 0; i < nodes; i = i + 1) {
+      double pl = 0.0;
+      double prr = 0.0;
+      if (i > 0) { pl = pr[i - 1] + qv[i - 1]; }
+      if (i < n) { prr = pr[i] + qv[i]; }
+      force[i] = pl - prr;
+    }
+    for (int i = 0; i < nodes; i = i + 1) {
+      double acc = force[i] / mass[i];
+      vel[i] = vel[i] + dt * acc;
+      xpos[i] = xpos[i] + dt * vel[i];
+    }
+    for (int i = 0; i < n; i = i + 1) {
+      double newVol = xpos[i + 1] - xpos[i];
+      if (newVol < 0.1) { newVol = 0.1; }
+      double dvol = newVol - vol[i];
+      double dvel = vel[i + 1] - vel[i];
+      if (dvel < 0.0) {
+        double c = sqrt(gamma * pr[i] / 1.0 + 0.000001);
+        qv[i] = 1.5 * dvel * dvel + 0.5 * c * fabs(dvel);
+      } else {
+        qv[i] = 0.0;
+      }
+      e[i] = e[i] - (pr[i] + qv[i]) * dvol;
+      if (e[i] < 0.000001) { e[i] = 0.000001; }
+      vol[i] = newVol;
+      pr[i] = (gamma - 1.0) * e[i] / vol[i];
+    }
+  }
+  for (int i = 0; i < n; i = i + 1) {
+    output(e[i]);
+    output(pr[i]);
+  }
+  for (int i = 0; i < nodes; i = i + 1) { output(xpos[i]); }
+  free(xpos);
+  free(vel);
+  free(force);
+  free(mass);
+  free(e);
+  free(pr);
+  free(vol);
+  free(qv);
+}
+`, n, steps)
+}

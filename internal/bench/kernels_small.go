@@ -1,0 +1,235 @@
+package bench
+
+import "fmt"
+
+// mmSource is the basic matrix-multiplication kernel (Table IV: mm).
+func mmSource(scale int) string {
+	n := 12 * scale
+	return lcgPrelude + fmt.Sprintf(`
+void main() {
+  int n = %d;
+  double *a = malloc(n * n * 8);
+  double *b = malloc(n * n * 8);
+  double *c = malloc(n * n * 8);
+  seed = 12345;
+  for (int i = 0; i < n * n; i = i + 1) {
+    a[i] = frand();
+    b[i] = frand();
+  }
+  for (int i = 0; i < n; i = i + 1) {
+    for (int j = 0; j < n; j = j + 1) {
+      double sum = 0.0;
+      for (int k = 0; k < n; k = k + 1) {
+        sum = sum + a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = sum;
+    }
+  }
+  for (int i = 0; i < n * n; i = i + 1) { output(c[i]); }
+  free(a);
+  free(b);
+  free(c);
+}
+`, n)
+}
+
+// pathfinderSource is the Rodinia grid-traversal dynamic program
+// (Table IV: pathfinder): find the minimum-weight path down a weighted
+// grid, row by row, keeping a rolling pair of cost rows.
+func pathfinderSource(scale int) string {
+	rows, cols := 24*scale, 32*scale
+	return lcgPrelude + fmt.Sprintf(`
+void main() {
+  int rows = %d;
+  int cols = %d;
+  int *wall = malloc(rows * cols * 4);
+  int *src = malloc(cols * 4);
+  int *dst = malloc(cols * 4);
+  seed = 7;
+  for (int i = 0; i < rows * cols; i = i + 1) { wall[i] = irand() %% 10; }
+  for (int j = 0; j < cols; j = j + 1) { dst[j] = wall[j]; }
+  for (int r = 1; r < rows; r = r + 1) {
+    int *tmp = src;
+    src = dst;
+    dst = tmp;
+    for (int c = 0; c < cols; c = c + 1) {
+      int best = src[c];
+      if (c > 0 && src[c - 1] < best) { best = src[c - 1]; }
+      if (c < cols - 1 && src[c + 1] < best) { best = src[c + 1]; }
+      dst[c] = wall[r * cols + c] + best;
+    }
+  }
+  for (int c = 0; c < cols; c = c + 1) { output(dst[c]); }
+  free(wall);
+  free(src);
+  free(dst);
+}
+`, rows, cols)
+}
+
+// hotspotSource is the Rodinia thermal simulation kernel (Table IV:
+// hotspot): an iterative 5-point stencil over chip temperature driven by a
+// per-cell power map.
+func hotspotSource(scale int) string {
+	n, steps := 14*scale, 6
+	return lcgPrelude + fmt.Sprintf(`
+void main() {
+  int n = %d;
+  int steps = %d;
+  double *temp = malloc(n * n * 8);
+  double *power = malloc(n * n * 8);
+  double *next = malloc(n * n * 8);
+  seed = 99;
+  for (int i = 0; i < n * n; i = i + 1) {
+    temp[i] = 323.0 + frand() * 10.0;
+    power[i] = frand() * 0.5;
+  }
+  double cap = 0.5;
+  double rx = 0.25;
+  double ry = 0.25;
+  double rz = 0.0625;
+  double amb = 80.0;
+  for (int s = 0; s < steps; s = s + 1) {
+    for (int i = 0; i < n; i = i + 1) {
+      for (int j = 0; j < n; j = j + 1) {
+        double t = temp[i * n + j];
+        double tn = t;
+        double ts = t;
+        double tw = t;
+        double te = t;
+        if (i > 0) { tn = temp[(i - 1) * n + j]; }
+        if (i < n - 1) { ts = temp[(i + 1) * n + j]; }
+        if (j > 0) { tw = temp[i * n + j - 1]; }
+        if (j < n - 1) { te = temp[i * n + j + 1]; }
+        double delta = cap * (power[i * n + j]
+          + (tn + ts - 2.0 * t) * ry
+          + (te + tw - 2.0 * t) * rx
+          + (amb - t) * rz);
+        next[i * n + j] = t + delta;
+      }
+    }
+    double *tmp = temp;
+    temp = next;
+    next = tmp;
+  }
+  for (int i = 0; i < n * n; i = i + 1) { output(temp[i]); }
+  free(temp);
+  free(power);
+  free(next);
+}
+`, n, steps)
+}
+
+// nwSource is the Rodinia Needleman-Wunsch sequence-alignment dynamic
+// program (Table IV: nw).
+func nwSource(scale int) string {
+	n := 24 * scale
+	return lcgPrelude + fmt.Sprintf(`
+void main() {
+  int n = %d;
+  int penalty = 10;
+  int m = n + 1;
+  int *ref = malloc(m * m * 4);
+  int *f = malloc(m * m * 4);
+  seed = 2016;
+  for (int i = 0; i < m * m; i = i + 1) { ref[i] = irand() %% 20 - 10; }
+  for (int i = 0; i < m; i = i + 1) {
+    f[i * m] = -(i * penalty);
+    f[i] = -(i * penalty);
+  }
+  for (int i = 1; i < m; i = i + 1) {
+    for (int j = 1; j < m; j = j + 1) {
+      int diag = f[(i - 1) * m + j - 1] + ref[i * m + j];
+      int up = f[(i - 1) * m + j] - penalty;
+      int left = f[i * m + j - 1] - penalty;
+      int best = diag;
+      if (up > best) { best = up; }
+      if (left > best) { best = left; }
+      f[i * m + j] = best;
+    }
+  }
+  for (int i = 0; i < m; i = i + 1) { output(f[(m - 1) * m + i]); }
+  output(f[m * m - 1]);
+  free(ref);
+  free(f);
+}
+`, n)
+}
+
+// ludSource is the Rodinia in-place LU decomposition (Table IV: lud),
+// Doolittle scheme on a diagonally dominant random matrix.
+func ludSource(scale int) string {
+	n := 14 * scale
+	return lcgPrelude + fmt.Sprintf(`
+void main() {
+  int n = %d;
+  double *a = malloc(n * n * 8);
+  seed = 31;
+  for (int i = 0; i < n; i = i + 1) {
+    for (int j = 0; j < n; j = j + 1) {
+      a[i * n + j] = frand();
+      if (i == j) { a[i * n + j] = a[i * n + j] + (double)n; }
+    }
+  }
+  for (int k = 0; k < n; k = k + 1) {
+    for (int i = k + 1; i < n; i = i + 1) {
+      a[i * n + k] = a[i * n + k] / a[k * n + k];
+    }
+    for (int i = k + 1; i < n; i = i + 1) {
+      for (int j = k + 1; j < n; j = j + 1) {
+        a[i * n + j] = a[i * n + j] - a[i * n + k] * a[k * n + j];
+      }
+    }
+  }
+  for (int i = 0; i < n * n; i = i + 1) { output(a[i]); }
+  free(a);
+}
+`, n)
+}
+
+// bfsSource is the Rodinia breadth-first search (Table IV: bfs) over a
+// random directed graph in CSR form, computing hop distances from node 0.
+func bfsSource(scale int) string {
+	nodes, deg := 160*scale, 4
+	return lcgPrelude + fmt.Sprintf(`
+void main() {
+  int n = %d;
+  int deg = %d;
+  int *edges = malloc(n * deg * 4);
+  int *cost = malloc(n * 4);
+  int *qa = malloc(n * 4);
+  int *qb = malloc(n * 4);
+  seed = 5;
+  for (int i = 0; i < n * deg; i = i + 1) { edges[i] = irand() %% n; }
+  for (int i = 0; i < n; i = i + 1) { cost[i] = 0 - 1; }
+  cost[0] = 0;
+  qa[0] = 0;
+  int frontier = 1;
+  int level = 0;
+  while (frontier > 0 && level < n) {
+    int nextCount = 0;
+    for (int qi = 0; qi < frontier; qi = qi + 1) {
+      int u = qa[qi];
+      for (int e = 0; e < deg; e = e + 1) {
+        int v = edges[u * deg + e];
+        if (cost[v] < 0) {
+          cost[v] = level + 1;
+          qb[nextCount] = v;
+          nextCount = nextCount + 1;
+        }
+      }
+    }
+    int *tmp = qa;
+    qa = qb;
+    qb = tmp;
+    frontier = nextCount;
+    level = level + 1;
+  }
+  for (int i = 0; i < n; i = i + 1) { output(cost[i]); }
+  free(edges);
+  free(cost);
+  free(qa);
+  free(qb);
+}
+`, nodes, deg)
+}

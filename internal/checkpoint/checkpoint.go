@@ -1,0 +1,76 @@
+// Package checkpoint implements the paper's second proposed future use of
+// the ePVF methodology (§VIII): informing a fault-tolerance mechanism for
+// crash-causing faults. Given the total number of crash-causing bits (from
+// the CRASHING_BIT_LIST), a raw per-bit fault rate, and the application's
+// execution profile, it derives the expected crash rate per unit time and
+// the Young/Daly optimal checkpoint interval.
+package checkpoint
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// Params describes the system and application under study.
+type Params struct {
+	// CrashRate is the fraction of register bits whose corruption crashes
+	// the program — epvf.Analysis.CrashRate().
+	CrashRate float64
+	// RawBitFaultsPerHour is the hardware's raw transient-fault rate over
+	// the architecturally visible register bits the program uses
+	// (device-dependent; FIT-derived).
+	RawBitFaultsPerHour float64
+	// CheckpointCost is the time to write one checkpoint.
+	CheckpointCost time.Duration
+}
+
+// ErrBadParams reports non-positive inputs.
+var ErrBadParams = errors.New("checkpoint: parameters must be positive")
+
+// CrashMTBF returns the expected mean time between crash-causing faults:
+// raw faults are thinned by the probability that a corrupted bit is
+// crash-causing. Faults landing in non-crash bits do not trigger
+// rollbacks (they surface as SDCs or are benign), which is exactly why a
+// crash-specific rate — rather than a PVF-wide one — sizes checkpoints
+// correctly.
+func CrashMTBF(p Params) (time.Duration, error) {
+	if p.CrashRate <= 0 || p.RawBitFaultsPerHour <= 0 {
+		return 0, ErrBadParams
+	}
+	crashesPerHour := p.RawBitFaultsPerHour * p.CrashRate
+	hours := 1 / crashesPerHour
+	return time.Duration(hours * float64(time.Hour)), nil
+}
+
+// OptimalInterval returns the Young approximation of the optimal
+// checkpoint interval, sqrt(2 * C * MTBF), for the crash-specific MTBF.
+func OptimalInterval(p Params) (time.Duration, error) {
+	if p.CheckpointCost <= 0 {
+		return 0, ErrBadParams
+	}
+	mtbf, err := CrashMTBF(p)
+	if err != nil {
+		return 0, err
+	}
+	sec := math.Sqrt(2 * p.CheckpointCost.Seconds() * mtbf.Seconds())
+	return time.Duration(sec * float64(time.Second)), nil
+}
+
+// ExpectedOverhead returns the fraction of run time spent on checkpointing
+// plus expected rework, under the Young model, for a given interval.
+func ExpectedOverhead(p Params, interval time.Duration) (float64, error) {
+	if interval <= 0 {
+		return 0, ErrBadParams
+	}
+	mtbf, err := CrashMTBF(p)
+	if err != nil {
+		return 0, err
+	}
+	c := p.CheckpointCost.Seconds()
+	t := interval.Seconds()
+	m := mtbf.Seconds()
+	// Per segment of length t: checkpoint cost c, plus on average t/2 of
+	// rework amortized by the crash probability of the segment (t/m).
+	return c/t + (t/2)/m, nil
+}

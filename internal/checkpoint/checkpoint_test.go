@@ -1,0 +1,117 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func params() Params {
+	return Params{
+		CrashRate:           0.5,
+		RawBitFaultsPerHour: 0.1,
+		CheckpointCost:      time.Minute,
+	}
+}
+
+func TestCrashMTBF(t *testing.T) {
+	mtbf, err := CrashMTBF(params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.1 raw faults/hour x 0.5 crash share = 0.05 crashes/hour => 20h.
+	if got := mtbf.Hours(); math.Abs(got-20) > 1e-9 {
+		t.Errorf("MTBF = %vh, want 20h", got)
+	}
+}
+
+func TestCrashMTBFScalesInverselyWithCrashRate(t *testing.T) {
+	p := params()
+	m1, _ := CrashMTBF(p)
+	p.CrashRate = 0.25
+	m2, _ := CrashMTBF(p)
+	if m2 <= m1 {
+		t.Error("lower crash rate must raise MTBF")
+	}
+}
+
+func TestOptimalInterval(t *testing.T) {
+	p := params()
+	iv, err := OptimalInterval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtbf, _ := CrashMTBF(p)
+	want := math.Sqrt(2 * p.CheckpointCost.Seconds() * mtbf.Seconds())
+	if got := iv.Seconds(); math.Abs(got-want) > 1 {
+		t.Errorf("interval = %vs, want %vs", got, want)
+	}
+	if iv <= p.CheckpointCost {
+		t.Error("optimal interval must exceed the checkpoint cost in this regime")
+	}
+}
+
+func TestOptimalIntervalMinimizesOverhead(t *testing.T) {
+	p := params()
+	opt, err := OptimalInterval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := ExpectedOverhead(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, factor := range []float64{0.25, 0.5, 2, 4} {
+		alt, err := ExpectedOverhead(p, time.Duration(float64(opt)*factor))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alt < best-1e-12 {
+			t.Errorf("interval x%v has lower overhead (%v) than the optimum (%v)", factor, alt, best)
+		}
+	}
+}
+
+func TestOptimalIntervalProperty(t *testing.T) {
+	// The Young interval grows with sqrt(MTBF): quadrupling the MTBF
+	// doubles the interval.
+	f := func(rateScale uint8) bool {
+		base := params()
+		base.CrashRate = 0.1 + float64(rateScale%100)/200 // 0.1..0.6
+		i1, err := OptimalInterval(base)
+		if err != nil {
+			return false
+		}
+		quartered := base
+		quartered.CrashRate = base.CrashRate / 4
+		i2, err := OptimalInterval(quartered)
+		if err != nil {
+			return false
+		}
+		ratio := i2.Seconds() / i1.Seconds()
+		return ratio > 1.99 && ratio < 2.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	bad := []Params{
+		{},
+		{CrashRate: 0.5},
+		{CrashRate: -1, RawBitFaultsPerHour: 1, CheckpointCost: time.Second},
+	}
+	for i, p := range bad {
+		if _, err := CrashMTBF(p); err == nil {
+			t.Errorf("case %d: CrashMTBF accepted bad params", i)
+		}
+		if _, err := OptimalInterval(p); err == nil {
+			t.Errorf("case %d: OptimalInterval accepted bad params", i)
+		}
+	}
+	if _, err := ExpectedOverhead(params(), 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}

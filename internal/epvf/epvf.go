@@ -1,0 +1,314 @@
+// Package epvf computes the PVF and ePVF metrics of a recorded execution
+// (paper Equations 1–3): PVF over the "used registers" resource — every
+// register operand read by every dynamic instruction — and ePVF, which
+// subtracts from the ACE bits the crash-causing bits identified by the
+// crash and propagation models. It also provides the per-static-instruction
+// vulnerability used to drive selective protection (§V) and the ACE-graph
+// sampling estimator (§IV-E).
+package epvf
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/crash"
+	"repro/internal/ddg"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/rangeprop"
+	"repro/internal/trace"
+)
+
+// Config controls an analysis.
+type Config struct {
+	// Prop configures the propagation model.
+	Prop rangeprop.Config
+	// Interp configures the profiling run when analyzing a module.
+	Interp interp.Config
+}
+
+// Timing breaks the analysis down the way Figure 10 does.
+type Timing struct {
+	// GraphBuild covers the profiled execution plus DDG/ACE construction.
+	GraphBuild time.Duration
+	// Models covers the crash and propagation models.
+	Models time.Duration
+}
+
+// Analysis is the result of an ePVF run.
+type Analysis struct {
+	Trace   *trace.Trace
+	Graph   *ddg.Graph
+	ACEMask []bool
+
+	// TotalBits is B_R x |I|: the bit count of every register defined in
+	// the trace — each register counted once, as in the paper's running
+	// example.
+	TotalBits int64
+	// ACEBits is the bit count of registers defined by ACE-graph
+	// instructions.
+	ACEBits int64
+	// CrashResult holds the CRASHING_BIT_LIST.
+	CrashResult *rangeprop.Result
+
+	// ACENodes is the number of events in the ACE graph (Table V).
+	ACENodes int64
+
+	Timing Timing
+}
+
+// PVF returns the classic Program Vulnerability Factor (Eq. 1).
+func (a *Analysis) PVF() float64 {
+	if a.TotalBits == 0 {
+		return 0
+	}
+	return float64(a.ACEBits) / float64(a.TotalBits)
+}
+
+// EPVF returns the enhanced PVF (Eq. 2): ACE bits minus crash bits over
+// total bits.
+func (a *Analysis) EPVF() float64 {
+	if a.TotalBits == 0 {
+		return 0
+	}
+	return float64(a.ACEBits-a.CrashResult.CrashBitCount) / float64(a.TotalBits)
+}
+
+// CrashRate returns the model's crash-rate estimate: the fraction of
+// register bits whose corruption is predicted to crash (§IV-C).
+func (a *Analysis) CrashRate() float64 {
+	if a.TotalBits == 0 {
+		return 0
+	}
+	return float64(a.CrashResult.CrashBitCount) / float64(a.TotalBits)
+}
+
+// VulnerableBitReduction returns how much ePVF tightens PVF:
+// (PVF - ePVF) / PVF (the paper reports 45–67%).
+func (a *Analysis) VulnerableBitReduction() float64 {
+	p := a.PVF()
+	if p == 0 {
+		return 0
+	}
+	return (p - a.EPVF()) / p
+}
+
+// AnalyzeTrace runs the ACE, crash and propagation analyses over an
+// already-recorded trace.
+func AnalyzeTrace(tr *trace.Trace, cfg Config) *Analysis {
+	t0 := time.Now()
+	g := ddg.New(tr)
+	aceMask := g.ACEMask()
+	a := &Analysis{Trace: tr, Graph: g, ACEMask: aceMask}
+	a.TotalBits, a.ACEBits = defBits(tr, aceMask)
+	a.ACENodes = ddg.CountMask(aceMask)
+	t1 := time.Now()
+	a.CrashResult = rangeprop.Analyze(tr, g, aceMask, cfg.Prop)
+	a.Timing.GraphBuild = t1.Sub(t0)
+	a.Timing.Models = time.Since(t1)
+	return a
+}
+
+// AnalyzeModule profiles the module (recorded golden run) and analyzes the
+// resulting trace. The profiling time is charged to GraphBuild, matching
+// the paper's cost accounting.
+func AnalyzeModule(m *ir.Module, cfg Config) (*Analysis, *interp.Result, error) {
+	t0 := time.Now()
+	icfg := cfg.Interp
+	icfg.Record = true
+	res, err := interp.Run(m, icfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	buildTime := time.Since(t0)
+	a := AnalyzeTrace(res.Trace, cfg)
+	a.Timing.GraphBuild += buildTime
+	return a, res, nil
+}
+
+// defBits tallies the denominator and ACE numerator of Eq. 1: the bit
+// widths of every register defined in the trace, and of those defined by
+// ACE-graph events.
+func defBits(tr *trace.Trace, aceMask []bool) (total, ace int64) {
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if !trace.IsDef(e.Instr) {
+			continue
+		}
+		w := int64(trace.DefWidth(e.Instr))
+		total += w
+		if aceMask[i] {
+			ace += w
+		}
+	}
+	return total, ace
+}
+
+// InstrVuln aggregates vulnerability per static instruction (Eq. 3).
+type InstrVuln struct {
+	Instr *ir.Instr
+	// Dynamic is the number of dynamic instances.
+	Dynamic int64
+	// TotalBits, ACEBits and CrashBits are summed over all instances'
+	// register reads.
+	TotalBits, ACEBits, CrashBits int64
+}
+
+// PVF returns the instruction's PVF value.
+func (v *InstrVuln) PVF() float64 {
+	if v.TotalBits == 0 {
+		return 0
+	}
+	return float64(v.ACEBits) / float64(v.TotalBits)
+}
+
+// EPVF returns the instruction's ePVF value (Eq. 3).
+func (v *InstrVuln) EPVF() float64 {
+	if v.TotalBits == 0 {
+		return 0
+	}
+	return float64(v.ACEBits-v.CrashBits) / float64(v.TotalBits)
+}
+
+// PerInstruction aggregates the analysis per static instruction, averaging
+// over dynamic instances as §V prescribes. For value-defining instructions
+// the register is the instruction's destination; for void instructions
+// (stores, branches, output) the instruction's register reads are counted
+// instead, so they remain rankable for protection.
+func (a *Analysis) PerInstruction() map[*ir.Instr]*InstrVuln {
+	out := make(map[*ir.Instr]*InstrVuln)
+	tr := a.Trace
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		v := out[e.Instr]
+		if v == nil {
+			v = &InstrVuln{Instr: e.Instr}
+			out[e.Instr] = v
+		}
+		v.Dynamic++
+		if trace.IsDef(e.Instr) {
+			w := int64(trace.DefWidth(e.Instr))
+			v.TotalBits += w
+			if a.ACEMask[i] {
+				v.ACEBits += w
+				if m, ok := a.CrashResult.DefCrashBits[int64(i)]; ok {
+					v.CrashBits += int64(crash.PopCount(m))
+				}
+			}
+			continue
+		}
+		n := trace.NumOperands(e.Instr)
+		for op := 0; op < n; op++ {
+			if !trace.InjectableOperand(e.Instr, op) {
+				continue
+			}
+			w := int64(trace.OperandWidth(e.Instr, op))
+			v.TotalBits += w
+			if a.ACEMask[i] {
+				v.ACEBits += w
+				if m, ok := a.CrashResult.CrashBits[trace.Use{Event: int64(i), Op: op}]; ok {
+					v.CrashBits += int64(crash.PopCount(m))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SampledEstimate computes the ePVF estimate from partial ACE graphs
+// rooted at prefixes of the output nodes, linearly extrapolated to the
+// whole application (§IV-E, Figure 11). Two partial analyses (at frac and
+// 2*frac of the outputs) fit the non-crash ACE bit mass as a linear
+// function of the sampled-output fraction; the intercept absorbs the
+// shared component (input preparation, branch-rooted control flow) and the
+// slope the per-output component, so the extrapolation to 100% is exact
+// for programs whose outputs have similar, repetitive slices.
+func SampledEstimate(tr *trace.Trace, frac float64, cfg Config) float64 {
+	if frac <= 0 {
+		frac = 0.01
+	}
+	if frac > 0.5 {
+		frac = 0.5
+	}
+	g := ddg.New(tr)
+	numeratorAt := func(f float64) float64 {
+		mask, _ := g.PartialACEMask(f)
+		res := rangeprop.Analyze(tr, g, mask, cfg.Prop)
+		_, aceBits := defBits(tr, mask)
+		return float64(aceBits - res.CrashBitCount)
+	}
+	n1 := numeratorAt(frac)
+	n2 := numeratorAt(2 * frac)
+	// N(p) ~= A + B*p  =>  N(1) = N(p) + (N(2p) - N(p)) * (1-p)/p.
+	full := n1 + (n2-n1)*(1-frac)/frac
+	totalBits, _ := defBits(tr, make([]bool, tr.NumEvents()))
+	if totalBits == 0 {
+		return 0
+	}
+	est := full / float64(totalBits)
+	if est > 1 {
+		est = 1
+	}
+	if est < 0 {
+		est = 0
+	}
+	return est
+}
+
+// SamplingVariance estimates whether the application is regular enough for
+// ACE-graph sampling: it draws rounds random subsamples of the output
+// nodes, each of the given fraction, computes the non-crash ACE bit mass
+// reachable from each subsample, and returns the normalized variance
+// (variance over squared mean) of those estimates. Low values indicate
+// repetitive behaviour (§IV-E).
+func SamplingVariance(tr *trace.Trace, frac float64, rounds int, rng *rand.Rand, cfg Config) float64 {
+	g := ddg.New(tr)
+	nOut := len(tr.Outputs)
+	k := int(float64(nOut) * frac)
+	if k < 1 {
+		k = 1
+	}
+	estimates := make([]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		perm := rng.Perm(nOut)[:k]
+		var roots []int64
+		for _, oi := range perm {
+			o := tr.Outputs[oi]
+			if o.Def != trace.NoDef {
+				roots = append(roots, o.Def)
+			}
+			roots = append(roots, o.EventIdx)
+		}
+		mask := g.ACEMaskFromRoots(roots)
+		_, aceBits := defBits(tr, mask)
+		res := rangeprop.Analyze(tr, g, mask, cfg.Prop)
+		estimates = append(estimates, float64(aceBits-res.CrashBitCount))
+	}
+	mean, variance := meanVar(estimates)
+	if mean == 0 {
+		return 0
+	}
+	return variance / (mean * mean)
+}
+
+func meanVar(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	if len(xs) > 1 {
+		variance /= float64(len(xs) - 1)
+	}
+	if math.IsNaN(variance) {
+		return mean, 0
+	}
+	return mean, variance
+}

@@ -1,0 +1,82 @@
+package epvf
+
+import (
+	"sort"
+
+	"repro/internal/crash"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// FuncVuln aggregates vulnerability per function — the "vulnerability of
+// different segments of the program" view that the original PVF work uses
+// to target application-specific fault tolerance (§II-C).
+type FuncVuln struct {
+	Func *ir.Function
+	// Dynamic is the number of dynamic instructions executed in the
+	// function.
+	Dynamic int64
+	// TotalBits, ACEBits and CrashBits follow the module-level accounting
+	// restricted to this function's instructions.
+	TotalBits, ACEBits, CrashBits int64
+}
+
+// PVF returns the function's PVF.
+func (v *FuncVuln) PVF() float64 {
+	if v.TotalBits == 0 {
+		return 0
+	}
+	return float64(v.ACEBits) / float64(v.TotalBits)
+}
+
+// EPVF returns the function's ePVF.
+func (v *FuncVuln) EPVF() float64 {
+	if v.TotalBits == 0 {
+		return 0
+	}
+	return float64(v.ACEBits-v.CrashBits) / float64(v.TotalBits)
+}
+
+// PerFunction aggregates the analysis per function, ordered by descending
+// non-crash ACE bit mass (the most SDC-prone functions first).
+func (a *Analysis) PerFunction() []*FuncVuln {
+	byFunc := make(map[*ir.Function]*FuncVuln)
+	tr := a.Trace
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		fn := e.Instr.Func()
+		if fn == nil {
+			continue
+		}
+		v := byFunc[fn]
+		if v == nil {
+			v = &FuncVuln{Func: fn}
+			byFunc[fn] = v
+		}
+		v.Dynamic++
+		if !trace.IsDef(e.Instr) {
+			continue
+		}
+		w := int64(trace.DefWidth(e.Instr))
+		v.TotalBits += w
+		if a.ACEMask[i] {
+			v.ACEBits += w
+			if m, ok := a.CrashResult.DefCrashBits[int64(i)]; ok {
+				v.CrashBits += int64(crash.PopCount(m))
+			}
+		}
+	}
+	out := make([]*FuncVuln, 0, len(byFunc))
+	for _, v := range byFunc {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		mi := out[i].ACEBits - out[i].CrashBits
+		mj := out[j].ACEBits - out[j].CrashBits
+		if mi != mj {
+			return mi > mj
+		}
+		return out[i].Func.Name < out[j].Func.Name
+	})
+	return out
+}

@@ -1,0 +1,162 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV and §V) on the simulated substrate: Table I–V and
+// Figures 5–13, plus the ablations called out in DESIGN.md. Each experiment
+// is a function from a Config to a result struct with a Render method, so
+// the same code serves cmd/experiments, the root benchmark harness, and
+// the tests.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/epvf"
+	"repro/internal/fi"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mem"
+)
+
+// Config scales the experiment effort. The zero value is unusable; use
+// DefaultConfig (paper-scale campaigns) or QuickConfig (CI-scale).
+type Config struct {
+	// Runs is the number of fault injections per benchmark per campaign
+	// (the paper performs over 3,000).
+	Runs int
+	// PrecisionSamples is the number of targeted injections per benchmark
+	// for the precision study (the paper samples over 1,200 in total).
+	PrecisionSamples int
+	// Scale is the benchmark input scale for analysis campaigns.
+	Scale int
+	// CaseStudyScale is the larger input scale used for the §V
+	// fault-injection evaluation.
+	CaseStudyScale int
+	// Seed drives all sampling.
+	Seed int64
+	// Jitter is the ASLR window (bytes) applied to fault-injection runs.
+	Jitter uint64
+	// Benchmarks is the suite to run; nil means bench.Paper10().
+	Benchmarks []*bench.Benchmark
+	// OverheadBudget is the §V performance budget (the paper reports 24%).
+	OverheadBudget float64
+	// Parallel is the campaign worker count (§VI-A parallelism); zero
+	// runs serially. Results are identical either way.
+	Parallel int
+}
+
+// DefaultConfig mirrors the paper's campaign sizes.
+func DefaultConfig() Config {
+	return Config{
+		Runs:             3000,
+		PrecisionSamples: 400,
+		Scale:            1,
+		CaseStudyScale:   2,
+		Seed:             2016,
+		Jitter:           64 * mem.PageSize,
+		OverheadBudget:   0.24,
+		Parallel:         runtime.NumCPU(),
+	}
+}
+
+// QuickConfig is a reduced configuration for CI and benchmarks.
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.Runs = 150
+	c.PrecisionSamples = 60
+	c.CaseStudyScale = 1
+	return c
+}
+
+func (c Config) benchmarks() []*bench.Benchmark {
+	if c.Benchmarks != nil {
+		return c.Benchmarks
+	}
+	return bench.Paper10()
+}
+
+// BenchResult caches everything the experiments need about one benchmark:
+// the compiled module, the recorded golden run, the full ePVF analysis and
+// the fault-injection campaign.
+type BenchResult struct {
+	Bench    *bench.Benchmark
+	Module   *ir.Module
+	Golden   *interp.Result
+	Analysis *epvf.Analysis
+	Campaign *fi.Result
+}
+
+// Suite lazily computes and caches per-benchmark results so the individual
+// experiments share the expensive work.
+type Suite struct {
+	Cfg Config
+
+	mu      sync.Mutex
+	results map[string]*BenchResult
+}
+
+// NewSuite creates a suite for the given configuration.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{Cfg: cfg, results: make(map[string]*BenchResult)}
+}
+
+// Bench returns the cached result for one benchmark, computing it on first
+// use.
+func (s *Suite) Bench(b *bench.Benchmark) (*BenchResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.results[b.Name]; ok {
+		return r, nil
+	}
+	m, err := b.Module(s.Cfg.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: compiling %s: %w", b.Name, err)
+	}
+	analysis, golden, err := epvf.AnalyzeModule(m, epvf.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: analyzing %s: %w", b.Name, err)
+	}
+	campaign, err := fi.RunCampaign(m, golden, fi.Config{
+		Runs:         s.Cfg.Runs,
+		Seed:         s.Cfg.Seed,
+		JitterWindow: s.Cfg.Jitter,
+		Parallel:     s.Cfg.Parallel,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: campaign on %s: %w", b.Name, err)
+	}
+	r := &BenchResult{Bench: b, Module: m, Golden: golden, Analysis: analysis, Campaign: campaign}
+	s.results[b.Name] = r
+	return r, nil
+}
+
+// ForEach runs fn over the configured benchmark suite in order.
+func (s *Suite) ForEach(fn func(*BenchResult) error) error {
+	for _, b := range s.Cfg.benchmarks() {
+		r, err := s.Bench(b)
+		if err != nil {
+			return err
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crashKindLabel maps exception kinds to the Table I/II abbreviations.
+func crashKindLabel(k interp.ExcKind) string {
+	switch k {
+	case interp.ExcSegFault:
+		return "SF"
+	case interp.ExcAbort:
+		return "A"
+	case interp.ExcMisaligned:
+		return "MMA"
+	case interp.ExcArith:
+		return "AE"
+	default:
+		return k.String()
+	}
+}

@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/interp"
+)
+
+// tinySuite runs two benchmarks at a reduced campaign size so the whole
+// experiment surface can execute in test time.
+func tinySuite(t *testing.T, names ...string) *Suite {
+	t.Helper()
+	cfg := QuickConfig()
+	cfg.Runs = 120
+	cfg.PrecisionSamples = 40
+	var bs []*bench.Benchmark
+	for _, n := range names {
+		b, ok := bench.Get(n)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", n)
+		}
+		bs = append(bs, b)
+	}
+	cfg.Benchmarks = bs
+	return NewSuite(cfg)
+}
+
+func TestTable1Render(t *testing.T) {
+	r := Table1()
+	s := r.Render()
+	for _, want := range []string{"segmentation fault", "abort", "misaligned", "arithmetic"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table I missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2SegfaultsDominate(t *testing.T) {
+	s := tinySuite(t, "pathfinder", "mm")
+	r, err := Table2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.AvgSegFault < 0.9 {
+		t.Errorf("average segfault share %.2f, want >= 0.9 (paper: 99%%)", r.AvgSegFault)
+	}
+	if r.MinSegFault < 0.85 {
+		t.Errorf("minimum segfault share %.2f, want >= 0.85 (paper: 96%%)", r.MinSegFault)
+	}
+	if !strings.Contains(r.Render(), "pathfinder") {
+		t.Error("render missing benchmark name")
+	}
+}
+
+func TestTable3Render(t *testing.T) {
+	if !strings.Contains(Table3().Render(), "getelementptr") {
+		t.Error("Table III missing gep rule")
+	}
+}
+
+func TestTable4Inventory(t *testing.T) {
+	s := NewSuite(QuickConfig())
+	r := Table4(s)
+	if len(r.Rows) != 10 {
+		t.Fatalf("Table IV rows = %d, want 10", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.LOC < 20 || row.Domain == "" {
+			t.Errorf("suspicious row %+v", row)
+		}
+	}
+}
+
+func TestTable5Costs(t *testing.T) {
+	s := tinySuite(t, "lud")
+	r, err := Table5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.Rows[0]
+	if row.DynInstrs < 5000 || row.ACENodes <= 0 || row.ModellingTime <= 0 {
+		t.Errorf("bad Table V row: %+v", row)
+	}
+	if row.ACENodes > row.DynInstrs {
+		t.Error("ACE nodes exceed dynamic instructions")
+	}
+}
+
+func TestFig5Through9Shapes(t *testing.T) {
+	s := tinySuite(t, "pathfinder", "lud")
+
+	f5, err := Fig5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f5.AvgCrash < 0.3 {
+		t.Errorf("average crash rate %.2f implausibly low (paper: 63%%)", f5.AvgCrash)
+	}
+	for _, row := range f5.Rows {
+		sum := row.Crash + row.SDC + row.Hang + row.Benign
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("%s: outcomes sum to %.3f", row.Name, sum)
+		}
+	}
+
+	f6, err := Fig6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f6.Avg < 0.8 {
+		t.Errorf("average recall %.2f, want >= 0.8 (paper: 89%%)", f6.Avg)
+	}
+
+	f7, err := Fig7(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f7.Avg < 0.75 {
+		t.Errorf("average precision %.2f, want >= 0.75 (paper: 92%%)", f7.Avg)
+	}
+
+	f8, err := Fig8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range f8.Rows {
+		diff := row.ModelRate - row.FIRate
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.2 {
+			t.Errorf("%s: model %.2f vs FI %.2f crash rate, gap too large",
+				row.Name, row.ModelRate, row.FIRate)
+		}
+	}
+
+	f9, err := Fig9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range f9.Rows {
+		if !(row.SDCRate <= row.EPVF+0.1 && row.EPVF < row.PVF) {
+			t.Errorf("%s: expected SDC (%.2f) <= ePVF (%.2f) < PVF (%.2f)",
+				row.Name, row.SDCRate, row.EPVF, row.PVF)
+		}
+	}
+	if f9.AvgReduction < 0.3 {
+		t.Errorf("ePVF reduces PVF by only %.2f on average (paper: 45-67%%)", f9.AvgReduction)
+	}
+
+	// All render without panicking and mention both benchmarks.
+	for _, s := range []string{f5.Render(), f6.Render(), f7.Render(), f8.Render(), f9.Render()} {
+		if !strings.Contains(s, "pathfinder") || !strings.Contains(s, "lud") {
+			t.Error("render missing a benchmark row")
+		}
+	}
+}
+
+func TestFig10Timing(t *testing.T) {
+	s := tinySuite(t, "lud")
+	r, err := Fig10(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0].GraphBuild <= 0 || r.Rows[0].Models <= 0 {
+		t.Errorf("bad timing rows: %+v", r.Rows)
+	}
+	if !strings.Contains(r.Render(), "lud") {
+		t.Error("render missing benchmark")
+	}
+}
+
+func TestFig11Sampling(t *testing.T) {
+	s := tinySuite(t, "mm")
+	r, err := Fig11(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatal("missing row")
+	}
+	if r.AvgErr > 0.15 {
+		t.Errorf("mean absolute sampling error %.3f too large for mm", r.AvgErr)
+	}
+}
+
+func TestFig12CDFs(t *testing.T) {
+	s := tinySuite(t, "nw", "lud")
+	r, err := Fig12(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 4 {
+		t.Fatalf("series = %d, want 4 (PVF/ePVF x nw/lud)", len(r.Series))
+	}
+	for i := 0; i < len(r.Series); i += 2 {
+		pvf, epvf := r.Series[i], r.Series[i+1]
+		if pvf.Metric != "PVF" || epvf.Metric != "ePVF" {
+			t.Fatal("series order wrong")
+		}
+		// The paper's point: PVF spikes near 1; ePVF spreads out.
+		if pvf.FracAbove90 <= epvf.FracAbove90 {
+			t.Errorf("%s: PVF frac>0.9 (%.2f) not above ePVF's (%.2f)",
+				pvf.Bench, pvf.FracAbove90, epvf.FracAbove90)
+		}
+		if pvf.FracAbove90 < 0.5 {
+			t.Errorf("%s: PVF not clustered near 1 (frac>0.9 = %.2f)", pvf.Bench, pvf.FracAbove90)
+		}
+	}
+}
+
+func TestFig13CaseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study is expensive")
+	}
+	cfg := QuickConfig()
+	cfg.Runs = 150
+	b, _ := bench.Get("mm")
+	b2, _ := bench.Get("pathfinder")
+	cfg.Benchmarks = []*bench.Benchmark{b, b2}
+	s := NewSuite(cfg)
+	r, err := Fig13(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.EPVFSDC > row.BaseSDC {
+			t.Errorf("%s: ePVF protection increased SDC rate (%.3f -> %.3f)",
+				row.Name, row.BaseSDC, row.EPVFSDC)
+		}
+		if row.EPVFOverhead > cfg.OverheadBudget+0.1 {
+			t.Errorf("%s: measured overhead %.3f blows the budget", row.Name, row.EPVFOverhead)
+		}
+		if row.EPVFDetected == 0 {
+			t.Errorf("%s: no detections under ePVF protection", row.Name)
+		}
+	}
+	if r.GeoEPVF > r.GeoBase {
+		t.Errorf("geomean SDC rate rose under protection: %.3f -> %.3f", r.GeoBase, r.GeoEPVF)
+	}
+	if !strings.Contains(r.Render(), "GEOMEAN") {
+		t.Error("render missing geomean row")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	s := tinySuite(t, "pathfinder")
+
+	stack, err := AblationStackRule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stack.NaiveBits <= stack.FullBits {
+		t.Error("naive model should claim more crash bits (stricter ranges)")
+	}
+
+	exact, err := AblationExactVsRange(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Rows[0].ExactBits > exact.Rows[0].IntervalBits {
+		t.Error("exact oracle cannot find more crash bits than the interval at the access")
+	}
+
+	jit, err := AblationJitter(s, []uint64{0, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jit.Rows) != 2 {
+		t.Fatal("jitter rows missing")
+	}
+
+	br, err := AblationBranchRoots(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := br.Rows[0]
+	if row.PVFWith <= row.PVFWithout {
+		t.Error("branch rooting must raise PVF")
+	}
+	if row.ACEWith <= row.ACEWithout {
+		t.Error("branch rooting must grow the ACE graph")
+	}
+
+	depth, err := AblationDepth(s, []int{2, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth.Rows[0].CrashBits >= depth.Rows[1].CrashBits {
+		t.Error("deeper propagation must find more crash bits")
+	}
+
+	for _, rendered := range []string{stack.Render(), exact.Render(), jit.Render(), br.Render(), depth.Render()} {
+		if rendered == "" {
+			t.Error("empty ablation rendering")
+		}
+	}
+}
+
+func TestSuiteCaching(t *testing.T) {
+	s := tinySuite(t, "lud")
+	b, _ := bench.Get("lud")
+	r1, err := s.Bench(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Bench(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("suite did not cache the benchmark result")
+	}
+}
+
+func TestCrashKindLabels(t *testing.T) {
+	if crashKindLabel(interp.ExcSegFault) != "SF" || crashKindLabel(interp.ExcMisaligned) != "MMA" {
+		t.Error("crash kind labels wrong")
+	}
+}

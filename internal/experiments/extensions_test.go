@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"repro/internal/bench"
+	"strings"
+	"testing"
+)
+
+func TestExtMultiBit(t *testing.T) {
+	s := tinySuite(t, "pathfinder")
+	r, err := ExtMultiBit(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (1/2/4 bits)", len(r.Rows))
+	}
+	single, double := r.Rows[0], r.Rows[1]
+	if single.Bits != 1 || double.Bits != 2 {
+		t.Fatal("bit counts out of order")
+	}
+	// The paper's §II-E claim: SDC impact differs only marginally between
+	// single- and multi-bit faults. Crash rates should not fall with more
+	// bits.
+	if double.Crash < single.Crash-0.12 {
+		t.Errorf("2-bit crash rate (%.2f) far below 1-bit (%.2f)", double.Crash, single.Crash)
+	}
+	diff := single.SDC - double.SDC
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.25 {
+		t.Errorf("SDC rates diverge sharply between fault models: %.2f vs %.2f", single.SDC, double.SDC)
+	}
+	if double.Recall < 0.75 {
+		t.Errorf("multi-bit recall %.2f too low — mask prediction broken?", double.Recall)
+	}
+	if !strings.Contains(r.Render(), "Bits/fault") {
+		t.Error("render malformed")
+	}
+}
+
+func TestExtYBranch(t *testing.T) {
+	s := tinySuite(t, "pathfinder")
+	r, err := ExtYBranch(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatal("missing row")
+	}
+	row := r.Rows[0]
+	if row.Injections < 20 {
+		t.Fatalf("too few branch injections: %d", row.Injections)
+	}
+	// The §VI-B phenomenon: most flipped branches do NOT cause SDCs.
+	if row.SDCShare > 0.6 {
+		t.Errorf("branch-flip SDC share %.2f implausibly high", row.SDCShare)
+	}
+	total := row.SDCShare + row.CrashShare + row.BenignShare
+	if total > 1.001 {
+		t.Errorf("shares exceed 1: %v", total)
+	}
+}
+
+func TestExtLuckyLoads(t *testing.T) {
+	s := tinySuite(t, "pathfinder")
+	r, err := ExtLuckyLoads(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.Rows[0]
+	if row.Injections < 10 {
+		t.Fatalf("too few injections: %d", row.Injections)
+	}
+	// Predicted-not-to-crash address flips must indeed rarely crash...
+	if row.CrashShare > 0.35 {
+		t.Errorf("in-segment address flips crash %.2f of the time — model ranges wrong?", row.CrashShare)
+	}
+	// ...and a visible fraction is benign (the lucky loads the paper says
+	// ePVF wrongly counts as SDC-prone).
+	if row.BenignShare == 0 {
+		t.Error("no lucky loads observed at all")
+	}
+}
+
+func TestExtCheckpoint(t *testing.T) {
+	s := tinySuite(t, "pathfinder", "lud")
+	r, err := ExtCheckpoint(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatal("rows missing")
+	}
+	for _, row := range r.Rows {
+		if row.MTBF <= 0 || row.Interval <= 0 {
+			t.Errorf("%s: non-positive sizing: %+v", row.Name, row)
+		}
+		if row.Overhead <= 0 || row.Overhead > 0.5 {
+			t.Errorf("%s: implausible overhead %.3f", row.Name, row.Overhead)
+		}
+	}
+	// Higher crash rate => shorter MTBF => shorter interval.
+	a, b := r.Rows[0], r.Rows[1]
+	if (a.CrashRate > b.CrashRate) != (a.Interval < b.Interval) {
+		t.Errorf("interval ordering inconsistent with crash rates: %+v vs %+v", a, b)
+	}
+	if !strings.Contains(r.Render(), "Young interval") {
+		t.Error("render malformed")
+	}
+}
+
+func TestAblationFullDDG(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Runs = 200
+	b, ok := benchGet(t, "lavamd")
+	if !ok {
+		t.Fatal("lavamd missing")
+	}
+	cfg.Benchmarks = b
+	s := NewSuite(cfg)
+	r, err := AblationFullDDG(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.Rows[0]
+	if row.ACECoverage >= 0.95 {
+		t.Skipf("lavamd ACE coverage unexpectedly high: %.2f", row.ACECoverage)
+	}
+	if row.RecallFull < row.RecallACE {
+		t.Errorf("full-DDG seeding lowered recall: %.2f -> %.2f", row.RecallACE, row.RecallFull)
+	}
+	if row.ModelRateFull < row.ModelRateACE {
+		t.Errorf("full-DDG model rate below ACE-only: %.3f vs %.3f", row.ModelRateFull, row.ModelRateACE)
+	}
+	// The whole point: the full-DDG rate is closer to the FI rate.
+	gapACE := abs(row.ModelRateACE - row.FIRate)
+	gapFull := abs(row.ModelRateFull - row.FIRate)
+	if gapFull > gapACE+0.02 {
+		t.Errorf("full-DDG rate gap (%.3f) worse than ACE-only (%.3f)", gapFull, gapACE)
+	}
+	t.Logf("lavamd: coverage=%.2f recall %.2f->%.2f modelRate %.3f->%.3f (FI %.3f)",
+		row.ACECoverage, row.RecallACE, row.RecallFull, row.ModelRateACE, row.ModelRateFull, row.FIRate)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func benchGet(t *testing.T, name string) ([]*bench.Benchmark, bool) {
+	t.Helper()
+	b, ok := bench.Get(name)
+	if !ok {
+		return nil, false
+	}
+	return []*bench.Benchmark{b}, true
+}
+
+func TestAblationStackRuleDelta(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.PrecisionSamples = 80
+	s := NewSuite(cfg)
+	r, err := AblationStackRule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NaiveBits <= r.FullBits {
+		t.Errorf("naive model must claim more bits: %d vs %d", r.NaiveBits, r.FullBits)
+	}
+	if r.DeltaBits == 0 {
+		t.Fatal("no naive-only delta bits on the stack-heavy kernel")
+	}
+	// The delta bits are the naive model's false positives: the expand_stack
+	// rule rescues those accesses, so few of them crash.
+	if r.DeltaCrashRate > 0.3 {
+		t.Errorf("delta crash rate %.2f — expand_stack should rescue most", r.DeltaCrashRate)
+	}
+	if r.FullPrecision < 0.7 {
+		t.Errorf("full-model precision %.2f implausibly low", r.FullPrecision)
+	}
+	t.Logf("delta bits %d, delta crash rate %.2f, full precision %.2f",
+		r.DeltaBits, r.DeltaCrashRate, r.FullPrecision)
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fi"
+	"repro/internal/interp"
+	"repro/internal/report"
+)
+
+// Table1Result reproduces Table I: the taxonomy of exceptions resulting in
+// crashes, as implemented by the simulated machine.
+type Table1Result struct {
+	Kinds []interp.ExcKind
+}
+
+// Table1 returns the crash taxonomy.
+func Table1() *Table1Result {
+	return &Table1Result{Kinds: fi.CrashKinds}
+}
+
+var excDescriptions = map[interp.ExcKind]string{
+	interp.ExcSegFault:   "Memory access that exceeds the legal boundary of a memory segment",
+	interp.ExcAbort:      "Programs aborted by themselves or the runtime (invalid free, abort())",
+	interp.ExcMisaligned: "Memory accesses not aligned at four bytes",
+	interp.ExcArith:      "Division by zero, signed division overflow",
+}
+
+// Render prints Table I.
+func (r *Table1Result) Render() string {
+	t := report.NewTable("Table I: Types of exceptions resulting in crashes", "Type", "Abbrev", "Description")
+	for _, k := range r.Kinds {
+		t.AddRow(k.String(), crashKindLabel(k), excDescriptions[k])
+	}
+	return t.String()
+}
+
+// Table2Row is one benchmark's relative crash-type frequency.
+type Table2Row struct {
+	Name string
+	// Share maps the Table I abbreviation to the fraction of crashes.
+	Share map[interp.ExcKind]float64
+	// Crashes is the number of crash runs observed.
+	Crashes int
+}
+
+// Table2Result reproduces Table II: relative crash frequency per benchmark.
+type Table2Result struct {
+	Rows []Table2Row
+	// AvgSegFault is the average segmentation-fault share — the paper
+	// reports a 99% average and 96% minimum.
+	AvgSegFault float64
+	MinSegFault float64
+}
+
+// Table2 runs the campaigns and tallies crash types.
+func Table2(s *Suite) (*Table2Result, error) {
+	res := &Table2Result{MinSegFault: 1}
+	err := s.ForEach(func(r *BenchResult) error {
+		row := Table2Row{Name: r.Bench.Name, Share: make(map[interp.ExcKind]float64)}
+		row.Crashes = r.Campaign.Counts[fi.OutcomeCrash]
+		for _, k := range fi.CrashKinds {
+			row.Share[k] = r.Campaign.ExcTypeShare(k)
+		}
+		res.Rows = append(res.Rows, row)
+		sf := row.Share[interp.ExcSegFault]
+		res.AvgSegFault += sf
+		if sf < res.MinSegFault {
+			res.MinSegFault = sf
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) > 0 {
+		res.AvgSegFault /= float64(len(res.Rows))
+	}
+	return res, nil
+}
+
+// Render prints Table II.
+func (r *Table2Result) Render() string {
+	t := report.NewTable("Table II: Relative crash frequency per benchmark",
+		"Benchmark", "SF", "A", "MMA", "AE", "crashes")
+	for _, row := range r.Rows {
+		t.AddRow(row.Name,
+			report.Percent(row.Share[interp.ExcSegFault]),
+			report.Percent(row.Share[interp.ExcAbort]),
+			report.Percent(row.Share[interp.ExcMisaligned]),
+			report.Percent(row.Share[interp.ExcArith]),
+			row.Crashes)
+	}
+	t.AddRow("AVERAGE SF", report.Percent(r.AvgSegFault), "", "", "", "")
+	t.AddRow("MINIMUM SF", report.Percent(r.MinSegFault), "", "", "", "")
+	return t.String()
+}
+
+// Table3Result reproduces Table III: the range transfer functions of the
+// propagation model. The rules are code (internal/rangeprop); this table
+// documents them in the paper's layout.
+type Table3Result struct {
+	Rows [][3]string
+}
+
+// Table3 returns the implemented transfer rules.
+func Table3() *Table3Result {
+	return &Table3Result{Rows: [][3]string{
+		{"add", "dest = op0 + op1", "op_i in [lo - other, hi - other]"},
+		{"sub", "dest = op0 - op1", "op0 in [lo + op1, hi + op1]; op1 in [op0 - hi, op0 - lo]"},
+		{"mul", "dest = op0 * op1", "op_i in [ceil(lo/other), floor(hi/other)] (other != 0)"},
+		{"sdiv/udiv", "dest = op0 / op1", "op0 in [lo*op1, hi*op1 + op1 - 1] (op1 > 0)"},
+		{"shl", "dest = op0 * 2^k", "op0 in [ceil(lo/2^k), floor(hi/2^k)]"},
+		{"getelementptr", "dest = base + size*idx", "base in [lo - size*idx, hi - size*idx]; idx in [ceil((lo-base)/size), floor((hi-base)/size)]"},
+		{"bitcast/ptrtoint/inttoptr", "dest = op0", "op0 in [lo, hi]"},
+		{"zext/sext", "dest = extend(op0)", "op0 in [lo, hi] ∩ representable(width)"},
+		{"load (through memory)", "dest = mem[addr]", "stored value in [lo, hi] at the producing store"},
+		{"srem/bitwise/others", "—", "not interval-invertible; propagation stops (conservative)"},
+	}}
+}
+
+// Render prints Table III.
+func (r *Table3Result) Render() string {
+	t := report.NewTable("Table III: Range calculation on memory-address backward slices",
+		"Opcode", "Semantic", "Range calculation for operands")
+	for _, row := range r.Rows {
+		t.AddRow(row[0], row[1], row[2])
+	}
+	return t.String()
+}
+
+// Table4Row is one benchmark inventory entry.
+type Table4Row struct {
+	Name   string
+	Domain string
+	LOC    int
+}
+
+// Table4Result reproduces Table IV: benchmarks and their complexity.
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// Table4 inventories the compiled-in suite.
+func Table4(s *Suite) *Table4Result {
+	res := &Table4Result{}
+	for _, b := range s.Cfg.benchmarks() {
+		res.Rows = append(res.Rows, Table4Row{Name: b.Name, Domain: b.Domain, LOC: b.LOC()})
+	}
+	return res
+}
+
+// Render prints Table IV.
+func (r *Table4Result) Render() string {
+	t := report.NewTable("Table IV: Benchmarks used and their complexity (MiniC source lines)",
+		"Benchmark", "Domain", "LOC")
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, row.Domain, row.LOC)
+	}
+	return t.String()
+}
+
+// Table5Row is one benchmark's analysis-cost entry.
+type Table5Row struct {
+	Name          string
+	DynInstrs     int64
+	ACENodes      int64
+	ModellingTime time.Duration
+}
+
+// Table5Result reproduces Table V: trace size, ACE-graph size, and
+// modelling time per benchmark.
+type Table5Result struct {
+	Rows []Table5Row
+}
+
+// Table5 gathers analysis cost statistics.
+func Table5(s *Suite) (*Table5Result, error) {
+	res := &Table5Result{}
+	err := s.ForEach(func(r *BenchResult) error {
+		res.Rows = append(res.Rows, Table5Row{
+			Name:          r.Bench.Name,
+			DynInstrs:     r.Golden.DynInstrs,
+			ACENodes:      r.Analysis.ACENodes,
+			ModellingTime: r.Analysis.Timing.GraphBuild + r.Analysis.Timing.Models,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints Table V.
+func (r *Table5Result) Render() string {
+	t := report.NewTable("Table V: Dynamic IR instructions, ACE nodes and analysis time",
+		"Benchmark", "Dyn IR instrs", "ACE nodes", "Analysis time")
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, row.DynInstrs, row.ACENodes, fmt.Sprintf("%.3fs", row.ModellingTime.Seconds()))
+	}
+	return t.String()
+}

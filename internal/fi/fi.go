@@ -1,0 +1,410 @@
+// Package fi is an LLFI-style fault injector for the simulated machine
+// (paper §II-B, §IV-A): each run flips one bit in one source-register read
+// of one executed dynamic instruction and classifies the outcome as crash
+// (with its exception type), SDC, hang, benign, or detected. Targets are
+// sampled uniformly over the register *bit* population, which makes
+// campaign rates directly comparable with the bit-ratio metrics PVF and
+// ePVF.
+//
+// Fault-injection runs may execute under an ASLR-style jittered memory
+// layout (Config.JitterWindow) while the model profiles the default layout
+// — reproducing the environmental nondeterminism responsible for the
+// paper's recall/precision gap (§IV-B).
+package fi
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/rangeprop"
+	"repro/internal/trace"
+)
+
+// Outcome classifies one fault-injection run.
+type Outcome int
+
+// Outcomes. Enums start at one.
+const (
+	OutcomeBenign Outcome = iota + 1
+	OutcomeCrash
+	OutcomeSDC
+	OutcomeHang
+	OutcomeDetected
+)
+
+var outcomeNames = map[Outcome]string{
+	OutcomeBenign: "benign", OutcomeCrash: "crash", OutcomeSDC: "SDC",
+	OutcomeHang: "hang", OutcomeDetected: "detected",
+}
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	if s, ok := outcomeNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// Target identifies one injectable fault: bit Bit of the register defined
+// by dynamic instruction Event. A nonzero Mask selects a multi-bit fault
+// instead (XOR of all mask bits).
+type Target struct {
+	Event int64
+	Bit   int
+	Mask  uint64
+}
+
+// Record is the result of one injection run.
+type Record struct {
+	Target  Target
+	Outcome Outcome
+	// Exc is the exception kind for crash/detected outcomes.
+	Exc interp.ExcKind
+}
+
+// Config controls a campaign.
+type Config struct {
+	// Runs is the number of injections.
+	Runs int
+	// Seed seeds target sampling and layout jitter.
+	Seed int64
+	// JitterWindow shifts segment bases per run by a random page-aligned
+	// offset in [0, JitterWindow) bytes; zero disables jitter.
+	JitterWindow uint64
+	// HangFactor multiplies the golden dynamic instruction count to form
+	// the hang budget; zero means 10.
+	HangFactor float64
+	// FaultBits is the number of bits flipped per injection within the
+	// targeted register; zero or one selects the paper's single-bit model
+	// (§II-E), larger values exercise the multi-bit extension.
+	FaultBits int
+	// Parallel is the number of worker goroutines executing injection
+	// runs (the trivial parallelism §VI-A of the paper points out). Zero
+	// or one runs serially. Campaign results are identical regardless of
+	// parallelism: targets and per-run layouts are drawn sequentially
+	// before the runs execute.
+	Parallel int
+	// Align is the alignment-trap policy; zero means the interpreter
+	// default.
+	Align interp.AlignPolicy
+}
+
+// Result aggregates a campaign.
+type Result struct {
+	Records []Record
+	// Counts tallies outcomes.
+	Counts map[Outcome]int
+	// CrashTypes tallies exception kinds among crashes.
+	CrashTypes map[interp.ExcKind]int
+	// GoldenDyn is the golden run's dynamic instruction count.
+	GoldenDyn int64
+}
+
+// Rate returns the fraction of runs with the given outcome.
+func (r *Result) Rate(o Outcome) float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	return float64(r.Counts[o]) / float64(len(r.Records))
+}
+
+// Sampler draws injection targets uniformly over the register-bit
+// population of a golden trace: every register definition weighted by its
+// width, so campaign rates are directly comparable to the PVF/ePVF bit
+// ratios.
+type Sampler struct {
+	tr *trace.Trace
+	// cumBits[i] is the total defined-register bit count of events [0, i].
+	cumBits []int64
+	total   int64
+}
+
+// NewSampler indexes the golden trace for O(log n) bit-uniform sampling.
+func NewSampler(tr *trace.Trace) *Sampler {
+	s := &Sampler{tr: tr, cumBits: make([]int64, len(tr.Events))}
+	var run int64
+	for i := range tr.Events {
+		if trace.IsDef(tr.Events[i].Instr) {
+			run += int64(trace.DefWidth(tr.Events[i].Instr))
+		}
+		s.cumBits[i] = run
+	}
+	s.total = run
+	return s
+}
+
+// TotalBits returns the size of the bit population.
+func (s *Sampler) TotalBits() int64 { return s.total }
+
+// Sample draws one target uniformly over bits. ok is false when the trace
+// has no injectable bits.
+func (s *Sampler) Sample(rng *rand.Rand) (Target, bool) {
+	if s.total == 0 {
+		return Target{}, false
+	}
+	pick := rng.Int63n(s.total)
+	ev := sort.Search(len(s.cumBits), func(i int) bool { return s.cumBits[i] > pick })
+	prev := int64(0)
+	if ev > 0 {
+		prev = s.cumBits[ev-1]
+	}
+	return Target{Event: int64(ev), Bit: int(pick - prev)}, true
+}
+
+// SampleMulti draws a multi-bit target: the register is chosen bit-uniform
+// like Sample, then k distinct bits of it are flipped together.
+func (s *Sampler) SampleMulti(rng *rand.Rand, k int) (Target, bool) {
+	tgt, ok := s.Sample(rng)
+	if !ok || k <= 1 {
+		return tgt, ok
+	}
+	width := s.tr.Events[tgt.Event].Instr.Type().BitWidth()
+	if k > width {
+		k = width
+	}
+	mask := uint64(0)
+	for _, b := range rng.Perm(width)[:k] {
+		mask |= 1 << uint(b)
+	}
+	tgt.Mask = mask
+	return tgt, true
+}
+
+// RunOne executes the module with the given fault injected and classifies
+// the outcome against the golden outputs.
+func RunOne(m *ir.Module, golden *interp.Result, tgt Target, cfg Config, rng *rand.Rand) Record {
+	layout := mem.DefaultLayout()
+	if cfg.JitterWindow > 0 {
+		layout = layout.Jitter(rng, cfg.JitterWindow)
+	}
+	return runWithLayout(m, golden, tgt, layout, cfg)
+}
+
+// runWithLayout is RunOne with the per-run memory layout already drawn.
+func runWithLayout(m *ir.Module, golden *interp.Result, tgt Target, layout mem.Layout, cfg Config) Record {
+	hangFactor := cfg.HangFactor
+	if hangFactor == 0 {
+		hangFactor = 10
+	}
+	inj := &interp.Injection{Event: tgt.Event, Bit: tgt.Bit, Mask: tgt.Mask}
+	res, err := interp.Run(m, interp.Config{
+		Layout:       layout,
+		MaxDynInstrs: int64(hangFactor * float64(golden.DynInstrs)),
+		Align:        cfg.Align,
+		Injection:    inj,
+	})
+	if err != nil {
+		// Harness errors should be impossible for a verified module; report
+		// as abort-class crashes so campaigns remain total.
+		return Record{Target: tgt, Outcome: OutcomeCrash, Exc: interp.ExcAbort}
+	}
+	return classify(golden, res, tgt)
+}
+
+func classify(golden, res *interp.Result, tgt Target) Record {
+	rec := Record{Target: tgt}
+	switch {
+	case res.Hang:
+		rec.Outcome = OutcomeHang
+	case res.Exception != nil && res.Exception.Kind == interp.ExcDetected:
+		rec.Outcome = OutcomeDetected
+		rec.Exc = res.Exception.Kind
+	case res.Exception != nil:
+		rec.Outcome = OutcomeCrash
+		rec.Exc = res.Exception.Kind
+	case sameOutputs(golden.Outputs, res.Outputs):
+		rec.Outcome = OutcomeBenign
+	default:
+		rec.Outcome = OutcomeSDC
+	}
+	return rec
+}
+
+func sameOutputs(a, b []trace.Output) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Bits != b[i].Bits {
+			return false
+		}
+	}
+	return true
+}
+
+// RunCampaign performs cfg.Runs bit-uniform injections into the module and
+// aggregates the outcomes. golden must be a recorded run of the same
+// module.
+func RunCampaign(m *ir.Module, golden *interp.Result, cfg Config) (*Result, error) {
+	if golden.Trace == nil {
+		return nil, fmt.Errorf("fi: golden result has no recorded trace")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := NewSampler(golden.Trace)
+	if s.TotalBits() == 0 {
+		return nil, fmt.Errorf("fi: module %q has no injectable register bits", m.Name)
+	}
+	out := &Result{
+		Counts:     make(map[Outcome]int),
+		CrashTypes: make(map[interp.ExcKind]int),
+		GoldenDyn:  golden.DynInstrs,
+	}
+	// Draw all targets and per-run layouts sequentially so results do not
+	// depend on the degree of parallelism.
+	type job struct {
+		tgt    Target
+		layout mem.Layout
+	}
+	jobs := make([]job, 0, cfg.Runs)
+	for i := 0; i < cfg.Runs; i++ {
+		tgt, ok := s.SampleMulti(rng, cfg.FaultBits)
+		if !ok {
+			break
+		}
+		layout := mem.DefaultLayout()
+		if cfg.JitterWindow > 0 {
+			layout = layout.Jitter(rng, cfg.JitterWindow)
+		}
+		jobs = append(jobs, job{tgt: tgt, layout: layout})
+	}
+
+	out.Records = make([]Record, len(jobs))
+	workers := cfg.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			out.Records[i] = runWithLayout(m, golden, j.tgt, j.layout, cfg)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					j := jobs[i]
+					out.Records[i] = runWithLayout(m, golden, j.tgt, j.layout, cfg)
+				}
+			}()
+		}
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, rec := range out.Records {
+		out.Counts[rec.Outcome]++
+		if rec.Outcome == OutcomeCrash {
+			out.CrashTypes[rec.Exc]++
+		}
+	}
+	return out, nil
+}
+
+// MeasureRecall computes the crash-prediction recall (§IV-B): among
+// campaign runs that actually crashed, the fraction whose (register, bit)
+// target appears in the model's CRASHING_BIT_LIST. Only hardware crashes
+// count; detected outcomes are excluded.
+func MeasureRecall(records []Record, prop *rangeprop.Result) (recall float64, crashes int) {
+	predicted := 0
+	for _, r := range records {
+		if r.Outcome != OutcomeCrash {
+			continue
+		}
+		crashes++
+		if r.Target.Mask != 0 {
+			if prop.PredictedDefMask(r.Target.Event, r.Target.Mask) {
+				predicted++
+			}
+		} else if prop.PredictedDef(r.Target.Event, r.Target.Bit) {
+			predicted++
+		}
+	}
+	if crashes == 0 {
+		return 0, 0
+	}
+	return float64(predicted) / float64(crashes), crashes
+}
+
+// SamplePredicted draws up to k (register, bit) targets uniformly from the
+// model's predicted crash bits, deterministically under rng.
+func SamplePredicted(prop *rangeprop.Result, k int, rng *rand.Rand) []Target {
+	defs := make([]int64, 0, len(prop.DefCrashBits))
+	for d := range prop.DefCrashBits {
+		defs = append(defs, d)
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i] < defs[j] })
+	var all []Target
+	for _, d := range defs {
+		mask := prop.DefCrashBits[d]
+		for b := 0; b < 64; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				all = append(all, Target{Event: d, Bit: b})
+			}
+		}
+	}
+	if len(all) <= k {
+		return all
+	}
+	perm := rng.Perm(len(all))[:k]
+	out := make([]Target, k)
+	for i, p := range perm {
+		out[i] = all[p]
+	}
+	return out
+}
+
+// MeasurePrecision performs targeted injections into k predicted crash bits
+// and returns the fraction that actually crash (§IV-B).
+func MeasurePrecision(m *ir.Module, golden *interp.Result, prop *rangeprop.Result, k int, cfg Config) (precision float64, n int) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	targets := SamplePredicted(prop, k, rng)
+	if len(targets) == 0 {
+		return 0, 0
+	}
+	crashed := 0
+	for _, tgt := range targets {
+		rec := RunOne(m, golden, tgt, cfg, rng)
+		if rec.Outcome == OutcomeCrash {
+			crashed++
+		}
+	}
+	return float64(crashed) / float64(len(targets)), len(targets)
+}
+
+// ExcTypeShare returns the fraction of crashes with the given exception
+// kind — the rows of Table II.
+func (r *Result) ExcTypeShare(kind interp.ExcKind) float64 {
+	total := r.Counts[OutcomeCrash]
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CrashTypes[kind]) / float64(total)
+}
+
+// FailureOutcomes lists the outcome kinds in reporting order.
+var FailureOutcomes = []Outcome{OutcomeCrash, OutcomeSDC, OutcomeHang, OutcomeBenign, OutcomeDetected}
+
+// CrashKinds lists the crash exception kinds in Table I order.
+var CrashKinds = []interp.ExcKind{interp.ExcSegFault, interp.ExcAbort, interp.ExcMisaligned, interp.ExcArith}
+
+// ModuleOf is a convenience that re-exports the module under test from a
+// golden run (the trace records it).
+func ModuleOf(golden *interp.Result) *ir.Module {
+	if golden.Trace == nil {
+		return nil
+	}
+	return golden.Trace.Module
+}

@@ -1,0 +1,354 @@
+package fi
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/ddg"
+	"repro/internal/epvf"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/mem"
+	"repro/internal/rangeprop"
+)
+
+const kernelSrc = `
+void main() {
+  long *a = malloc(40 * 8);
+  int i;
+  for (i = 0; i < 40; i = i + 1) { a[i] = i * 5; }
+  long s = 0;
+  for (i = 0; i < 40; i = i + 1) { s = s + a[i]; }
+  output(s);
+  free(a);
+}
+`
+
+func golden(t *testing.T, src string) *interp.Result {
+	t.Helper()
+	m, err := lang.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := interp.Run(m, interp.Config{Record: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Exception != nil {
+		t.Fatalf("golden exception: %v", res.Exception)
+	}
+	return res
+}
+
+func TestSamplerUniformOverBits(t *testing.T) {
+	g := golden(t, kernelSrc)
+	s := NewSampler(g.Trace)
+	if s.TotalBits() <= 0 {
+		t.Fatal("empty bit population")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		tgt, ok := s.Sample(rng)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		ev := g.Trace.Events[tgt.Event]
+		if ev.Instr.Type().IsVoid() {
+			t.Fatalf("sampled a void instruction %s", ev.Instr.Op)
+		}
+		if tgt.Bit < 0 || tgt.Bit >= ev.Instr.Type().BitWidth() {
+			t.Fatalf("sampled bit %d outside width %d", tgt.Bit, ev.Instr.Type().BitWidth())
+		}
+	}
+}
+
+func TestSamplerWidthWeighting(t *testing.T) {
+	// i64 defs must be sampled roughly twice as often per def as i32 defs.
+	g := golden(t, kernelSrc)
+	s := NewSampler(g.Trace)
+	rng := rand.New(rand.NewSource(2))
+	w64, w32, n64, n32 := 0, 0, 0, 0
+	for i := range g.Trace.Events {
+		in := g.Trace.Events[i].Instr
+		switch in.Type().BitWidth() {
+		case 64:
+			n64++
+		case 32:
+			n32++
+		}
+	}
+	for i := 0; i < 4000; i++ {
+		tgt, _ := s.Sample(rng)
+		switch g.Trace.Events[tgt.Event].Instr.Type().BitWidth() {
+		case 64:
+			w64++
+		case 32:
+			w32++
+		}
+	}
+	if n64 == 0 || n32 == 0 {
+		t.Skip("kernel lacks one of the widths")
+	}
+	perDef64 := float64(w64) / float64(n64)
+	perDef32 := float64(w32) / float64(n32)
+	ratio := perDef64 / perDef32
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Errorf("width weighting ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestCampaignOutcomesPartition(t *testing.T) {
+	g := golden(t, kernelSrc)
+	m := g.Trace.Module
+	res, err := RunCampaign(m, g, Config{Runs: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 200 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+	total := 0
+	for _, o := range FailureOutcomes {
+		total += res.Counts[o]
+	}
+	if total != len(res.Records) {
+		t.Errorf("outcome counts (%d) do not partition records (%d)", total, len(res.Records))
+	}
+	if res.Counts[OutcomeCrash] == 0 {
+		t.Error("no crashes in 200 injections — implausible")
+	}
+	if res.Counts[OutcomeBenign]+res.Counts[OutcomeSDC] == 0 {
+		t.Error("no benign or SDC outcomes — implausible")
+	}
+	crashTypeTotal := 0
+	for _, k := range CrashKinds {
+		crashTypeTotal += res.CrashTypes[k]
+	}
+	if crashTypeTotal != res.Counts[OutcomeCrash] {
+		t.Errorf("crash types (%d) do not partition crashes (%d)",
+			crashTypeTotal, res.Counts[OutcomeCrash])
+	}
+}
+
+func TestSegFaultsDominateCrashes(t *testing.T) {
+	// The Table II phenomenon: segmentation faults are the dominant crash
+	// cause.
+	g := golden(t, kernelSrc)
+	res, err := RunCampaign(g.Trace.Module, g, Config{Runs: 300, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share := res.ExcTypeShare(interp.ExcSegFault); share < 0.9 {
+		t.Errorf("segfault share = %.2f, want >= 0.9", share)
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	g := golden(t, kernelSrc)
+	m := g.Trace.Module
+	r1, err := RunCampaign(m, g, Config{Runs: 60, Seed: 9, JitterWindow: 64 * mem.PageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunCampaign(m, g, Config{Runs: 60, Seed: 9, JitterWindow: 64 * mem.PageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Records {
+		if r1.Records[i] != r2.Records[i] {
+			t.Fatalf("record %d differs between identical campaigns", i)
+		}
+	}
+}
+
+func TestRateAndShares(t *testing.T) {
+	r := &Result{
+		Records:    make([]Record, 10),
+		Counts:     map[Outcome]int{OutcomeCrash: 4, OutcomeSDC: 1, OutcomeBenign: 5},
+		CrashTypes: map[interp.ExcKind]int{interp.ExcSegFault: 3, interp.ExcArith: 1},
+	}
+	if r.Rate(OutcomeCrash) != 0.4 {
+		t.Error("Rate wrong")
+	}
+	if r.ExcTypeShare(interp.ExcSegFault) != 0.75 {
+		t.Error("ExcTypeShare wrong")
+	}
+	empty := &Result{Counts: map[Outcome]int{}, CrashTypes: map[interp.ExcKind]int{}}
+	if empty.Rate(OutcomeCrash) != 0 || empty.ExcTypeShare(interp.ExcSegFault) != 0 {
+		t.Error("empty result rates must be zero")
+	}
+}
+
+func analysisOf(t *testing.T, g *interp.Result) *rangeprop.Result {
+	t.Helper()
+	gr := ddg.New(g.Trace)
+	return rangeprop.Analyze(g.Trace, gr, gr.ACEMask(), rangeprop.Config{})
+}
+
+func TestRecallHighOnDeterministicLayout(t *testing.T) {
+	g := golden(t, kernelSrc)
+	prop := analysisOf(t, g)
+	res, err := RunCampaign(g.Trace.Module, g, Config{Runs: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recall, crashes := MeasureRecall(res.Records, prop)
+	if crashes < 30 {
+		t.Fatalf("too few crashes to measure recall: %d", crashes)
+	}
+	if recall < 0.8 {
+		t.Errorf("recall = %.2f (n=%d), want >= 0.8", recall, crashes)
+	}
+}
+
+func TestPrecisionHigh(t *testing.T) {
+	g := golden(t, kernelSrc)
+	prop := analysisOf(t, g)
+	precision, n := MeasurePrecision(g.Trace.Module, g, prop, 120, Config{Seed: 6})
+	if n < 50 {
+		t.Fatalf("too few targeted injections: %d", n)
+	}
+	if precision < 0.7 {
+		t.Errorf("precision = %.2f (n=%d), want >= 0.7", precision, n)
+	}
+}
+
+func TestSamplePredictedDeterministic(t *testing.T) {
+	g := golden(t, kernelSrc)
+	prop := analysisOf(t, g)
+	a := SamplePredicted(prop, 50, rand.New(rand.NewSource(7)))
+	b := SamplePredicted(prop, 50, rand.New(rand.NewSource(7)))
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("sample sizes differ or empty: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SamplePredicted not deterministic under a fixed seed")
+		}
+	}
+	for _, tgt := range a {
+		if !prop.PredictedDef(tgt.Event, tgt.Bit) {
+			t.Fatal("sampled target is not a predicted crash bit")
+		}
+	}
+}
+
+func TestModelCrashRateTracksFIRate(t *testing.T) {
+	// Fig. 8: the model's crash-bit fraction approximates the campaign
+	// crash rate.
+	b, _ := bench.Get("pathfinder")
+	m := b.MustModule(1)
+	a, g, err := epvf.AnalyzeModule(m, epvf.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCampaign(m, g, Config{Runs: 300, Seed: 11, JitterWindow: 64 * mem.PageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelRate := a.CrashRate()
+	fiRate := res.Rate(OutcomeCrash)
+	if diff := modelRate - fiRate; diff > 0.15 || diff < -0.15 {
+		t.Errorf("model crash rate %.3f vs FI crash rate %.3f: gap too large", modelRate, fiRate)
+	}
+}
+
+func TestHangDetectionInCampaign(t *testing.T) {
+	// A program whose loop bound lives in memory: flips can produce
+	// very long loops; the campaign must classify them as hangs, not spin
+	// forever.
+	src := `
+void main() {
+  int i = 0;
+  int n = 1000;
+  int s = 0;
+  while (i < n) { s = s + i; i = i + 1; }
+  output(s);
+}`
+	g := golden(t, src)
+	res, err := RunCampaign(g.Trace.Module, g, Config{Runs: 300, Seed: 12, HangFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[OutcomeHang] == 0 {
+		t.Log("no hangs observed (acceptable but unusual at HangFactor=3)")
+	}
+	total := 0
+	for _, o := range FailureOutcomes {
+		total += res.Counts[o]
+	}
+	if total != len(res.Records) {
+		t.Error("outcomes do not partition")
+	}
+}
+
+func TestModuleOf(t *testing.T) {
+	g := golden(t, kernelSrc)
+	if ModuleOf(g) != g.Trace.Module {
+		t.Error("ModuleOf mismatch")
+	}
+	if ModuleOf(&interp.Result{}) != nil {
+		t.Error("ModuleOf of traceless result must be nil")
+	}
+}
+
+func TestRunCampaignRequiresTrace(t *testing.T) {
+	g := golden(t, kernelSrc)
+	bare := &interp.Result{Outputs: g.Outputs, DynInstrs: g.DynInstrs}
+	if _, err := RunCampaign(g.Trace.Module, bare, Config{Runs: 1}); err == nil {
+		t.Error("campaign without a golden trace must fail")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if OutcomeCrash.String() != "crash" || OutcomeSDC.String() != "SDC" {
+		t.Error("outcome names wrong")
+	}
+	if Outcome(99).String() == "" {
+		t.Error("unknown outcome must render something")
+	}
+}
+
+func TestParallelCampaignDeterministic(t *testing.T) {
+	g := golden(t, kernelSrc)
+	m := g.Trace.Module
+	serial, err := RunCampaign(m, g, Config{Runs: 80, Seed: 13, JitterWindow: 64 * mem.PageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunCampaign(m, g, Config{Runs: 80, Seed: 13, JitterWindow: 64 * mem.PageSize, Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Records) != len(parallel.Records) {
+		t.Fatal("record counts differ")
+	}
+	for i := range serial.Records {
+		if serial.Records[i] != parallel.Records[i] {
+			t.Fatalf("record %d differs between serial and parallel campaigns", i)
+		}
+	}
+}
+
+func TestMultiBitCampaign(t *testing.T) {
+	g := golden(t, kernelSrc)
+	m := g.Trace.Module
+	res, err := RunCampaign(m, g, Config{Runs: 150, Seed: 14, FaultBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for _, r := range res.Records {
+		if r.Target.Mask != 0 && bits.OnesCount64(r.Target.Mask) == 2 {
+			multi++
+		}
+	}
+	if multi < 100 {
+		t.Errorf("only %d/150 records carry a 2-bit mask", multi)
+	}
+	if res.Counts[OutcomeCrash] == 0 {
+		t.Error("no crashes under the 2-bit model")
+	}
+}

@@ -1,0 +1,52 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// BenchmarkInterpret measures raw interpretation throughput (no trace).
+func BenchmarkInterpret(b *testing.B) {
+	bb, _ := bench.Get("lud")
+	m := bb.MustModule(1)
+	b.ResetTimer()
+	var dyn int64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(m, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dyn = res.DynInstrs
+	}
+	b.ReportMetric(float64(dyn)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkInterpretRecording measures tracing overhead.
+func BenchmarkInterpretRecording(b *testing.B) {
+	bb, _ := bench.Get("lud")
+	m := bb.MustModule(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m, Config{Record: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInjectedRun measures one fault-injection execution.
+func BenchmarkInjectedRun(b *testing.B) {
+	bb, _ := bench.Get("lud")
+	m := bb.MustModule(1)
+	golden, err := Run(m, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj := &Injection{Event: golden.DynInstrs / 2, Bit: 5}
+		if _, err := Run(m, Config{Injection: inj, MaxDynInstrs: golden.DynInstrs * 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Builder incrementally constructs a Module. It tracks a current insertion
+// block and generates fresh register/block names. Builder methods panic only
+// on programmer errors (building into no block); structural validity is
+// checked separately by Verify.
+type Builder struct {
+	mod    *Module
+	fn     *Function
+	blk    *Block
+	nextID int
+	errs   []error
+}
+
+// NewBuilder returns a builder for a fresh module with the given name.
+func NewBuilder(modName string) *Builder {
+	return &Builder{mod: &Module{Name: modName}}
+}
+
+// Module finalizes and returns the module under construction, along with the
+// first error recorded during building, if any.
+func (b *Builder) Module() (*Module, error) {
+	b.mod.Finish()
+	if len(b.errs) > 0 {
+		return b.mod, b.errs[0]
+	}
+	return b.mod, nil
+}
+
+// MustModule finalizes the module and panics on a recorded building error.
+// Intended for tests and statically known-good program constructions.
+func (b *Builder) MustModule() *Module {
+	m, err := b.Module()
+	if err != nil {
+		panic(fmt.Sprintf("ir: invalid module %q: %v", m.Name, err))
+	}
+	return m
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// GlobalVar declares a module-level variable and returns it.
+func (b *Builder) GlobalVar(name string, elem *Type, count int, initVals []uint64) *Global {
+	g := &Global{Name: name, Elem: elem, Count: count, Init: initVals}
+	b.mod.Globals = append(b.mod.Globals, g)
+	return g
+}
+
+// NewFunc starts a new function and switches insertion to its fresh entry
+// block.
+func (b *Builder) NewFunc(name string, retTy *Type, params ...*Param) *Function {
+	for i, p := range params {
+		p.Index = i
+	}
+	f := &Function{Name: name, Params: params, RetTy: retTy, Parent: b.mod}
+	b.mod.Funcs = append(b.mod.Funcs, f)
+	b.fn = f
+	b.blk = nil
+	b.SetBlock(b.NewBlock("entry"))
+	return f
+}
+
+// InstallFunc appends a pre-declared function (with params and return type
+// already set) to the module and opens a fresh entry block for it. Useful
+// for front ends that declare all signatures before generating bodies.
+func (b *Builder) InstallFunc(f *Function) {
+	f.Parent = b.mod
+	b.mod.Funcs = append(b.mod.Funcs, f)
+	b.fn = f
+	b.blk = nil
+	b.SetBlock(b.NewBlock("entry"))
+}
+
+// NewBlock appends a new basic block with a unique label derived from hint
+// to the current function.
+func (b *Builder) NewBlock(hint string) *Block {
+	if b.fn == nil {
+		b.errf("NewBlock(%q) with no current function", hint)
+		return &Block{Name: hint}
+	}
+	name := hint + "." + strconv.Itoa(len(b.fn.Blocks))
+	if len(b.fn.Blocks) == 0 {
+		name = hint
+	}
+	blk := &Block{Name: name, Parent: b.fn}
+	b.fn.Blocks = append(b.fn.Blocks, blk)
+	return blk
+}
+
+// SetBlock moves the insertion point to the end of blk.
+func (b *Builder) SetBlock(blk *Block) { b.blk = blk }
+
+// CurBlock returns the current insertion block.
+func (b *Builder) CurBlock() *Block { return b.blk }
+
+// CurFunc returns the function under construction.
+func (b *Builder) CurFunc() *Function { return b.fn }
+
+func (b *Builder) emit(in *Instr) *Instr {
+	if b.blk == nil {
+		b.errf("emit %s with no insertion block", in.Op)
+		return in
+	}
+	if !in.Type().IsVoid() && in.Name == "" {
+		in.Name = "r" + strconv.Itoa(b.nextID)
+		b.nextID++
+	}
+	in.Parent = b.blk
+	b.blk.Instrs = append(b.blk.Instrs, in)
+	return in
+}
+
+// Bin emits a two-operand arithmetic/bitwise instruction whose result type
+// is the type of x.
+func (b *Builder) Bin(op Opcode, x, y Value) *Instr {
+	return b.emit(&Instr{Op: op, Ty: x.Type(), Args: []Value{x, y}})
+}
+
+// Convenience arithmetic wrappers.
+
+// Add emits an integer add.
+func (b *Builder) Add(x, y Value) *Instr { return b.Bin(OpAdd, x, y) }
+
+// Sub emits an integer sub.
+func (b *Builder) Sub(x, y Value) *Instr { return b.Bin(OpSub, x, y) }
+
+// Mul emits an integer mul.
+func (b *Builder) Mul(x, y Value) *Instr { return b.Bin(OpMul, x, y) }
+
+// SDiv emits a signed division.
+func (b *Builder) SDiv(x, y Value) *Instr { return b.Bin(OpSDiv, x, y) }
+
+// SRem emits a signed remainder.
+func (b *Builder) SRem(x, y Value) *Instr { return b.Bin(OpSRem, x, y) }
+
+// FAdd emits a floating-point add.
+func (b *Builder) FAdd(x, y Value) *Instr { return b.Bin(OpFAdd, x, y) }
+
+// FSub emits a floating-point sub.
+func (b *Builder) FSub(x, y Value) *Instr { return b.Bin(OpFSub, x, y) }
+
+// FMul emits a floating-point mul.
+func (b *Builder) FMul(x, y Value) *Instr { return b.Bin(OpFMul, x, y) }
+
+// FDiv emits a floating-point div.
+func (b *Builder) FDiv(x, y Value) *Instr { return b.Bin(OpFDiv, x, y) }
+
+// ICmp emits an integer comparison producing an i1.
+func (b *Builder) ICmp(p Pred, x, y Value) *Instr {
+	return b.emit(&Instr{Op: OpICmp, Ty: I1, Pred: p, Args: []Value{x, y}})
+}
+
+// FCmp emits a floating-point comparison producing an i1.
+func (b *Builder) FCmp(p Pred, x, y Value) *Instr {
+	return b.emit(&Instr{Op: OpFCmp, Ty: I1, Pred: p, Args: []Value{x, y}})
+}
+
+// Convert emits a conversion instruction to the destination type.
+func (b *Builder) Convert(op Opcode, x Value, to *Type) *Instr {
+	return b.emit(&Instr{Op: op, Ty: to, Args: []Value{x}})
+}
+
+// Alloca emits a stack allocation of n elements of elem and returns the
+// pointer.
+func (b *Builder) Alloca(elem *Type, n int) *Instr {
+	ty := elem
+	if n > 1 {
+		ty = ArrayOf(n, elem)
+	}
+	return b.emit(&Instr{Op: OpAlloca, Ty: PtrTo(elem), Elem: ty})
+}
+
+// Load emits a load of the pointee of ptr.
+func (b *Builder) Load(ptr Value) *Instr {
+	elem := I64
+	if ptr.Type().IsPtr() {
+		elem = ptr.Type().Elem
+	}
+	return b.emit(&Instr{Op: OpLoad, Ty: elem, Elem: elem, Args: []Value{ptr}})
+}
+
+// Store emits a store of val through ptr.
+func (b *Builder) Store(val, ptr Value) *Instr {
+	return b.emit(&Instr{Op: OpStore, Ty: Void, Elem: val.Type(), Args: []Value{val, ptr}})
+}
+
+// GEP emits address arithmetic: the returned pointer is
+// base + index*base.Elem.Size().
+func (b *Builder) GEP(base, index Value) *Instr {
+	elem := I8
+	if base.Type().IsPtr() {
+		elem = base.Type().Elem
+	}
+	return b.emit(&Instr{Op: OpGEP, Ty: base.Type(), Elem: elem, Args: []Value{base, index}})
+}
+
+// Phi emits a phi node of the given type; incoming edges are added with
+// AddIncoming.
+func (b *Builder) Phi(ty *Type) *Instr {
+	return b.emit(&Instr{Op: OpPhi, Ty: ty})
+}
+
+// AddIncoming appends an incoming (value, predecessor) pair to a phi node.
+func (b *Builder) AddIncoming(phi *Instr, v Value, from *Block) {
+	if phi.Op != OpPhi {
+		b.errf("AddIncoming on non-phi %s", phi.Op)
+		return
+	}
+	phi.Args = append(phi.Args, v)
+	phi.PhiIn = append(phi.PhiIn, from)
+}
+
+// Select emits a select (ternary) instruction.
+func (b *Builder) Select(cond, ifTrue, ifFalse Value) *Instr {
+	return b.emit(&Instr{Op: OpSelect, Ty: ifTrue.Type(), Args: []Value{cond, ifTrue, ifFalse}})
+}
+
+// Br emits an unconditional branch.
+func (b *Builder) Br(to *Block) *Instr {
+	return b.emit(&Instr{Op: OpBr, Ty: Void, Blocks: []*Block{to}})
+}
+
+// CondBr emits a conditional branch on cond.
+func (b *Builder) CondBr(cond Value, then, els *Block) *Instr {
+	return b.emit(&Instr{Op: OpCondBr, Ty: Void, Args: []Value{cond}, Blocks: []*Block{then, els}})
+}
+
+// Ret emits a return; pass nil for a void return.
+func (b *Builder) Ret(v Value) *Instr {
+	in := &Instr{Op: OpRet, Ty: Void}
+	if v != nil {
+		in.Args = []Value{v}
+	}
+	return b.emit(in)
+}
+
+// Call emits a call to callee with the given arguments.
+func (b *Builder) Call(callee *Function, args ...Value) *Instr {
+	return b.emit(&Instr{Op: OpCall, Ty: callee.RetTy, Callee: callee, Args: args})
+}
+
+// Malloc emits a heap allocation of size bytes, returning a pointer typed as
+// elem*.
+func (b *Builder) Malloc(elem *Type, size Value) *Instr {
+	return b.emit(&Instr{Op: OpMalloc, Ty: PtrTo(elem), Elem: elem, Args: []Value{size}})
+}
+
+// Free emits a heap free of ptr.
+func (b *Builder) Free(ptr Value) *Instr {
+	return b.emit(&Instr{Op: OpFree, Ty: Void, Args: []Value{ptr}})
+}
+
+// Output emits the output intrinsic, appending v to the program output.
+func (b *Builder) Output(v Value) *Instr {
+	return b.emit(&Instr{Op: OpOutput, Ty: Void, Args: []Value{v}})
+}
+
+// Abort emits the abort intrinsic.
+func (b *Builder) Abort() *Instr {
+	return b.emit(&Instr{Op: OpAbort, Ty: Void})
+}
+
+// MathUnary emits a one-operand math intrinsic (sqrt, fabs, exp, log, sin,
+// cos) on a floating-point value.
+func (b *Builder) MathUnary(op Opcode, x Value) *Instr {
+	return b.emit(&Instr{Op: op, Ty: x.Type(), Args: []Value{x}})
+}
+
+// MathBinary emits a two-operand math intrinsic (pow, fmin, fmax).
+func (b *Builder) MathBinary(op Opcode, x, y Value) *Instr {
+	return b.emit(&Instr{Op: op, Ty: x.Type(), Args: []Value{x, y}})
+}
+
+// Detect emits the detect intrinsic used by duplication-based protection to
+// signal a mismatch between an original and a shadow computation.
+func (b *Builder) Detect() *Instr {
+	return b.emit(&Instr{Op: OpDetect, Ty: Void})
+}

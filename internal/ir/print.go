@@ -1,0 +1,137 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the module in an LLVM-like textual form. The output is
+// deterministic and intended for debugging, golden tests and documentation;
+// it is not designed to be re-parsed.
+func Print(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for _, g := range m.Globals {
+		ro := "global"
+		if g.ReadOnly {
+			ro = "constant"
+		}
+		if g.Count == 1 {
+			fmt.Fprintf(&sb, "@%s = %s %s", g.Name, ro, g.Elem)
+		} else {
+			fmt.Fprintf(&sb, "@%s = %s [%d x %s]", g.Name, ro, g.Count, g.Elem)
+		}
+		if len(g.Init) > 0 {
+			sb.WriteString(" [")
+			for i, v := range g.Init {
+				if i > 0 {
+					sb.WriteByte(' ')
+				}
+				fmt.Fprintf(&sb, "%#x", v)
+			}
+			sb.WriteByte(']')
+		}
+		sb.WriteByte('\n')
+	}
+	for _, f := range m.Funcs {
+		if len(m.Globals) > 0 || sb.Len() > 0 {
+			sb.WriteByte('\n')
+		}
+		printFunc(&sb, f)
+	}
+	return sb.String()
+}
+
+// PrintFunc renders a single function.
+func PrintFunc(f *Function) string {
+	var sb strings.Builder
+	printFunc(&sb, f)
+	return sb.String()
+}
+
+func printFunc(sb *strings.Builder, f *Function) {
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %s", p.Ty, p.Ident())
+	}
+	ret := "void"
+	if !f.RetTy.IsVoid() {
+		ret = f.RetTy.String()
+	}
+	fmt.Fprintf(sb, "define %s @%s(%s) {\n", ret, f.Name, strings.Join(params, ", "))
+	for bi, b := range f.Blocks {
+		if bi > 0 {
+			sb.WriteByte('\n')
+		}
+		fmt.Fprintf(sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(sb, "  %s\n", FormatInstr(in))
+		}
+	}
+	sb.WriteString("}\n")
+}
+
+// FormatInstr renders one instruction in LLVM-like syntax.
+func FormatInstr(in *Instr) string {
+	opv := func(i int) string {
+		return fmt.Sprintf("%s %s", in.Args[i].Type(), in.Args[i].Ident())
+	}
+	switch in.Op {
+	case OpLoad:
+		return fmt.Sprintf("%s = load %s, %s", in.Ident(), in.Ty, opv(0))
+	case OpStore:
+		return fmt.Sprintf("store %s, %s", opv(0), opv(1))
+	case OpAlloca:
+		return fmt.Sprintf("%s = alloca %s", in.Ident(), in.Elem)
+	case OpGEP:
+		return fmt.Sprintf("%s = getelementptr %s, %s, %s", in.Ident(), in.Elem, opv(0), opv(1))
+	case OpICmp, OpFCmp:
+		return fmt.Sprintf("%s = %s %s %s, %s", in.Ident(), in.Op, in.Pred, opv(0), in.Args[1].Ident())
+	case OpPhi:
+		pairs := make([]string, len(in.Args))
+		for i := range in.Args {
+			pairs[i] = fmt.Sprintf("[ %s, %s ]", in.Args[i].Ident(), in.PhiIn[i].Ident())
+		}
+		return fmt.Sprintf("%s = phi %s %s", in.Ident(), in.Ty, strings.Join(pairs, ", "))
+	case OpSelect:
+		return fmt.Sprintf("%s = select %s, %s, %s", in.Ident(), opv(0), opv(1), opv(2))
+	case OpBr:
+		return fmt.Sprintf("br label %s", in.Blocks[0].Ident())
+	case OpCondBr:
+		return fmt.Sprintf("br %s, label %s, label %s", opv(0), in.Blocks[0].Ident(), in.Blocks[1].Ident())
+	case OpRet:
+		if len(in.Args) == 0 {
+			return "ret void"
+		}
+		return fmt.Sprintf("ret %s", opv(0))
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i := range in.Args {
+			args[i] = opv(i)
+		}
+		call := fmt.Sprintf("call %s @%s(%s)", in.Callee.RetTy, in.Callee.Name, strings.Join(args, ", "))
+		if in.Ty.IsVoid() {
+			return call
+		}
+		return fmt.Sprintf("%s = %s", in.Ident(), call)
+	case OpMalloc:
+		return fmt.Sprintf("%s = malloc %s, %s", in.Ident(), in.Ty, opv(0))
+	case OpFree:
+		return fmt.Sprintf("free %s", opv(0))
+	case OpOutput:
+		return fmt.Sprintf("output %s", opv(0))
+	case OpAbort:
+		return "abort"
+	case OpDetect:
+		return "detect"
+	default:
+		if in.Op.IsConversion() {
+			return fmt.Sprintf("%s = %s %s to %s", in.Ident(), in.Op, opv(0), in.Ty)
+		}
+		if in.Op.IsMathUnary() {
+			return fmt.Sprintf("%s = %s %s", in.Ident(), in.Op, opv(0))
+		}
+		// Arithmetic, bitwise and binary math ops.
+		return fmt.Sprintf("%s = %s %s, %s", in.Ident(), in.Op, opv(0), in.Args[1].Ident())
+	}
+}

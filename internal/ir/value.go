@@ -1,0 +1,142 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Value is anything an instruction can take as an operand: a constant, a
+// function parameter, a global, or the result register of another
+// instruction.
+type Value interface {
+	// Type returns the value's IR type.
+	Type() *Type
+	// Ident returns the value's printable identifier, e.g. "%r3", "@buf",
+	// or "42".
+	Ident() string
+}
+
+// Const is an immediate constant operand. The payload is stored as raw bits
+// in Bits: integers are kept in the low Type().Bits bits (two's complement),
+// floats as their IEEE-754 encoding.
+type Const struct {
+	Ty   *Type
+	Bits uint64
+}
+
+var _ Value = (*Const)(nil)
+
+// ConstInt returns an integer constant of type ty holding v truncated to the
+// type's width.
+func ConstInt(ty *Type, v int64) *Const {
+	return &Const{Ty: ty, Bits: TruncateToWidth(uint64(v), ty.Bits)}
+}
+
+// ConstFloat returns a floating-point constant of type ty (F32 or F64).
+func ConstFloat(ty *Type, v float64) *Const {
+	if ty.Bits == 32 {
+		return &Const{Ty: ty, Bits: uint64(math.Float32bits(float32(v)))}
+	}
+	return &Const{Ty: ty, Bits: math.Float64bits(v)}
+}
+
+// Type implements Value.
+func (c *Const) Type() *Type { return c.Ty }
+
+// Int returns the constant sign-extended to int64 for integer constants.
+func (c *Const) Int() int64 { return SignExtend(c.Bits, c.Ty.Bits) }
+
+// Float returns the constant as a float64 for floating-point constants.
+func (c *Const) Float() float64 {
+	if c.Ty.Bits == 32 {
+		return float64(math.Float32frombits(uint32(c.Bits)))
+	}
+	return math.Float64frombits(c.Bits)
+}
+
+// Ident implements Value.
+func (c *Const) Ident() string {
+	switch {
+	case c.Ty.IsFloat():
+		return strconv.FormatFloat(c.Float(), 'g', -1, 64)
+	case c.Ty.IsInt():
+		return strconv.FormatInt(c.Int(), 10)
+	default:
+		return fmt.Sprintf("const(%s,%#x)", c.Ty, c.Bits)
+	}
+}
+
+// Param is a formal function parameter.
+type Param struct {
+	Name string
+	Ty   *Type
+	// Index is the parameter's position in the function signature.
+	Index int
+}
+
+var _ Value = (*Param)(nil)
+
+// Type implements Value.
+func (p *Param) Type() *Type { return p.Ty }
+
+// Ident implements Value.
+func (p *Param) Ident() string { return "%" + p.Name }
+
+// Global is a module-level variable placed in the simulated data segment.
+// Its Value type is a pointer to Elem repeated Count times.
+type Global struct {
+	Name string
+	// Elem is the element type of the underlying storage.
+	Elem *Type
+	// Count is the number of elements; 1 for scalars.
+	Count int
+	// Init holds the initial raw bit patterns, one per element. A nil or
+	// short Init zero-fills the remainder.
+	Init []uint64
+	// ReadOnly places the global in the read-only data segment, so stores
+	// through it fault.
+	ReadOnly bool
+
+	ty *Type // cached pointer type
+}
+
+var _ Value = (*Global)(nil)
+
+// Type implements Value: the type of a global as an operand is a pointer to
+// its element type.
+func (g *Global) Type() *Type {
+	if g.ty == nil {
+		g.ty = PtrTo(g.Elem)
+	}
+	return g.ty
+}
+
+// Ident implements Value.
+func (g *Global) Ident() string { return "@" + g.Name }
+
+// ByteSize returns the storage footprint of the global in bytes.
+func (g *Global) ByteSize() int64 { return int64(g.Count) * g.Elem.Size() }
+
+// TruncateToWidth masks v to the low bits of the given width. Width 64 (or
+// more) returns v unchanged.
+func TruncateToWidth(v uint64, bits int) uint64 {
+	if bits >= 64 {
+		return v
+	}
+	return v & ((1 << uint(bits)) - 1)
+}
+
+// SignExtend interprets the low `bits` bits of v as a two's-complement
+// integer and sign-extends it to int64.
+func SignExtend(v uint64, bits int) int64 {
+	if bits >= 64 {
+		return int64(v)
+	}
+	v = TruncateToWidth(v, bits)
+	sign := uint64(1) << uint(bits-1)
+	if v&sign != 0 {
+		v |= ^uint64(0) << uint(bits)
+	}
+	return int64(v)
+}

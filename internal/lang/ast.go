@@ -1,0 +1,225 @@
+package lang
+
+// TypeExpr is a syntactic type: a base keyword plus pointer depth.
+type TypeExpr struct {
+	// Base is one of TokVoid, TokInt, TokLong, TokFloat, TokDouble.
+	Base TokKind
+	// Stars is the pointer indirection depth.
+	Stars int
+	Pos   Pos
+}
+
+// IsVoid reports a plain void type.
+func (t TypeExpr) IsVoid() bool { return t.Base == TokVoid && t.Stars == 0 }
+
+// String renders the type C style.
+func (t TypeExpr) String() string {
+	s := t.Base.String()
+	for i := 0; i < t.Stars; i++ {
+		s += "*"
+	}
+	return s
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl is a module-level variable.
+type GlobalDecl struct {
+	Name string
+	Type TypeExpr
+	// ArrayLen is the element count for array globals; zero for scalars.
+	ArrayLen int
+	Pos      Pos
+}
+
+// ParamDecl is a function parameter.
+type ParamDecl struct {
+	Name string
+	Type TypeExpr
+	Pos  Pos
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    TypeExpr
+	Params []ParamDecl
+	Body   *BlockStmt
+	Pos    Pos
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	// StartPos returns the expression's source position.
+	StartPos() Pos
+}
+
+// BlockStmt is { stmts... }.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// VarDeclStmt declares a local variable, optionally an array or with an
+// initializer.
+type VarDeclStmt struct {
+	Name     string
+	Type     TypeExpr
+	ArrayLen int
+	Init     Expr
+	Pos      Pos
+}
+
+// IfStmt is if (Cond) Then else Else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt
+	Pos  Pos
+}
+
+// WhileStmt is while (Cond) Body.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Pos  Pos
+}
+
+// ForStmt is for (Init; Cond; Post) Body; any clause may be nil.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+	Pos  Pos
+}
+
+// ReturnStmt returns Val (nil for void).
+type ReturnStmt struct {
+	Val Expr
+	Pos Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// AssignStmt stores RHS into the lvalue LHS.
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+	Pos Pos
+}
+
+// ExprStmt evaluates X for its side effects.
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDeclStmt) stmtNode()  {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int64
+	Pos Pos
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Val float64
+	Pos Pos
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// Index is Base[Idx].
+type Index struct {
+	Base Expr
+	Idx  Expr
+	Pos  Pos
+}
+
+// Unary is Op X, with Op one of - ! * &.
+type Unary struct {
+	Op  TokKind
+	X   Expr
+	Pos Pos
+}
+
+// Binary is L Op R.
+type Binary struct {
+	Op   TokKind
+	L, R Expr
+	Pos  Pos
+}
+
+// Call invokes a user function or builtin (malloc, free, output, abort).
+type Call struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// Cast is (Type) X.
+type Cast struct {
+	Type TypeExpr
+	X    Expr
+	Pos  Pos
+}
+
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*Ident) exprNode()    {}
+func (*Index) exprNode()    {}
+func (*Unary) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Call) exprNode()     {}
+func (*Cast) exprNode()     {}
+
+// StartPos implements Expr.
+func (e *IntLit) StartPos() Pos { return e.Pos }
+
+// StartPos implements Expr.
+func (e *FloatLit) StartPos() Pos { return e.Pos }
+
+// StartPos implements Expr.
+func (e *Ident) StartPos() Pos { return e.Pos }
+
+// StartPos implements Expr.
+func (e *Index) StartPos() Pos { return e.Pos }
+
+// StartPos implements Expr.
+func (e *Unary) StartPos() Pos { return e.Pos }
+
+// StartPos implements Expr.
+func (e *Binary) StartPos() Pos { return e.Pos }
+
+// StartPos implements Expr.
+func (e *Call) StartPos() Pos { return e.Pos }
+
+// StartPos implements Expr.
+func (e *Cast) StartPos() Pos { return e.Pos }

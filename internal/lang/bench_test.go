@@ -1,0 +1,35 @@
+package lang_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/lang"
+)
+
+// BenchmarkCompile measures MiniC front-end throughput on the largest
+// benchmark source.
+func BenchmarkCompile(b *testing.B) {
+	bb, _ := bench.Get("lulesh")
+	src := bb.SourceAt(1)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lang.Compile("lulesh", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLex measures the lexer alone.
+func BenchmarkLex(b *testing.B) {
+	bb, _ := bench.Get("lulesh")
+	src := bb.SourceAt(1)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lang.Lex(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,599 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Compile parses src and lowers it to an IR module with the given name. The
+// generated code follows the clang -O0 shape: every local variable and
+// parameter lives in an alloca; reads load and writes store, so scalar
+// dataflow is routed through the simulated stack exactly as in the LLFI
+// studies the paper builds on.
+func Compile(name, src string) (*ir.Module, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(name, prog)
+}
+
+// MustCompile is Compile for statically known-good sources (the built-in
+// benchmark suite); it panics on error.
+func MustCompile(name, src string) *ir.Module {
+	m, err := Compile(name, src)
+	if err != nil {
+		panic(fmt.Sprintf("lang: compiling %s: %v", name, err))
+	}
+	return m
+}
+
+// Lower generates IR for a parsed program.
+func Lower(name string, prog *Program) (*ir.Module, error) {
+	cg := &codegen{
+		b:       ir.NewBuilder(name),
+		globals: make(map[string]*ir.Global),
+		funcs:   make(map[string]*ir.Function),
+		decls:   make(map[string]*FuncDecl),
+	}
+	if err := cg.program(prog); err != nil {
+		return nil, err
+	}
+	m, err := cg.b.Module()
+	if err != nil {
+		return nil, err
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("lang: generated module fails verification: %w", err)
+	}
+	return m, nil
+}
+
+// scalarType maps a syntactic type to an IR type.
+func scalarType(te TypeExpr) (*ir.Type, error) {
+	var base *ir.Type
+	switch te.Base {
+	case TokVoid:
+		if te.Stars == 0 {
+			return ir.Void, nil
+		}
+		base = ir.I8 // void* is a byte pointer
+	case TokInt:
+		base = ir.I32
+	case TokLong:
+		base = ir.I64
+	case TokFloat:
+		base = ir.F32
+	case TokDouble:
+		base = ir.F64
+	default:
+		return nil, fmt.Errorf("lang: %s: unsupported type %s", te.Pos, te)
+	}
+	for i := 0; i < te.Stars; i++ {
+		base = ir.PtrTo(base)
+	}
+	return base, nil
+}
+
+// local is a named local variable or parameter.
+type local struct {
+	// ptr is the alloca holding the variable (or the array base pointer).
+	ptr ir.Value
+	// ty is the variable's value type; for arrays, the element type.
+	ty *ir.Type
+	// isArray marks stack arrays, which decay to pointers when read.
+	isArray bool
+}
+
+type loopCtx struct {
+	breakBlk    *ir.Block
+	continueBlk *ir.Block
+}
+
+type codegen struct {
+	b       *ir.Builder
+	globals map[string]*ir.Global
+	funcs   map[string]*ir.Function
+	decls   map[string]*FuncDecl
+	scopes  []map[string]local
+	loops   []loopCtx
+	retTy   *ir.Type
+}
+
+func (cg *codegen) errf(p Pos, format string, args ...any) error {
+	return fmt.Errorf("lang: %s: %s", p, fmt.Sprintf(format, args...))
+}
+
+func (cg *codegen) program(prog *Program) error {
+	for _, g := range prog.Globals {
+		ty, err := scalarType(g.Type)
+		if err != nil {
+			return err
+		}
+		if ty.IsVoid() {
+			return cg.errf(g.Pos, "void global %q", g.Name)
+		}
+		if _, dup := cg.globals[g.Name]; dup {
+			return cg.errf(g.Pos, "duplicate global %q", g.Name)
+		}
+		count := g.ArrayLen
+		if count == 0 {
+			count = 1
+		}
+		cg.globals[g.Name] = cg.b.GlobalVar(g.Name, ty, count, nil)
+	}
+	// Declare all signatures first so call order is unconstrained.
+	for _, fd := range prog.Funcs {
+		if _, dup := cg.funcs[fd.Name]; dup {
+			return cg.errf(fd.Pos, "duplicate function %q", fd.Name)
+		}
+		retTy, err := scalarType(fd.Ret)
+		if err != nil {
+			return err
+		}
+		params := make([]*ir.Param, len(fd.Params))
+		for i, pd := range fd.Params {
+			pty, err := scalarType(pd.Type)
+			if err != nil {
+				return err
+			}
+			if pty.IsVoid() {
+				return cg.errf(pd.Pos, "void parameter %q", pd.Name)
+			}
+			params[i] = &ir.Param{Name: pd.Name, Ty: pty, Index: i}
+		}
+		fn := &ir.Function{Name: fd.Name, Params: params, RetTy: retTy}
+		cg.funcs[fd.Name] = fn
+		cg.decls[fd.Name] = fd
+	}
+	for _, fd := range prog.Funcs {
+		if err := cg.function(fd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// beginFunc registers the pre-declared function with the builder and opens
+// its entry block.
+func (cg *codegen) function(fd *FuncDecl) error {
+	fn := cg.funcs[fd.Name]
+	// Builder.NewFunc appends a fresh function; reuse the declared one by
+	// installing it manually.
+	cg.b.InstallFunc(fn)
+	cg.retTy = fn.RetTy
+	cg.pushScope()
+	defer cg.popScope()
+	// Spill parameters into allocas (clang -O0 style).
+	for i, p := range fn.Params {
+		slot := cg.b.Alloca(p.Ty, 1)
+		cg.b.Store(p, slot)
+		cg.declare(fd.Params[i].Name, local{ptr: slot, ty: p.Ty})
+	}
+	if err := cg.block(fd.Body); err != nil {
+		return err
+	}
+	if !cg.terminated() {
+		if fn.RetTy.IsVoid() {
+			cg.b.Ret(nil)
+		} else {
+			cg.b.Ret(zeroValue(fn.RetTy))
+		}
+	}
+	return nil
+}
+
+func zeroValue(ty *ir.Type) ir.Value {
+	if ty.IsFloat() {
+		return ir.ConstFloat(ty, 0)
+	}
+	return ir.ConstInt(ty, 0)
+}
+
+func (cg *codegen) pushScope() { cg.scopes = append(cg.scopes, make(map[string]local)) }
+func (cg *codegen) popScope()  { cg.scopes = cg.scopes[:len(cg.scopes)-1] }
+
+func (cg *codegen) declare(name string, l local) {
+	cg.scopes[len(cg.scopes)-1][name] = l
+}
+
+func (cg *codegen) lookup(name string) (local, bool) {
+	for i := len(cg.scopes) - 1; i >= 0; i-- {
+		if l, ok := cg.scopes[i][name]; ok {
+			return l, true
+		}
+	}
+	return local{}, false
+}
+
+// terminated reports whether the current block already ends in a
+// terminator.
+func (cg *codegen) terminated() bool {
+	blk := cg.b.CurBlock()
+	return blk != nil && blk.Terminator() != nil
+}
+
+func (cg *codegen) block(bs *BlockStmt) error {
+	cg.pushScope()
+	defer cg.popScope()
+	for _, s := range bs.Stmts {
+		if cg.terminated() {
+			// Unreachable trailing statements (after return/break) are
+			// silently dropped, like any C compiler does.
+			return nil
+		}
+		if err := cg.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cg *codegen) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return cg.block(st)
+	case *VarDeclStmt:
+		return cg.varDecl(st)
+	case *AssignStmt:
+		return cg.assign(st)
+	case *ExprStmt:
+		_, _, err := cg.expr(st.X, nil)
+		return err
+	case *IfStmt:
+		return cg.ifStmt(st)
+	case *WhileStmt:
+		return cg.whileStmt(st)
+	case *ForStmt:
+		return cg.forStmt(st)
+	case *ReturnStmt:
+		return cg.returnStmt(st)
+	case *BreakStmt:
+		if len(cg.loops) == 0 {
+			return cg.errf(st.Pos, "break outside a loop")
+		}
+		cg.b.Br(cg.loops[len(cg.loops)-1].breakBlk)
+		return nil
+	case *ContinueStmt:
+		if len(cg.loops) == 0 {
+			return cg.errf(st.Pos, "continue outside a loop")
+		}
+		cg.b.Br(cg.loops[len(cg.loops)-1].continueBlk)
+		return nil
+	default:
+		return fmt.Errorf("lang: unknown statement %T", s)
+	}
+}
+
+func (cg *codegen) varDecl(st *VarDeclStmt) error {
+	ty, err := scalarType(st.Type)
+	if err != nil {
+		return err
+	}
+	if _, shadow := cg.scopes[len(cg.scopes)-1][st.Name]; shadow {
+		return cg.errf(st.Pos, "redeclaration of %q", st.Name)
+	}
+	if st.ArrayLen > 0 {
+		arr := cg.b.Alloca(ty, st.ArrayLen)
+		cg.declare(st.Name, local{ptr: arr, ty: ty, isArray: true})
+		return nil
+	}
+	slot := cg.b.Alloca(ty, 1)
+	cg.declare(st.Name, local{ptr: slot, ty: ty})
+	if st.Init != nil {
+		v, _, err := cg.exprConv(st.Init, ty)
+		if err != nil {
+			return err
+		}
+		cg.b.Store(v, slot)
+	}
+	return nil
+}
+
+func (cg *codegen) assign(st *AssignStmt) error {
+	ptr, elemTy, err := cg.addr(st.LHS)
+	if err != nil {
+		return err
+	}
+	v, _, err := cg.exprConv(st.RHS, elemTy)
+	if err != nil {
+		return err
+	}
+	cg.b.Store(v, ptr)
+	return nil
+}
+
+func (cg *codegen) ifStmt(st *IfStmt) error {
+	cond, err := cg.condition(st.Cond)
+	if err != nil {
+		return err
+	}
+	then := cg.b.NewBlock("if.then")
+	join := cg.b.NewBlock("if.end")
+	els := join
+	if st.Else != nil {
+		els = cg.b.NewBlock("if.else")
+	}
+	cg.b.CondBr(cond, then, els)
+
+	cg.b.SetBlock(then)
+	if err := cg.stmt(st.Then); err != nil {
+		return err
+	}
+	if !cg.terminated() {
+		cg.b.Br(join)
+	}
+	if st.Else != nil {
+		cg.b.SetBlock(els)
+		if err := cg.stmt(st.Else); err != nil {
+			return err
+		}
+		if !cg.terminated() {
+			cg.b.Br(join)
+		}
+	}
+	cg.b.SetBlock(join)
+	return nil
+}
+
+func (cg *codegen) whileStmt(st *WhileStmt) error {
+	header := cg.b.NewBlock("while.cond")
+	body := cg.b.NewBlock("while.body")
+	exit := cg.b.NewBlock("while.end")
+	cg.b.Br(header)
+
+	cg.b.SetBlock(header)
+	cond, err := cg.condition(st.Cond)
+	if err != nil {
+		return err
+	}
+	cg.b.CondBr(cond, body, exit)
+
+	cg.b.SetBlock(body)
+	cg.loops = append(cg.loops, loopCtx{breakBlk: exit, continueBlk: header})
+	err = cg.stmt(st.Body)
+	cg.loops = cg.loops[:len(cg.loops)-1]
+	if err != nil {
+		return err
+	}
+	if !cg.terminated() {
+		cg.b.Br(header)
+	}
+	cg.b.SetBlock(exit)
+	return nil
+}
+
+func (cg *codegen) forStmt(st *ForStmt) error {
+	cg.pushScope() // the init declaration scopes over the loop
+	defer cg.popScope()
+	if st.Init != nil {
+		if err := cg.stmt(st.Init); err != nil {
+			return err
+		}
+	}
+	header := cg.b.NewBlock("for.cond")
+	body := cg.b.NewBlock("for.body")
+	post := cg.b.NewBlock("for.post")
+	exit := cg.b.NewBlock("for.end")
+	cg.b.Br(header)
+
+	cg.b.SetBlock(header)
+	if st.Cond != nil {
+		cond, err := cg.condition(st.Cond)
+		if err != nil {
+			return err
+		}
+		cg.b.CondBr(cond, body, exit)
+	} else {
+		cg.b.Br(body)
+	}
+
+	cg.b.SetBlock(body)
+	cg.loops = append(cg.loops, loopCtx{breakBlk: exit, continueBlk: post})
+	err := cg.stmt(st.Body)
+	cg.loops = cg.loops[:len(cg.loops)-1]
+	if err != nil {
+		return err
+	}
+	if !cg.terminated() {
+		cg.b.Br(post)
+	}
+
+	cg.b.SetBlock(post)
+	if st.Post != nil {
+		if err := cg.stmt(st.Post); err != nil {
+			return err
+		}
+	}
+	cg.b.Br(header)
+
+	cg.b.SetBlock(exit)
+	return nil
+}
+
+func (cg *codegen) returnStmt(st *ReturnStmt) error {
+	if cg.retTy.IsVoid() {
+		if st.Val != nil {
+			return cg.errf(st.Pos, "return with a value in a void function")
+		}
+		cg.b.Ret(nil)
+		return nil
+	}
+	if st.Val == nil {
+		return cg.errf(st.Pos, "return without a value in a non-void function")
+	}
+	v, _, err := cg.exprConv(st.Val, cg.retTy)
+	if err != nil {
+		return err
+	}
+	cg.b.Ret(v)
+	return nil
+}
+
+// addr computes the address of an lvalue, returning the pointer and the
+// pointee type.
+func (cg *codegen) addr(e Expr) (ir.Value, *ir.Type, error) {
+	switch x := e.(type) {
+	case *Ident:
+		if l, ok := cg.lookup(x.Name); ok {
+			if l.isArray {
+				return nil, nil, cg.errf(x.Pos, "array %q is not assignable", x.Name)
+			}
+			return l.ptr, l.ty, nil
+		}
+		if g, ok := cg.globals[x.Name]; ok {
+			return g, g.Elem, nil
+		}
+		return nil, nil, cg.errf(x.Pos, "undefined variable %q", x.Name)
+	case *Index:
+		base, bty, err := cg.expr(x.Base, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !bty.IsPtr() {
+			return nil, nil, cg.errf(x.Pos, "indexing non-pointer %s", bty)
+		}
+		idx, _, err := cg.exprConv(x.Idx, ir.I64)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cg.b.GEP(base, idx), bty.Elem, nil
+	case *Unary:
+		if x.Op == TokStar {
+			p, pty, err := cg.expr(x.X, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !pty.IsPtr() {
+				return nil, nil, cg.errf(x.Pos, "dereferencing non-pointer %s", pty)
+			}
+			return p, pty.Elem, nil
+		}
+	}
+	return nil, nil, cg.errf(e.StartPos(), "expression is not an lvalue")
+}
+
+// condition evaluates e and converts it to an i1 truth value.
+func (cg *codegen) condition(e Expr) (ir.Value, error) {
+	v, ty, err := cg.expr(e, nil)
+	if err != nil {
+		return nil, err
+	}
+	return cg.truthy(v, ty), nil
+}
+
+func (cg *codegen) truthy(v ir.Value, ty *ir.Type) ir.Value {
+	switch {
+	case ty.Equal(ir.I1):
+		return v
+	case ty.IsFloat():
+		return cg.b.FCmp(ir.FONE, v, ir.ConstFloat(ty, 0))
+	case ty.IsPtr():
+		i := cg.b.Convert(ir.OpPtrToInt, v, ir.I64)
+		return cg.b.ICmp(ir.INE, i, ir.ConstInt(ir.I64, 0))
+	default:
+		return cg.b.ICmp(ir.INE, v, ir.ConstInt(ty, 0))
+	}
+}
+
+// exprConv evaluates e and converts the result to the wanted type.
+func (cg *codegen) exprConv(e Expr, want *ir.Type) (ir.Value, *ir.Type, error) {
+	v, ty, err := cg.expr(e, want)
+	if err != nil {
+		return nil, nil, err
+	}
+	cv, err := cg.convert(v, ty, want, e.StartPos())
+	if err != nil {
+		return nil, nil, err
+	}
+	return cv, want, nil
+}
+
+// convert inserts the IR conversion from ty to want (C conversion rules).
+func (cg *codegen) convert(v ir.Value, ty, want *ir.Type, p Pos) (ir.Value, error) {
+	if ty.Equal(want) {
+		return v, nil
+	}
+	switch {
+	case ty.Equal(ir.I1) && want.IsInt():
+		return cg.b.Convert(ir.OpZExt, v, want), nil
+	case ty.Equal(ir.I1) && want.IsFloat():
+		i := cg.b.Convert(ir.OpZExt, v, ir.I32)
+		return cg.b.Convert(ir.OpSIToFP, i, want), nil
+	case ty.IsInt() && want.IsInt():
+		if want.Bits > ty.Bits {
+			return cg.b.Convert(ir.OpSExt, v, want), nil
+		}
+		return cg.b.Convert(ir.OpTrunc, v, want), nil
+	case ty.IsInt() && want.IsFloat():
+		return cg.b.Convert(ir.OpSIToFP, v, want), nil
+	case ty.IsFloat() && want.IsInt():
+		return cg.b.Convert(ir.OpFPToSI, v, want), nil
+	case ty.IsFloat() && want.IsFloat():
+		if want.Bits > ty.Bits {
+			return cg.b.Convert(ir.OpFPExt, v, want), nil
+		}
+		return cg.b.Convert(ir.OpFPTrunc, v, want), nil
+	case ty.IsPtr() && want.IsPtr():
+		return cg.b.Convert(ir.OpBitcast, v, want), nil
+	case ty.IsPtr() && want.IsInt():
+		pi := cg.b.Convert(ir.OpPtrToInt, v, ir.I64)
+		if want.Bits == 64 {
+			return pi, nil
+		}
+		return cg.b.Convert(ir.OpTrunc, pi, want), nil
+	case ty.IsInt() && want.IsPtr():
+		v64 := v
+		if ty.Bits < 64 {
+			v64 = cg.b.Convert(ir.OpSExt, v, ir.I64)
+		}
+		return cg.b.Convert(ir.OpIntToPtr, v64, want), nil
+	default:
+		return nil, cg.errf(p, "cannot convert %s to %s", ty, want)
+	}
+}
+
+// usualArith applies the usual arithmetic conversions to a pair of scalar
+// operands and returns the converted values plus the common type.
+func (cg *codegen) usualArith(l ir.Value, lt *ir.Type, r ir.Value, rt *ir.Type, p Pos) (ir.Value, ir.Value, *ir.Type, error) {
+	rank := func(t *ir.Type) int {
+		switch {
+		case t.Equal(ir.F64):
+			return 5
+		case t.Equal(ir.F32):
+			return 4
+		case t.Equal(ir.I64):
+			return 3
+		default:
+			return 2 // i32 and narrower promote to int
+		}
+	}
+	var common *ir.Type
+	switch maxInt(rank(lt), rank(rt)) {
+	case 5:
+		common = ir.F64
+	case 4:
+		common = ir.F32
+	case 3:
+		common = ir.I64
+	default:
+		common = ir.I32
+	}
+	lc, err := cg.convert(l, lt, common, p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rc, err := cg.convert(r, rt, common, p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return lc, rc, common, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,432 @@
+package lang
+
+import (
+	"repro/internal/ir"
+)
+
+// mathUnaryBuiltins maps MiniC builtin names to IR math intrinsics.
+var mathUnaryBuiltins = map[string]ir.Opcode{
+	"sqrt": ir.OpSqrt, "fabs": ir.OpFAbs, "exp": ir.OpExp, "log": ir.OpLog,
+	"sin": ir.OpSin, "cos": ir.OpCos,
+}
+
+// mathBinaryBuiltins maps two-argument builtins to IR math intrinsics.
+var mathBinaryBuiltins = map[string]ir.Opcode{
+	"pow": ir.OpPow, "fmin": ir.OpFMin, "fmax": ir.OpFMax,
+}
+
+// expr evaluates e as an rvalue. hint, when non-nil, propagates the
+// expected type into literals and malloc so fewer conversions are emitted;
+// it never changes semantics.
+func (cg *codegen) expr(e Expr, hint *ir.Type) (ir.Value, *ir.Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		if hint != nil {
+			switch {
+			case hint.IsFloat():
+				return ir.ConstFloat(hint, float64(x.Val)), hint, nil
+			case hint.IsInt() && hint.Bits >= 32:
+				return ir.ConstInt(hint, x.Val), hint, nil
+			}
+		}
+		if x.Val > 0x7fffffff || x.Val < -0x80000000 {
+			return ir.ConstInt(ir.I64, x.Val), ir.I64, nil
+		}
+		return ir.ConstInt(ir.I32, x.Val), ir.I32, nil
+
+	case *FloatLit:
+		ty := ir.F64
+		if hint != nil && hint.Equal(ir.F32) {
+			ty = ir.F32
+		}
+		return ir.ConstFloat(ty, x.Val), ty, nil
+
+	case *Ident:
+		if l, ok := cg.lookup(x.Name); ok {
+			if l.isArray {
+				// Stack arrays decay to an element pointer.
+				return l.ptr, ir.PtrTo(l.ty), nil
+			}
+			return cg.b.Load(l.ptr), l.ty, nil
+		}
+		if g, ok := cg.globals[x.Name]; ok {
+			if g.Count > 1 {
+				return g, g.Type(), nil // array global decays
+			}
+			return cg.b.Load(g), g.Elem, nil
+		}
+		return nil, nil, cg.errf(x.Pos, "undefined variable %q", x.Name)
+
+	case *Index:
+		ptr, elemTy, err := cg.addr(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cg.b.Load(ptr), elemTy, nil
+
+	case *Unary:
+		return cg.unaryExpr(x, hint)
+
+	case *Binary:
+		return cg.binaryExpr(x, hint)
+
+	case *Call:
+		return cg.callExpr(x, hint)
+
+	case *Cast:
+		to, err := scalarType(x.Type)
+		if err != nil {
+			return nil, nil, err
+		}
+		v, ty, err := cg.expr(x.X, to)
+		if err != nil {
+			return nil, nil, err
+		}
+		cv, err := cg.convert(v, ty, to, x.Pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cv, to, nil
+
+	default:
+		return nil, nil, cg.errf(e.StartPos(), "unsupported expression")
+	}
+}
+
+func (cg *codegen) unaryExpr(x *Unary, hint *ir.Type) (ir.Value, *ir.Type, error) {
+	switch x.Op {
+	case TokMinus:
+		v, ty, err := cg.expr(x.X, hint)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case ty.IsFloat():
+			return cg.b.FSub(ir.ConstFloat(ty, 0), v), ty, nil
+		case ty.IsInt():
+			return cg.b.Sub(zeroOf(ty), v), ty, nil
+		default:
+			return nil, nil, cg.errf(x.Pos, "cannot negate %s", ty)
+		}
+	case TokNot:
+		v, ty, err := cg.expr(x.X, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		truth := cg.truthy(v, ty)
+		inverted := cg.b.Bin(ir.OpXor, truth, ir.ConstInt(ir.I1, 1))
+		return cg.b.Convert(ir.OpZExt, inverted, ir.I32), ir.I32, nil
+	case TokStar:
+		ptr, elemTy, err := cg.addr(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cg.b.Load(ptr), elemTy, nil
+	case TokAmp:
+		ptr, elemTy, err := cg.addr(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		// The address of a global scalar has Value type ptr-to-elem
+		// already; allocas likewise.
+		return ptr, ir.PtrTo(elemTy), nil
+	default:
+		return nil, nil, cg.errf(x.Pos, "unsupported unary operator %s", x.Op)
+	}
+}
+
+func zeroOf(ty *ir.Type) ir.Value {
+	if ty.IsFloat() {
+		return ir.ConstFloat(ty, 0)
+	}
+	return ir.ConstInt(ty, 0)
+}
+
+func (cg *codegen) binaryExpr(x *Binary, hint *ir.Type) (ir.Value, *ir.Type, error) {
+	switch x.Op {
+	case TokAndAnd, TokOrOr:
+		return cg.shortCircuit(x)
+	}
+
+	l, lt, err := cg.expr(x.L, hint)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, rt, err := cg.expr(x.R, hintForRHS(x.Op, lt, hint))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Pointer arithmetic: ptr +/- integer lowers to getelementptr.
+	if lt.IsPtr() && rt.IsInt() && (x.Op == TokPlus || x.Op == TokMinus) {
+		idx, err := cg.convert(r, rt, ir.I64, x.Pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		if x.Op == TokMinus {
+			idx = cg.b.Sub(ir.ConstInt(ir.I64, 0), idx)
+		}
+		return cg.b.GEP(l, idx), lt, nil
+	}
+
+	// Pointer comparison.
+	if lt.IsPtr() && rt.IsPtr() && isComparison(x.Op) {
+		li := cg.b.Convert(ir.OpPtrToInt, l, ir.I64)
+		ri := cg.b.Convert(ir.OpPtrToInt, r, ir.I64)
+		c := cg.b.ICmp(intPred(x.Op), li, ri)
+		return cg.b.Convert(ir.OpZExt, c, ir.I32), ir.I32, nil
+	}
+
+	lc, rc, common, err := cg.usualArith(l, lt, r, rt, x.Pos)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if isComparison(x.Op) {
+		var c *ir.Instr
+		if common.IsFloat() {
+			c = cg.b.FCmp(floatPred(x.Op), lc, rc)
+		} else {
+			c = cg.b.ICmp(intPred(x.Op), lc, rc)
+		}
+		return cg.b.Convert(ir.OpZExt, c, ir.I32), ir.I32, nil
+	}
+
+	if common.IsFloat() {
+		var op ir.Opcode
+		switch x.Op {
+		case TokPlus:
+			op = ir.OpFAdd
+		case TokMinus:
+			op = ir.OpFSub
+		case TokStar:
+			op = ir.OpFMul
+		case TokSlash:
+			op = ir.OpFDiv
+		default:
+			return nil, nil, cg.errf(x.Pos, "operator %s is not defined on %s", x.Op, common)
+		}
+		return cg.b.Bin(op, lc, rc), common, nil
+	}
+
+	var op ir.Opcode
+	switch x.Op {
+	case TokPlus:
+		op = ir.OpAdd
+	case TokMinus:
+		op = ir.OpSub
+	case TokStar:
+		op = ir.OpMul
+	case TokSlash:
+		op = ir.OpSDiv
+	case TokPercent:
+		op = ir.OpSRem
+	case TokAmp:
+		op = ir.OpAnd
+	case TokPipe:
+		op = ir.OpOr
+	case TokCaret:
+		op = ir.OpXor
+	case TokShl:
+		op = ir.OpShl
+	case TokShr:
+		op = ir.OpAShr
+	default:
+		return nil, nil, cg.errf(x.Pos, "unsupported operator %s", x.Op)
+	}
+	return cg.b.Bin(op, lc, rc), common, nil
+}
+
+// hintForRHS picks a literal-typing hint for the right operand from the
+// left operand's type.
+func hintForRHS(op TokKind, lt *ir.Type, hint *ir.Type) *ir.Type {
+	switch op {
+	case TokShl, TokShr:
+		return lt
+	}
+	if lt.IsFloat() || lt.IsInt() {
+		return lt
+	}
+	return hint
+}
+
+func isComparison(k TokKind) bool {
+	switch k {
+	case TokEq, TokNe, TokLt, TokLe, TokGt, TokGe:
+		return true
+	default:
+		return false
+	}
+}
+
+func intPred(k TokKind) ir.Pred {
+	switch k {
+	case TokEq:
+		return ir.IEQ
+	case TokNe:
+		return ir.INE
+	case TokLt:
+		return ir.ISLT
+	case TokLe:
+		return ir.ISLE
+	case TokGt:
+		return ir.ISGT
+	default:
+		return ir.ISGE
+	}
+}
+
+func floatPred(k TokKind) ir.Pred {
+	switch k {
+	case TokEq:
+		return ir.FOEQ
+	case TokNe:
+		return ir.FONE
+	case TokLt:
+		return ir.FOLT
+	case TokLe:
+		return ir.FOLE
+	case TokGt:
+		return ir.FOGT
+	default:
+		return ir.FOGE
+	}
+}
+
+// shortCircuit lowers && and || with proper short-circuit evaluation via a
+// temporary stack slot (the -O0 pattern).
+func (cg *codegen) shortCircuit(x *Binary) (ir.Value, *ir.Type, error) {
+	tmp := cg.b.Alloca(ir.I32, 1)
+	lcond, err := cg.condition(x.L)
+	if err != nil {
+		return nil, nil, err
+	}
+	evalR := cg.b.NewBlock("sc.rhs")
+	shortB := cg.b.NewBlock("sc.short")
+	join := cg.b.NewBlock("sc.end")
+	if x.Op == TokAndAnd {
+		cg.b.CondBr(lcond, evalR, shortB)
+	} else {
+		cg.b.CondBr(lcond, shortB, evalR)
+	}
+
+	cg.b.SetBlock(evalR)
+	rcond, err := cg.condition(x.R)
+	if err != nil {
+		return nil, nil, err
+	}
+	r32 := cg.b.Convert(ir.OpZExt, rcond, ir.I32)
+	cg.b.Store(r32, tmp)
+	cg.b.Br(join)
+
+	cg.b.SetBlock(shortB)
+	shortVal := int64(0)
+	if x.Op == TokOrOr {
+		shortVal = 1
+	}
+	cg.b.Store(ir.ConstInt(ir.I32, shortVal), tmp)
+	cg.b.Br(join)
+
+	cg.b.SetBlock(join)
+	return cg.b.Load(tmp), ir.I32, nil
+}
+
+func (cg *codegen) callExpr(x *Call, hint *ir.Type) (ir.Value, *ir.Type, error) {
+	switch x.Name {
+	case "malloc":
+		if len(x.Args) != 1 {
+			return nil, nil, cg.errf(x.Pos, "malloc takes one argument")
+		}
+		size, _, err := cg.exprConv(x.Args[0], ir.I64)
+		if err != nil {
+			return nil, nil, err
+		}
+		elem := ir.I8
+		if hint != nil && hint.IsPtr() {
+			elem = hint.Elem
+		}
+		return cg.b.Malloc(elem, size), ir.PtrTo(elem), nil
+
+	case "free":
+		if len(x.Args) != 1 {
+			return nil, nil, cg.errf(x.Pos, "free takes one argument")
+		}
+		p, ty, err := cg.expr(x.Args[0], nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ty.IsPtr() {
+			return nil, nil, cg.errf(x.Pos, "free of non-pointer %s", ty)
+		}
+		cg.b.Free(p)
+		return nil, ir.Void, nil
+
+	case "output":
+		if len(x.Args) != 1 {
+			return nil, nil, cg.errf(x.Pos, "output takes one argument")
+		}
+		v, ty, err := cg.expr(x.Args[0], nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ty.IsVoid() {
+			return nil, nil, cg.errf(x.Pos, "output of a void value")
+		}
+		cg.b.Output(v)
+		return nil, ir.Void, nil
+
+	case "abort":
+		if len(x.Args) != 0 {
+			return nil, nil, cg.errf(x.Pos, "abort takes no arguments")
+		}
+		cg.b.Abort()
+		return nil, ir.Void, nil
+	}
+
+	if op, ok := mathUnaryBuiltins[x.Name]; ok {
+		if len(x.Args) != 1 {
+			return nil, nil, cg.errf(x.Pos, "%s takes one argument", x.Name)
+		}
+		v, _, err := cg.exprConv(x.Args[0], ir.F64)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cg.b.MathUnary(op, v), ir.F64, nil
+	}
+	if op, ok := mathBinaryBuiltins[x.Name]; ok {
+		if len(x.Args) != 2 {
+			return nil, nil, cg.errf(x.Pos, "%s takes two arguments", x.Name)
+		}
+		a, _, err := cg.exprConv(x.Args[0], ir.F64)
+		if err != nil {
+			return nil, nil, err
+		}
+		b2, _, err := cg.exprConv(x.Args[1], ir.F64)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cg.b.MathBinary(op, a, b2), ir.F64, nil
+	}
+
+	fn, ok := cg.funcs[x.Name]
+	if !ok {
+		return nil, nil, cg.errf(x.Pos, "call to undefined function %q", x.Name)
+	}
+	if len(x.Args) != len(fn.Params) {
+		return nil, nil, cg.errf(x.Pos, "call to %q with %d arguments, want %d",
+			x.Name, len(x.Args), len(fn.Params))
+	}
+	args := make([]ir.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, _, err := cg.exprConv(a, fn.Params[i].Ty)
+		if err != nil {
+			return nil, nil, err
+		}
+		args[i] = v
+	}
+	call := cg.b.Call(fn, args...)
+	if fn.RetTy.IsVoid() {
+		return nil, ir.Void, nil
+	}
+	return call, fn.RetTy, nil
+}

@@ -1,0 +1,172 @@
+package lang
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// exprGen builds random int32 expression trees together with a reference
+// evaluator, for differential testing of the whole
+// parse -> typecheck -> codegen -> interpret pipeline against Go's own
+// arithmetic.
+type exprGen struct {
+	rng  *rand.Rand
+	vars map[string]int32
+}
+
+// gen returns the expression source and its reference value. Division and
+// shift operands are constrained so the reference semantics are defined.
+func (g *exprGen) gen(depth int) (string, int32) {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			v := int32(g.rng.Intn(201) - 100)
+			if v < 0 {
+				return fmt.Sprintf("(%d)", v), v
+			}
+			return fmt.Sprintf("%d", v), v
+		default:
+			names := make([]string, 0, len(g.vars))
+			for n := range g.vars {
+				names = append(names, n)
+			}
+			// Map iteration order must not influence generation: pick by
+			// sorted index.
+			name := names[0]
+			for _, n := range names {
+				if n < name {
+					name = n
+				}
+			}
+			idx := g.rng.Intn(len(names))
+			count := 0
+			for _, n := range sortedNames(g.vars) {
+				if count == idx {
+					name = n
+					break
+				}
+				count++
+			}
+			return name, g.vars[name]
+		}
+	}
+	op := g.rng.Intn(8)
+	l, lv := g.gen(depth - 1)
+	r, rv := g.gen(depth - 1)
+	switch op {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", l, r), lv + rv
+	case 1:
+		return fmt.Sprintf("(%s - %s)", l, r), lv - rv
+	case 2:
+		return fmt.Sprintf("(%s * %s)", l, r), lv * rv
+	case 3:
+		if rv == 0 {
+			return fmt.Sprintf("(%s + %s)", l, r), lv + rv
+		}
+		if lv == -2147483648 && rv == -1 {
+			return fmt.Sprintf("(%s - %s)", l, r), lv - rv
+		}
+		return fmt.Sprintf("(%s / %s)", l, r), lv / rv
+	case 4:
+		return fmt.Sprintf("(%s & %s)", l, r), lv & rv
+	case 5:
+		return fmt.Sprintf("(%s | %s)", l, r), lv | rv
+	case 6:
+		return fmt.Sprintf("(%s ^ %s)", l, r), lv ^ rv
+	default:
+		sh := g.rng.Intn(5)
+		return fmt.Sprintf("(%s >> %d)", l, sh), lv >> uint(sh)
+	}
+}
+
+func sortedNames(m map[string]int32) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestDifferentialRandomExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(20160628)) // the conference date
+	for round := 0; round < 60; round++ {
+		g := &exprGen{rng: rng, vars: map[string]int32{
+			"a": int32(rng.Intn(100)),
+			"b": int32(rng.Intn(100)) - 50,
+			"c": int32(rng.Intn(10)) + 1,
+		}}
+		expr, want := g.gen(4)
+		var sb strings.Builder
+		sb.WriteString("void main() {\n")
+		for _, name := range sortedNames(g.vars) {
+			fmt.Fprintf(&sb, "  int %s = %d;\n", name, g.vars[name])
+		}
+		fmt.Fprintf(&sb, "  output(%s);\n}\n", expr)
+
+		m, err := Compile("fuzz", sb.String())
+		if err != nil {
+			t.Fatalf("round %d: compile: %v\n%s", round, err, sb.String())
+		}
+		res, err := interp.Run(m, interp.Config{})
+		if err != nil {
+			t.Fatalf("round %d: run: %v", round, err)
+		}
+		if res.Exception != nil {
+			t.Fatalf("round %d: exception %v on defined expression\n%s", round, res.Exception, sb.String())
+		}
+		got := int32(ir.SignExtend(res.Outputs[0].Bits, 32))
+		if got != want {
+			t.Fatalf("round %d: program computed %d, Go reference %d\n%s",
+				round, got, want, sb.String())
+		}
+	}
+}
+
+func TestDifferentialRandomLoops(t *testing.T) {
+	// Random accumulation loops: compare the summed series against Go.
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 25; round++ {
+		n := rng.Intn(30) + 1
+		mul := int32(rng.Intn(7) - 3)
+		add := int32(rng.Intn(11) - 5)
+		var want int32
+		acc := int32(1)
+		for i := int32(0); i < int32(n); i++ {
+			acc = acc*mul + add + i
+			want += acc
+		}
+		src := fmt.Sprintf(`
+void main() {
+  int acc = 1;
+  int want = 0;
+  int i;
+  for (i = 0; i < %d; i = i + 1) {
+    acc = acc * (%d) + (%d) + i;
+    want = want + acc;
+  }
+  output(want);
+}`, n, mul, add)
+		m, err := Compile("fuzzloop", src)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		res, err := interp.Run(m, interp.Config{})
+		if err != nil || res.Exception != nil {
+			t.Fatalf("round %d: run failed: %v %v", round, err, res.Exception)
+		}
+		if got := int32(ir.SignExtend(res.Outputs[0].Bits, 32)); got != want {
+			t.Fatalf("round %d: got %d, want %d\n%s", round, got, want, src)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package lang
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+func TestNestedScopesAndShadowing(t *testing.T) {
+	out := compileRun(t, `
+void main() {
+  int x = 1;
+  {
+    int x = 2;
+    output(x);
+    {
+      int x = 3;
+      output(x);
+    }
+    output(x);
+  }
+  output(x);
+}`)
+	want := []uint64{2, 3, 2, 1}
+	for i, w := range want {
+		if out[i] != w {
+			t.Errorf("output %d = %d, want %d", i, out[i], w)
+		}
+	}
+}
+
+func TestForInitDeclarationScope(t *testing.T) {
+	// The for-init declaration scopes over the loop only; an outer i is
+	// untouched.
+	out := compileRun(t, `
+void main() {
+  int i = 99;
+  int sum = 0;
+  for (int i = 0; i < 5; i = i + 1) { sum = sum + i; }
+  output(sum);
+  output(i);
+}`)
+	if out[0] != 10 || out[1] != 99 {
+		t.Errorf("outputs = %v", out)
+	}
+}
+
+func TestWhileWithBreakContinue(t *testing.T) {
+	out := compileRun(t, `
+void main() {
+  int i = 0;
+  int seen = 0;
+  while (1) {
+    i = i + 1;
+    if (i % 3 == 0) { continue; }
+    seen = seen + i;
+    if (i >= 10) { break; }
+  }
+  output(seen);
+}`)
+	// 1+2+4+5+7+8+10 = 37
+	if out[0] != 37 {
+		t.Errorf("seen = %d, want 37", out[0])
+	}
+}
+
+func TestNestedLoopsBreakInner(t *testing.T) {
+	out := compileRun(t, `
+void main() {
+  int hits = 0;
+  for (int i = 0; i < 4; i = i + 1) {
+    for (int j = 0; j < 4; j = j + 1) {
+      if (j > i) { break; }
+      hits = hits + 1;
+    }
+  }
+  output(hits);
+}`)
+	if out[0] != 10 { // 1+2+3+4
+		t.Errorf("hits = %d, want 10", out[0])
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+int classify(int x) {
+  if (x < 0) { return 0 - 1; }
+  else if (x == 0) { return 0; }
+  else if (x < 10) { return 1; }
+  else { return 2; }
+}
+void main() {
+  output(classify(0 - 5));
+  output(classify(0));
+  output(classify(7));
+  output(classify(70));
+}`
+	out := compileRun(t, src)
+	want := []int64{-1, 0, 1, 2}
+	for i, w := range want {
+		if got := ir.SignExtend(out[i], 32); got != w {
+			t.Errorf("classify case %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestPointerToPointerParam(t *testing.T) {
+	out := compileRun(t, `
+void setp(int *p, int v) { *p = v; }
+void main() {
+  int x = 0;
+  setp(&x, 42);
+  output(x);
+}`)
+	if out[0] != 42 {
+		t.Errorf("x = %d", out[0])
+	}
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	out := compileRun(t, `
+void main() {
+  long buf[6];
+  long *p = buf;
+  int i;
+  for (i = 0; i < 6; i = i + 1) { buf[i] = i * 100; }
+  long *q = p + 4;
+  output(*q);
+  long *r = q - 2;
+  output(*r);
+}`)
+	if out[0] != 400 || out[1] != 200 {
+		t.Errorf("outputs = %v", out)
+	}
+}
+
+func TestPointerComparison(t *testing.T) {
+	out := compileRun(t, `
+void main() {
+  int buf[4];
+  int *a = buf;
+  int *b = buf + 2;
+  if (a < b) { output(1); } else { output(0); }
+  if (a == buf) { output(1); } else { output(0); }
+}`)
+	if out[0] != 1 || out[1] != 1 {
+		t.Errorf("outputs = %v", out)
+	}
+}
+
+func TestGlobalScalarAddress(t *testing.T) {
+	out := compileRun(t, `
+int g;
+void bump(int *p) { *p = *p + 10; }
+void main() {
+  g = 5;
+  bump(&g);
+  output(g);
+}`)
+	if out[0] != 15 {
+		t.Errorf("g = %d", out[0])
+	}
+}
+
+func TestCastsBetweenAllScalars(t *testing.T) {
+	out := compileRun(t, `
+void main() {
+  double d = 3.9;
+  int i = (int)d;
+  long l = (long)i * 1000000000;
+  float f = (float)0.5;
+  double back = (double)f;
+  output(i);
+  output(l);
+  output(back);
+}`)
+	if out[0] != 3 {
+		t.Errorf("int cast = %d", out[0])
+	}
+	if ir.SignExtend(out[1], 64) != 3000000000 {
+		t.Errorf("long = %d", ir.SignExtend(out[1], 64))
+	}
+	if math.Float64frombits(out[2]) != 0.5 {
+		t.Errorf("double back = %v", math.Float64frombits(out[2]))
+	}
+}
+
+func TestVoidPointerViaCast(t *testing.T) {
+	out := compileRun(t, `
+void main() {
+  void *raw = malloc(32);
+  long *p = (long*)raw;
+  p[1] = 77;
+  output(p[1]);
+  free(raw);
+}`)
+	if out[0] != 77 {
+		t.Errorf("p[1] = %d", out[0])
+	}
+}
+
+func TestUnaryMinusPrecedence(t *testing.T) {
+	out := compileRun(t, `void main() { output(-2 * 3 + 10); output(-(2 * 3)); }`)
+	if ir.SignExtend(out[0], 32) != 4 || ir.SignExtend(out[1], 32) != -6 {
+		t.Errorf("outputs = %v, %v", ir.SignExtend(out[0], 32), ir.SignExtend(out[1], 32))
+	}
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	out := compileRun(t, `
+// leading comment
+void main() { /* inline */ output(/* here too */ 5); } // trailing`)
+	if out[0] != 5 {
+		t.Errorf("output = %d", out[0])
+	}
+}
+
+func TestLocalArrayZeroInitialized(t *testing.T) {
+	// Stack slots come from fresh simulated pages, which read zero: the
+	// deterministic-machine equivalent of a zeroed frame.
+	out := compileRun(t, `
+void main() {
+  int a[4];
+  output(a[2]);
+}`)
+	if out[0] != 0 {
+		t.Errorf("uninitialized slot = %d", out[0])
+	}
+}
+
+func TestDeepExpressionNesting(t *testing.T) {
+	out := compileRun(t, `
+void main() {
+  int x = ((((1 + 2) * (3 + 4)) - ((5 - 2) * 2)) << 1) / 3;
+  output(x);
+}`)
+	// ((3*7) - 6) << 1 = 30; 30/3 = 10
+	if out[0] != 10 {
+		t.Errorf("x = %d", out[0])
+	}
+}
+
+func TestRuntimeDivideByZeroInLang(t *testing.T) {
+	m, err := Compile("t", `
+void main() {
+  int d = 0;
+  output(10 / d);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(m, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exception == nil || res.Exception.Kind != interp.ExcArith {
+		t.Errorf("want arithmetic error, got %v", res.Exception)
+	}
+}
+
+func TestLongLoopBound(t *testing.T) {
+	out := compileRun(t, `
+void main() {
+  long n = 100;
+  long s = 0;
+  long i;
+  for (i = 0; i < n; i = i + 1) { s = s + i; }
+  output(s);
+}`)
+	if out[0] != 4950 {
+		t.Errorf("s = %d", out[0])
+	}
+}
+
+func TestMixedWidthComparison(t *testing.T) {
+	out := compileRun(t, `
+void main() {
+  long big = 5000000000;
+  int small = 3;
+  if (big > small) { output(1); } else { output(0); }
+}`)
+	if out[0] != 1 {
+		t.Error("mixed-width comparison failed")
+	}
+}

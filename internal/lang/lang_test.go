@@ -1,0 +1,435 @@
+package lang
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("int x = 42; // comment\n/* block */ double y = 3.5e2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]TokKind, len(toks))
+	for i, tk := range toks {
+		kinds[i] = tk.Kind
+	}
+	want := []TokKind{TokInt, TokIdent, TokAssign, TokIntLit, TokSemi,
+		TokDouble, TokIdent, TokAssign, TokFloatLit, TokSemi, TokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+	if toks[3].IntVal != 42 {
+		t.Errorf("IntVal = %d", toks[3].IntVal)
+	}
+	if toks[8].FloatVal != 350 {
+		t.Errorf("FloatVal = %v", toks[8].FloatVal)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("== != <= >= << >> && || & | ^ ! < >")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokEq, TokNe, TokLe, TokGe, TokShl, TokShr, TokAndAnd,
+		TokOrOr, TokAmp, TokPipe, TokCaret, TokNot, TokLt, TokGt, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexHex(t *testing.T) {
+	toks, err := Lex("0x1F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokIntLit || toks[0].IntVal != 31 {
+		t.Errorf("hex literal = %+v", toks[0])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "/* unterminated", "$x"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("positions: %v %v", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestParseProgramShape(t *testing.T) {
+	src := `
+int n;
+double data[64];
+
+int add(int a, int b) { return a + b; }
+
+void main() {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    data[i] = data[i] * 2.0;
+  }
+  if (n > 0 && data[0] > 1.0) { output(data[0]); } else { output(0.0); }
+  while (i > 0) { i = i - 1; if (i == 3) break; }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 2 || len(prog.Funcs) != 2 {
+		t.Fatalf("globals=%d funcs=%d", len(prog.Globals), len(prog.Funcs))
+	}
+	if prog.Globals[1].ArrayLen != 64 {
+		t.Errorf("array len = %d", prog.Globals[1].ArrayLen)
+	}
+	if prog.Funcs[0].Name != "add" || len(prog.Funcs[0].Params) != 2 {
+		t.Errorf("func decl parsed wrong: %+v", prog.Funcs[0])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse("void main() { int x = 1 + 2 * 3; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := prog.Funcs[0].Body.Stmts[0].(*VarDeclStmt)
+	add, ok := vd.Init.(*Binary)
+	if !ok || add.Op != TokPlus {
+		t.Fatalf("top op = %+v, want +", vd.Init)
+	}
+	mul, ok := add.R.(*Binary)
+	if !ok || mul.Op != TokStar {
+		t.Fatalf("rhs = %+v, want *", add.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"int",                             // truncated
+		"void main() { int x = ; }",       // missing expr
+		"void main() { if (1) }",          // missing stmt
+		"void main() { x = 1 }",           // missing semicolon
+		"void main() { for (;;) }",        // missing body
+		"int a[0];",                       // zero-length array
+		"void main() { int a[-1]; }",      // negative array (parsed as error)
+		"void v; void main() {}",          // void variable
+		"void main() { return 1; } extra", // trailing junk
+		"void main() { int x; int x; }",   // handled in codegen, not parse
+		"void main() { break; }",          // handled in codegen, not parse
+		"void main() { output(1); ",       // unterminated block
+		"void main() { 1 + ; }",           // bad expr
+	}
+	parseOnlyOK := map[int]bool{9: true, 10: true}
+	for i, src := range bad {
+		_, err := Compile("t", src)
+		if err == nil && !parseOnlyOK[i] {
+			t.Errorf("case %d (%q): compiled, want error", i, src)
+		}
+	}
+	// Cases 9 and 10 must fail in codegen.
+	if _, err := Compile("t", "void main() { int x; int x; }"); err == nil {
+		t.Error("redeclaration accepted")
+	}
+	if _, err := Compile("t", "void main() { break; }"); err == nil {
+		t.Error("break outside loop accepted")
+	}
+}
+
+// compileRun compiles src and runs it, returning the outputs.
+func compileRun(t *testing.T, src string) []uint64 {
+	t.Helper()
+	m, err := Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := interp.Run(m, interp.Config{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Exception != nil {
+		t.Fatalf("exception: %v", res.Exception)
+	}
+	if res.Hang {
+		t.Fatal("hang")
+	}
+	return res.OutputBits()
+}
+
+func TestEndToEndArithmetic(t *testing.T) {
+	out := compileRun(t, `void main() { output(2 + 3 * 4 - 6 / 2); }`)
+	if out[0] != 11 {
+		t.Errorf("got %d, want 11", out[0])
+	}
+}
+
+func TestEndToEndModAndBitops(t *testing.T) {
+	out := compileRun(t, `void main() {
+  output(17 % 5);
+  output(6 & 3);
+  output(6 | 3);
+  output(6 ^ 3);
+  output(1 << 4);
+  output(-16 >> 2);
+}`)
+	want := []int64{2, 2, 7, 5, 16, -4}
+	for i, w := range want {
+		if got := ir.SignExtend(out[i], 32); got != w {
+			t.Errorf("output %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestEndToEndFloats(t *testing.T) {
+	out := compileRun(t, `void main() {
+  double x = 1.5;
+  double y = x * 4.0 + 0.25;
+  output(y);
+  output(sqrt(16.0));
+  output(fabs(0.0 - 2.5));
+  output(pow(2.0, 10.0));
+}`)
+	want := []float64{6.25, 4, 2.5, 1024}
+	for i, w := range want {
+		if got := math.Float64frombits(out[i]); got != w {
+			t.Errorf("output %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestEndToEndControlFlow(t *testing.T) {
+	out := compileRun(t, `void main() {
+  int i;
+  int sum = 0;
+  for (i = 0; i < 10; i = i + 1) {
+    if (i % 2 == 0) { sum = sum + i; } else { continue; }
+    if (i == 8) break;
+  }
+  output(sum);
+  int j = 0;
+  while (j < 5) { j = j + 1; }
+  output(j);
+}`)
+	if out[0] != 20 { // 0+2+4+6+8
+		t.Errorf("sum = %d, want 20", out[0])
+	}
+	if out[1] != 5 {
+		t.Errorf("j = %d, want 5", out[1])
+	}
+}
+
+func TestEndToEndShortCircuit(t *testing.T) {
+	// The right side of && must not execute when the left is false: the
+	// out-of-bounds read would crash.
+	out := compileRun(t, `
+int a[4];
+void main() {
+  int i = 100000000;
+  if (i < 4 && a[i] > 0) { output(1); } else { output(0); }
+  int hit = 0;
+  if (1 == 1 || a[hit] == 99) { hit = 2; }
+  output(hit);
+}`)
+	if out[0] != 0 || out[1] != 2 {
+		t.Errorf("outputs = %v", out)
+	}
+}
+
+func TestEndToEndArraysAndPointers(t *testing.T) {
+	out := compileRun(t, `
+void fill(int *p, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { p[i] = i * i; }
+}
+void main() {
+  int buf[8];
+  fill(buf, 8);
+  int *q = buf;
+  output(q[3]);
+  output(*q);
+  int *r = &buf[5];
+  output(*r);
+}`)
+	if out[0] != 9 || out[1] != 0 || out[2] != 25 {
+		t.Errorf("outputs = %v", out)
+	}
+}
+
+func TestEndToEndMallocFree(t *testing.T) {
+	out := compileRun(t, `
+void main() {
+  double *v = malloc(10 * 8);
+  int i;
+  for (i = 0; i < 10; i = i + 1) { v[i] = (double)i * 0.5; }
+  double s = 0.0;
+  for (i = 0; i < 10; i = i + 1) { s = s + v[i]; }
+  free(v);
+  output(s);
+}`)
+	if got := math.Float64frombits(out[0]); got != 22.5 {
+		t.Errorf("sum = %v, want 22.5", got)
+	}
+}
+
+func TestEndToEndGlobals(t *testing.T) {
+	out := compileRun(t, `
+int counter;
+long big[4];
+void bump() { counter = counter + 1; }
+void main() {
+  bump(); bump(); bump();
+  output(counter);
+  big[2] = 5000000000;
+  output(big[2]);
+}`)
+	if out[0] != 3 {
+		t.Errorf("counter = %d", out[0])
+	}
+	if out[1] != 5000000000 {
+		t.Errorf("big[2] = %d", out[1])
+	}
+}
+
+func TestEndToEndConversions(t *testing.T) {
+	out := compileRun(t, `
+void main() {
+  int i = 7;
+  double d = i / 2;        // integer division then convert
+  output(d);
+  double e = (double)i / 2.0;
+  output(e);
+  long l = i * 1000000;
+  output(l * 10);
+  float f = 0.5;
+  output((double)f + 1.0);
+}`)
+	if math.Float64frombits(out[0]) != 3 {
+		t.Errorf("d = %v", math.Float64frombits(out[0]))
+	}
+	if math.Float64frombits(out[1]) != 3.5 {
+		t.Errorf("e = %v", math.Float64frombits(out[1]))
+	}
+	if ir.SignExtend(out[2], 64) != 70000000 {
+		t.Errorf("l*10 = %d", ir.SignExtend(out[2], 64))
+	}
+	if math.Float64frombits(out[3]) != 1.5 {
+		t.Errorf("f+1 = %v", math.Float64frombits(out[3]))
+	}
+}
+
+func TestEndToEndRecursionInLang(t *testing.T) {
+	out := compileRun(t, `
+int fact(int n) {
+  if (n <= 1) return 1;
+  return n * fact(n - 1);
+}
+void main() { output(fact(6)); }`)
+	if out[0] != 720 {
+		t.Errorf("fact(6) = %d", out[0])
+	}
+}
+
+func TestEndToEndNot(t *testing.T) {
+	out := compileRun(t, `void main() { output(!0); output(!5); output(!0.0); }`)
+	if out[0] != 1 || out[1] != 0 || out[2] != 1 {
+		t.Errorf("outputs = %v", out)
+	}
+}
+
+func TestEndToEndAbortBuiltin(t *testing.T) {
+	m, err := Compile("t", `void main() { if (1 > 0) { abort(); } output(1); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(m, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exception == nil || res.Exception.Kind != interp.ExcAbort {
+		t.Errorf("want abort, got %v", res.Exception)
+	}
+}
+
+func TestCompiledModuleVerifies(t *testing.T) {
+	m, err := Compile("verify", `
+double g[16];
+double avg(double *p, int n) {
+  double s = 0.0;
+  int i;
+  for (i = 0; i < n; i = i + 1) { s = s + p[i]; }
+  return s / (double)n;
+}
+void main() {
+  int i;
+  for (i = 0; i < 16; i = i + 1) { g[i] = (double)(i); }
+  output(avg(g, 16));
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	s := ir.Print(m)
+	for _, want := range []string{"@g", "define double @avg", "getelementptr", "sitofp"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printed module missing %q", want)
+		}
+	}
+	res, err := interp.Run(m, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float64frombits(res.OutputBits()[0]); got != 7.5 {
+		t.Errorf("avg = %v, want 7.5", got)
+	}
+}
+
+func TestCodegenErrors(t *testing.T) {
+	bad := []string{
+		`void main() { undefined = 1; }`,
+		`void main() { output(undefinedfn(1)); }`,
+		`void main() { int x; x[0] = 1; }`,
+		`void main() { free(3); }`,
+		`void main() { output(); }`,
+		`void main() { int a[4]; a = 0; }`,
+		`int f(int x) { return x; } void main() { output(f()); }`,
+		`void main() { continue; }`,
+		`void f() {} void main() { output(f()); }`,
+	}
+	for _, src := range bad {
+		if _, err := Compile("t", src); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMustCompilePanicsOnBadSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile did not panic on a bad program")
+		}
+	}()
+	MustCompile("bad", "void main() { ")
+}

@@ -1,0 +1,254 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lexer turns MiniC source into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole source, appending a TokEOF sentinel.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) errf(p Pos, format string, args ...any) error {
+	return fmt.Errorf("lang: %s: %s", p, fmt.Sprintf(format, args...))
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			p := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return lx.errf(p, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	p := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: p}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		start := lx.off
+		for lx.off < len(lx.src) && (isIdentStart(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: p}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: p}, nil
+	case isDigit(c):
+		return lx.number(p)
+	}
+	lx.advance()
+	two := func(second byte, joint, single TokKind) Token {
+		if lx.peek() == second {
+			lx.advance()
+			return Token{Kind: joint, Pos: p}
+		}
+		return Token{Kind: single, Pos: p}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: p}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: p}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: p}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: p}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: p}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: p}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: p}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: p}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: p}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: p}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: p}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: p}, nil
+	case '%':
+		return Token{Kind: TokPercent, Pos: p}, nil
+	case '^':
+		return Token{Kind: TokCaret, Pos: p}, nil
+	case '=':
+		return two('=', TokEq, TokAssign), nil
+	case '!':
+		return two('=', TokNe, TokNot), nil
+	case '<':
+		if lx.peek() == '<' {
+			lx.advance()
+			return Token{Kind: TokShl, Pos: p}, nil
+		}
+		return two('=', TokLe, TokLt), nil
+	case '>':
+		if lx.peek() == '>' {
+			lx.advance()
+			return Token{Kind: TokShr, Pos: p}, nil
+		}
+		return two('=', TokGe, TokGt), nil
+	case '&':
+		return two('&', TokAndAnd, TokAmp), nil
+	case '|':
+		return two('|', TokOrOr, TokPipe), nil
+	default:
+		return Token{}, lx.errf(p, "unexpected character %q", string(c))
+	}
+}
+
+func (lx *Lexer) number(p Pos) (Token, error) {
+	start := lx.off
+	isFloat := false
+	if lx.peek() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		lx.advance()
+		lx.advance()
+		for lx.off < len(lx.src) && isHexDigit(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		v, err := strconv.ParseUint(text[2:], 16, 64)
+		if err != nil {
+			return Token{}, lx.errf(p, "bad hex literal %q: %v", text, err)
+		}
+		return Token{Kind: TokIntLit, Text: text, IntVal: int64(v), Pos: p}, nil
+	}
+	for lx.off < len(lx.src) && isDigit(lx.peek()) {
+		lx.advance()
+	}
+	if lx.peek() == '.' && isDigit(lx.peek2()) {
+		isFloat = true
+		lx.advance()
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+	}
+	if lx.peek() == 'e' || lx.peek() == 'E' {
+		save := lx.off
+		lx.advance()
+		if lx.peek() == '+' || lx.peek() == '-' {
+			lx.advance()
+		}
+		if isDigit(lx.peek()) {
+			isFloat = true
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		} else {
+			lx.off = save
+		}
+	}
+	text := lx.src[start:lx.off]
+	if isFloat || strings.ContainsAny(text, ".eE") && strings.Contains(text, ".") {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, lx.errf(p, "bad float literal %q: %v", text, err)
+		}
+		return Token{Kind: TokFloatLit, Text: text, FloatVal: v, Pos: p}, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Token{}, lx.errf(p, "bad integer literal %q: %v", text, err)
+	}
+	return Token{Kind: TokIntLit, Text: text, IntVal: v, Pos: p}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

@@ -1,0 +1,511 @@
+package lang
+
+import "fmt"
+
+// Parser builds the MiniC AST from a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a full MiniC translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.program()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, p.errf("expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("lang: %s: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+func isTypeKeyword(k TokKind) bool {
+	switch k {
+	case TokVoid, TokInt, TokLong, TokFloat, TokDouble:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *Parser) typeExpr() (TypeExpr, error) {
+	t := p.cur()
+	if !isTypeKeyword(t.Kind) {
+		return TypeExpr{}, p.errf("expected a type, found %s", t)
+	}
+	p.next()
+	te := TypeExpr{Base: t.Kind, Pos: t.Pos}
+	for p.accept(TokStar) {
+		te.Stars++
+	}
+	return te, nil
+}
+
+func (p *Parser) program() (*Program, error) {
+	prog := &Program{}
+	for !p.at(TokEOF) {
+		te, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if p.at(TokLParen) {
+			fn, err := p.funcDecl(te, name)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		g := &GlobalDecl{Name: name.Text, Type: te, Pos: name.Pos}
+		if p.accept(TokLBracket) {
+			n, err := p.expect(TokIntLit)
+			if err != nil {
+				return nil, err
+			}
+			if n.IntVal <= 0 {
+				return nil, fmt.Errorf("lang: %s: array length must be positive", n.Pos)
+			}
+			g.ArrayLen = int(n.IntVal)
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, g)
+	}
+	return prog, nil
+}
+
+func (p *Parser) funcDecl(ret TypeExpr, name Token) (*FuncDecl, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.Text, Ret: ret, Pos: name.Pos}
+	if !p.at(TokRParen) {
+		for {
+			pt, err := p.typeExpr()
+			if err != nil {
+				return nil, err
+			}
+			pn, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, ParamDecl{Name: pn.Text, Type: pt, Pos: pn.Pos})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) block() (*BlockStmt, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: lb.Pos}
+	for !p.at(TokRBrace) {
+		if p.at(TokEOF) {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next()
+	return blk, nil
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokLBrace:
+		return p.block()
+	case isTypeKeyword(t.Kind):
+		s, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case t.Kind == TokIf:
+		return p.ifStmt()
+	case t.Kind == TokWhile:
+		return p.whileStmt()
+	case t.Kind == TokFor:
+		return p.forStmt()
+	case t.Kind == TokReturn:
+		p.next()
+		rs := &ReturnStmt{Pos: t.Pos}
+		if !p.at(TokSemi) {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			rs.Val = e
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case t.Kind == TokBreak:
+		p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil
+	case t.Kind == TokContinue:
+		p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// varDecl parses "type name", "type name[N]" or "type name = expr" without
+// the trailing semicolon.
+func (p *Parser) varDecl() (Stmt, error) {
+	te, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	if te.IsVoid() {
+		return nil, p.errf("cannot declare a void variable")
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	vd := &VarDeclStmt{Name: name.Text, Type: te, Pos: name.Pos}
+	if p.accept(TokLBracket) {
+		n, err := p.expect(TokIntLit)
+		if err != nil {
+			return nil, err
+		}
+		if n.IntVal <= 0 {
+			return nil, fmt.Errorf("lang: %s: array length must be positive", n.Pos)
+		}
+		vd.ArrayLen = int(n.IntVal)
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		return vd, nil
+	}
+	if p.accept(TokAssign) {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		vd.Init = e
+	}
+	return vd, nil
+}
+
+// simpleStmt parses an assignment or expression statement (no semicolon).
+func (p *Parser) simpleStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokAssign) {
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: e, RHS: rhs, Pos: pos}, nil
+	}
+	return &ExprStmt{X: e, Pos: pos}, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	is := &IfStmt{Cond: cond, Then: then, Pos: t.Pos}
+	if p.accept(TokElse) {
+		els, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		is.Else = els
+	}
+	return is, nil
+}
+
+func (p *Parser) whileStmt() (Stmt, error) {
+	t := p.next() // while
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos: t.Pos}, nil
+}
+
+func (p *Parser) forStmt() (Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fs := &ForStmt{Pos: t.Pos}
+	if !p.at(TokSemi) {
+		var err error
+		if isTypeKeyword(p.cur().Kind) {
+			fs.Init, err = p.varDecl()
+		} else {
+			fs.Init, err = p.simpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.at(TokSemi) {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.at(TokRParen) {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		fs.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	fs.Body = body
+	return fs, nil
+}
+
+// Binary operator precedence, loosest first.
+var precLevels = [][]TokKind{
+	{TokOrOr},
+	{TokAndAnd},
+	{TokPipe},
+	{TokCaret},
+	{TokAmp},
+	{TokEq, TokNe},
+	{TokLt, TokLe, TokGt, TokGe},
+	{TokShl, TokShr},
+	{TokPlus, TokMinus},
+	{TokStar, TokSlash, TokPercent},
+}
+
+func (p *Parser) expr() (Expr, error) { return p.binary(0) }
+
+func (p *Parser) binary(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.unary()
+	}
+	left, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, k := range precLevels[level] {
+			if p.at(k) {
+				op := p.next()
+				right, err := p.binary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				left = &Binary{Op: op.Kind, L: left, R: right, Pos: op.Pos}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokMinus, TokNot, TokStar, TokAmp:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.Kind, X: x, Pos: t.Pos}, nil
+	case TokLParen:
+		// Cast if the parenthesis opens a type keyword.
+		if isTypeKeyword(p.toks[p.pos+1].Kind) {
+			p.next()
+			te, err := p.typeExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &Cast{Type: te, X: x, Pos: t.Pos}, nil
+		}
+	}
+	return p.postfix()
+}
+
+func (p *Parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(TokLBracket):
+			lb := p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			e = &Index{Base: e, Idx: idx, Pos: lb.Pos}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit:
+		p.next()
+		return &IntLit{Val: t.IntVal, Pos: t.Pos}, nil
+	case TokFloatLit:
+		p.next()
+		return &FloatLit{Val: t.FloatVal, Pos: t.Pos}, nil
+	case TokIdent:
+		p.next()
+		if p.at(TokLParen) {
+			p.next()
+			call := &Call{Name: t.Text, Pos: t.Pos}
+			if !p.at(TokRParen) {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.Text, Pos: t.Pos}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("expected an expression, found %s", t)
+	}
+}

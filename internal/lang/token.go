@@ -1,0 +1,126 @@
+// Package lang implements a small C-like language ("MiniC") and its
+// compiler to the project's IR. The Rodinia-style benchmark kernels of the
+// evaluation (paper Table IV) are written in this language; compiling them
+// through lang produces the clang -O0-style alloca/load/store IR shape that
+// LLFI-era resilience studies analyzed.
+//
+// The language: int (i32), long (i64), float (f32), double (f64), pointers,
+// fixed-size global and local arrays, arithmetic with C-like implicit
+// conversions, short-circuit && and ||, if/while/for/break/continue/return,
+// function calls, and the builtins malloc, free, output and abort.
+package lang
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+// Token kinds. Enums start at one.
+const (
+	TokEOF TokKind = iota + 1
+	TokIdent
+	TokIntLit
+	TokFloatLit
+
+	// Keywords.
+	TokVoid
+	TokInt
+	TokLong
+	TokFloat
+	TokDouble
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokBreak
+	TokContinue
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokShl
+	TokShr
+	TokAndAnd
+	TokOrOr
+	TokNot
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokIntLit: "integer literal",
+	TokFloatLit: "float literal",
+	TokVoid:     "void", TokInt: "int", TokLong: "long", TokFloat: "float",
+	TokDouble: "double", TokIf: "if", TokElse: "else", TokWhile: "while",
+	TokFor: "for", TokReturn: "return", TokBreak: "break", TokContinue: "continue",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokSemi: ";", TokComma: ",",
+	TokAssign: "=", TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/",
+	TokPercent: "%", TokAmp: "&", TokPipe: "|", TokCaret: "^",
+	TokShl: "<<", TokShr: ">>", TokAndAnd: "&&", TokOrOr: "||", TokNot: "!",
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+}
+
+// String returns the token kind's display name.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"void": TokVoid, "int": TokInt, "long": TokLong, "float": TokFloat,
+	"double": TokDouble, "if": TokIf, "else": TokElse, "while": TokWhile,
+	"for": TokFor, "return": TokReturn, "break": TokBreak, "continue": TokContinue,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme.
+type Token struct {
+	Kind TokKind
+	// Text is the raw lexeme for identifiers and literals.
+	Text string
+	// IntVal holds the value of integer literals.
+	IntVal int64
+	// FloatVal holds the value of float literals.
+	FloatVal float64
+	Pos      Pos
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokIntLit, TokFloatLit:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}

@@ -1,0 +1,449 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newAS(t *testing.T) *AddressSpace {
+	t.Helper()
+	return New(DefaultLayout())
+}
+
+func TestLayoutDefaults(t *testing.T) {
+	l := DefaultLayout()
+	if l.StackRLimit != 8<<20 {
+		t.Errorf("stack rlimit = %d, want 8MiB", l.StackRLimit)
+	}
+	for _, base := range []uint64{l.TextBase, l.RODataBase, l.DataBase, l.HeapBase, l.MmapBase, l.StackTop} {
+		if base%PageSize != 0 {
+			t.Errorf("layout base %#x not page aligned", base)
+		}
+	}
+}
+
+func TestVMAsOrderedAndDisjoint(t *testing.T) {
+	as := newAS(t)
+	vmas := as.VMAs()
+	for i := 1; i < len(vmas); i++ {
+		if vmas[i-1].End > vmas[i].Start {
+			t.Errorf("VMAs overlap: %s then %s", vmas[i-1], vmas[i])
+		}
+	}
+}
+
+func TestReadWriteRoundtrip(t *testing.T) {
+	as := newAS(t)
+	addr, err := as.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int64{1, 2, 4, 8} {
+		v := uint64(0xdeadbeefcafef00d) & ((1 << uint(8*size)) - 1)
+		if size == 8 {
+			v = 0xdeadbeefcafef00d
+		}
+		as.WriteUint(addr, size, v)
+		if got := as.ReadUint(addr, size); got != v {
+			t.Errorf("size %d roundtrip: got %#x, want %#x", size, got, v)
+		}
+	}
+}
+
+func TestReadWriteAcrossPageBoundary(t *testing.T) {
+	as := newAS(t)
+	base, err := as.Malloc(2 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an address straddling a page boundary within the block.
+	addr := (base + PageSize) - 3
+	as.WriteUint(addr, 8, 0x1122334455667788)
+	if got := as.ReadUint(addr, 8); got != 0x1122334455667788 {
+		t.Errorf("cross-page roundtrip = %#x", got)
+	}
+}
+
+func TestUnwrittenMemoryReadsZero(t *testing.T) {
+	as := newAS(t)
+	addr, _ := as.Malloc(32)
+	if got := as.ReadUint(addr+16, 8); got != 0 {
+		t.Errorf("fresh allocation reads %#x, want 0", got)
+	}
+}
+
+func TestMallocGrowsHeapVMA(t *testing.T) {
+	as := newAS(t)
+	before := heapVMA(as)
+	if before.Start != before.End {
+		t.Fatalf("heap must start empty, got %s", before)
+	}
+	addr, _ := as.Malloc(3 * PageSize)
+	after := heapVMA(as)
+	if !after.Contains(addr) || !after.Contains(addr+3*PageSize-1) {
+		t.Errorf("heap VMA %s does not cover allocation at %#x", after, addr)
+	}
+}
+
+func heapVMA(as *AddressSpace) VMA {
+	for _, v := range as.VMAs() {
+		if v.Kind == SegHeap {
+			return v
+		}
+	}
+	return VMA{}
+}
+
+func stackVMAOf(as *AddressSpace) VMA {
+	for _, v := range as.VMAs() {
+		if v.Kind == SegStack {
+			return v
+		}
+	}
+	return VMA{}
+}
+
+func TestMallocAllocationsDisjoint(t *testing.T) {
+	as := newAS(t)
+	type block struct{ start, size uint64 }
+	var blocks []block
+	sizes := []uint64{1, 16, 17, 100, 4096, 5000}
+	for _, s := range sizes {
+		a, err := as.Malloc(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a%16 != 0 {
+			t.Errorf("allocation %#x not 16-byte aligned", a)
+		}
+		for _, b := range blocks {
+			if a < b.start+b.size && b.start < a+s {
+				t.Errorf("allocation [%#x,%#x) overlaps [%#x,%#x)", a, a+s, b.start, b.start+b.size)
+			}
+		}
+		blocks = append(blocks, block{a, s})
+	}
+}
+
+func TestFree(t *testing.T) {
+	as := newAS(t)
+	a, _ := as.Malloc(64)
+	if err := as.Free(a); err != nil {
+		t.Errorf("Free(valid) = %v", err)
+	}
+	if err := as.Free(a); err == nil {
+		t.Error("double free not rejected")
+	}
+	if err := as.Free(0x1234); err == nil {
+		t.Error("free of wild pointer not rejected")
+	}
+}
+
+func TestCheckAccessHeap(t *testing.T) {
+	as := newAS(t)
+	a, _ := as.Malloc(64)
+	if err := as.CheckAccess(a, 8, true); err != nil {
+		t.Errorf("valid heap write rejected: %v", err)
+	}
+	// Far beyond the heap: unmapped.
+	if err := as.CheckAccess(a+1<<30, 8, false); err == nil {
+		t.Error("unmapped access accepted")
+	}
+}
+
+func TestCheckAccessReadOnly(t *testing.T) {
+	as := newAS(t)
+	ro := as.Layout().RODataBase
+	if err := as.CheckAccess(ro, 4, false); err != nil {
+		t.Errorf("read of rodata rejected: %v", err)
+	}
+	err := as.CheckAccess(ro, 4, true)
+	if err == nil {
+		t.Fatal("write to rodata accepted")
+	}
+	var ae *AccessError
+	if !asAccessError(err, &ae) || ae.Reason != "write to read-only" {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func asAccessError(err error, out **AccessError) bool {
+	ae, ok := err.(*AccessError)
+	if ok {
+		*out = ae
+	}
+	return ok
+}
+
+func TestStackExtensionWithinGuard(t *testing.T) {
+	as := newAS(t)
+	sp := as.SP()
+	stack := stackVMAOf(as)
+	// An access just below the mapped stack but within the guard window must
+	// succeed and grow the VMA (Linux expand_stack).
+	target := stack.Start - 64
+	if target < sp-StackGuardGap {
+		t.Fatalf("test address below guard; sp=%#x start=%#x", sp, stack.Start)
+	}
+	if err := as.CheckAccess(target, 8, true); err != nil {
+		t.Fatalf("stack extension access rejected: %v", err)
+	}
+	grown := stackVMAOf(as)
+	if !grown.Contains(target) {
+		t.Errorf("stack VMA %s did not grow to cover %#x", grown, target)
+	}
+}
+
+func TestStackAccessBelowGuardFaults(t *testing.T) {
+	as := newAS(t)
+	sp := as.SP()
+	target := sp - StackGuardGap - PageSize
+	err := as.CheckAccess(target, 8, true)
+	if err == nil {
+		t.Fatal("access below the stack guard accepted")
+	}
+	var ae *AccessError
+	if !asAccessError(err, &ae) || ae.Reason != "below stack guard" {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestStackRLimit(t *testing.T) {
+	as := newAS(t)
+	l := as.Layout()
+	target := l.StackTop - l.StackRLimit - PageSize
+	err := as.CheckAccess(target, 8, true)
+	if err == nil {
+		t.Fatal("access below stack rlimit accepted")
+	}
+	var ae *AccessError
+	if !asAccessError(err, &ae) || ae.Reason != "stack rlimit" {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestPushPopFrame(t *testing.T) {
+	as := newAS(t)
+	sp0 := as.SP()
+	base, err := as.PushFrame(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base%16 != 0 {
+		t.Errorf("frame base %#x not aligned", base)
+	}
+	if as.SP() != base || base >= sp0 {
+		t.Errorf("SP after push = %#x, base = %#x, sp0 = %#x", as.SP(), base, sp0)
+	}
+	if err := as.CheckAccess(base, 8, true); err != nil {
+		t.Errorf("frame memory not accessible: %v", err)
+	}
+	as.PopFrame(sp0)
+	if as.SP() != sp0 {
+		t.Error("PopFrame did not restore SP")
+	}
+}
+
+func TestPushFrameRLimit(t *testing.T) {
+	as := newAS(t)
+	if _, err := as.PushFrame(9 << 20); err == nil {
+		t.Error("frame larger than rlimit accepted")
+	}
+}
+
+func TestSnapshotVersioning(t *testing.T) {
+	as := newAS(t)
+	v0 := as.Version()
+	snap0 := as.SnapshotAt(v0)
+	if snap0 == nil {
+		t.Fatal("initial snapshot missing")
+	}
+	heapBefore := heapVMA(as)
+	_, _ = as.Malloc(PageSize * 2)
+	if as.Version() == v0 {
+		t.Fatal("malloc growing heap must bump version")
+	}
+	// The old snapshot still shows the old heap end.
+	for _, v := range as.SnapshotAt(v0) {
+		if v.Kind == SegHeap && v.End != heapBefore.End {
+			t.Error("old snapshot mutated by later growth")
+		}
+	}
+}
+
+func TestResolveMatchesCheckAccess(t *testing.T) {
+	// Property: for a large random sample of addresses, the pure Resolve
+	// predicate agrees with the stateful CheckAccess (on a fresh address
+	// space each time, since CheckAccess may grow the stack).
+	l := DefaultLayout()
+	rng := rand.New(rand.NewSource(7))
+	regions := []struct{ lo, hi uint64 }{
+		{l.TextBase - PageSize, l.TextBase + 20*PageSize},
+		{l.DataBase - PageSize, l.DataBase + 20*PageSize},
+		{l.HeapBase - PageSize, l.HeapBase + 8*PageSize},
+		{l.StackTop - 9<<20, l.StackTop + PageSize},
+	}
+	for i := 0; i < 2000; i++ {
+		r := regions[rng.Intn(len(regions))]
+		addr := r.lo + uint64(rng.Int63n(int64(r.hi-r.lo)))
+		as := New(l)
+		_, _ = as.Malloc(4 * PageSize)
+		_, _, ok := Resolve(as.VMAs(), as.SP(), l.StackTop, l.StackRLimit, addr, false, true)
+		err := as.CheckAccess(addr, 1, false)
+		if ok != (err == nil) {
+			t.Fatalf("Resolve=%v but CheckAccess err=%v for addr %#x", ok, err, addr)
+		}
+	}
+}
+
+func TestResolveValidRangeContainsAddr(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		as := New(DefaultLayout())
+		a, _ := as.Malloc(uint64(rng.Intn(10000) + 1))
+		lo, hi, ok := as.ValidRange(a, true)
+		return ok && a >= lo && a < hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJitterPreservesAlignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		j := DefaultLayout().Jitter(rng, 64*PageSize)
+		if j.HeapBase%PageSize != 0 || j.StackTop%PageSize != 0 || j.MmapBase%PageSize != 0 {
+			t.Fatal("jittered layout not page aligned")
+		}
+		if j.TextBase != DefaultLayout().TextBase {
+			t.Fatal("jitter must not move the text segment")
+		}
+	}
+}
+
+func TestJitterZeroWindowIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := DefaultLayout()
+	if l.Jitter(rng, 0) != l {
+		t.Error("zero-window jitter must be the identity")
+	}
+}
+
+func TestJitterChangesLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	l := DefaultLayout()
+	changed := false
+	for i := 0; i < 32; i++ {
+		if l.Jitter(rng, 64*PageSize) != l {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("jitter never changed the layout in 32 tries")
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if got := (PermRead | PermWrite).String(); got != "rw-" {
+		t.Errorf("perm string = %q", got)
+	}
+	if got := (PermRead | PermExec).String(); got != "r-x" {
+		t.Errorf("perm string = %q", got)
+	}
+}
+
+func TestMapsRendering(t *testing.T) {
+	as := newAS(t)
+	s := as.Maps()
+	for _, want := range []string{"[text]", "[rodata]", "[data]", "[heap]", "[stack]"} {
+		if !contains(s, want) {
+			t.Errorf("maps output missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestEnsureSegmentSize(t *testing.T) {
+	as := newAS(t)
+	as.EnsureSegmentSize(SegData, 100*PageSize)
+	var data VMA
+	for _, v := range as.VMAs() {
+		if v.Kind == SegData {
+			data = v
+		}
+	}
+	if data.End-data.Start < 100*PageSize {
+		t.Errorf("data segment not grown: %s", data)
+	}
+	if err := as.CheckAccess(data.Start+99*PageSize, 8, true); err != nil {
+		t.Errorf("grown data segment not writable: %v", err)
+	}
+}
+
+func TestLargeAllocationUsesMmapArena(t *testing.T) {
+	as := newAS(t)
+	small, _ := as.Malloc(1024)
+	big, err := as.Malloc(MmapThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := as.Layout()
+	if small >= l.MmapBase {
+		t.Errorf("small allocation at %#x landed in the mmap arena", small)
+	}
+	if big < l.MmapBase {
+		t.Errorf("large allocation at %#x not in the mmap arena", big)
+	}
+	// The block is accessible end to end.
+	if err := as.CheckAccess(big, 8, true); err != nil {
+		t.Errorf("mmap block start not accessible: %v", err)
+	}
+	if err := as.CheckAccess(big+MmapThreshold-8, 8, true); err != nil {
+		t.Errorf("mmap block end not accessible: %v", err)
+	}
+	// The guard page right past the mapping faults.
+	if err := as.CheckAccess(big+MmapThreshold, 8, true); err == nil {
+		t.Error("guard page after mmap block accessible")
+	}
+	if err := as.Free(big); err != nil {
+		t.Errorf("Free of mmap block: %v", err)
+	}
+}
+
+func TestMmapBlocksDisjointWithGuards(t *testing.T) {
+	as := newAS(t)
+	a, _ := as.Malloc(MmapThreshold)
+	b, _ := as.Malloc(MmapThreshold * 2)
+	if a == b {
+		t.Fatal("same address twice")
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi < lo+MmapThreshold+PageSize {
+		t.Errorf("mmap blocks too close: %#x and %#x", a, b)
+	}
+	// VMAs stay sorted and disjoint after mmap insertions.
+	vmas := as.VMAs()
+	for i := 1; i < len(vmas); i++ {
+		if vmas[i-1].End > vmas[i].Start {
+			t.Fatalf("VMAs overlap after mmap: %s then %s", vmas[i-1], vmas[i])
+		}
+	}
+}

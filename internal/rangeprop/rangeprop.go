@@ -1,0 +1,425 @@
+// Package rangeprop implements the paper's propagation model (§III-C,
+// Algorithms 1 and 2, Table III): starting from every load/store in the ACE
+// graph, it propagates the crash model's valid-address range backward along
+// the slice of the address computation, inverting each instruction's
+// semantics to derive, per operand use, the range of values that keep the
+// eventual memory access in bounds — and therefore the set of bits whose
+// flip would crash the program (the CRASHING_BIT_LIST).
+package rangeprop
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/crash"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// DefaultMaxDepth bounds how many def-use hops a single backward-slice walk
+// follows. Address slices are shallow (index arithmetic plus spills through
+// the stack); deep value chains re-enter through nearer accesses anyway, so
+// a modest bound preserves accuracy while keeping the analysis near-linear
+// — the engineering fix the paper's scalability discussion (§VI-A) calls
+// for.
+const DefaultMaxDepth = 24
+
+// Config controls the propagation analysis.
+type Config struct {
+	// MaxDepth bounds the per-access backward walk; zero means
+	// DefaultMaxDepth, negative means unbounded.
+	MaxDepth int
+	// ExactAddress uses the exact multi-VMA oracle for the bits of the
+	// direct address operand instead of the single-interval bound
+	// (ablation: the paper's Algorithm 2 is interval-only).
+	ExactAddress bool
+	// Model is the crash model; nil means crash.NewModel().
+	Model *crash.Model
+	// Parallel shards the per-access backward walks over this many worker
+	// goroutines — the "threads can be assigned to one backward slice
+	// each" parallelism of the paper's §VI-A. Zero or one runs serially.
+	// Results are identical either way (crash masks merge by union).
+	Parallel int
+}
+
+// Result is the computed CRASHING_BIT_LIST plus aggregate counts.
+type Result struct {
+	// CrashBits maps each dynamic operand use to the mask of bits
+	// predicted to crash the program if flipped at that use.
+	CrashBits map[trace.Use]uint64
+	// DefCrashBits aggregates CrashBits at register granularity: for each
+	// value-defining event, the union of the crash masks of all its uses.
+	// A register bit is crash-causing if corrupting it makes any consumer
+	// access fault — the CRASHING_BIT_LIST as the recall study reads it.
+	DefCrashBits map[int64]uint64
+	// CrashBitCount is the number of (register, bit) pairs predicted to
+	// crash, at def granularity — the quantity subtracted from the ACE
+	// bits in Eq. 2.
+	CrashBitCount int64
+	// UseCrashBitCount is the finer-grained (use, bit) tally.
+	UseCrashBitCount int64
+	// AccessesAnalyzed counts the ACE-graph loads/stores that seeded
+	// walks.
+	AccessesAnalyzed int64
+}
+
+// Predicted reports whether flipping the given bit at the given use is
+// predicted to crash.
+func (r *Result) Predicted(u trace.Use, bit int) bool {
+	return r.CrashBits[u]&(1<<uint(bit)) != 0
+}
+
+// PredictedDef reports whether flipping the given bit of the register
+// defined at event ev is predicted to crash.
+func (r *Result) PredictedDef(ev int64, bit int) bool {
+	return r.DefCrashBits[ev]&(1<<uint(bit)) != 0
+}
+
+// PredictedDefMask reports whether a multi-bit fault (XOR mask) in the
+// register defined at event ev is predicted to crash: true when any
+// flipped bit is crash-causing. (Two flips cancelling each other inside a
+// range is possible in principle but vanishingly rare.)
+func (r *Result) PredictedDefMask(ev int64, mask uint64) bool {
+	return r.DefCrashBits[ev]&mask != 0
+}
+
+// Analyze runs ITERATE_OVER_ACE_GRAPH: for every load/store event inside
+// aceMask it obtains the crash-model boundary and propagates it along the
+// backward slice of the address.
+func Analyze(tr *trace.Trace, g *ddg.Graph, aceMask []bool, cfg Config) *Result {
+	if cfg.Model == nil {
+		cfg.Model = crash.NewModel()
+	}
+	maxDepth := cfg.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	res := &Result{
+		CrashBits:    make(map[trace.Use]uint64),
+		DefCrashBits: make(map[int64]uint64),
+	}
+	// Collect the ACE-graph memory accesses (ITERATE_OVER_ACE_GRAPH).
+	var accesses []int64
+	for i := range tr.Events {
+		if aceMask[i] && tr.Events[i].IsMemAccess() {
+			accesses = append(accesses, int64(i))
+		}
+	}
+
+	workers := cfg.Parallel
+	if workers > len(accesses) {
+		workers = len(accesses)
+	}
+	if workers <= 1 {
+		for _, ev := range accesses {
+			analyzeAccess(tr, res, cfg, ev, maxDepth)
+		}
+	} else {
+		// Shard walks across workers with worker-local result maps, then
+		// merge by union — identical to the serial result.
+		parts := make([]*Result, workers)
+		var wg sync.WaitGroup
+		next := make(chan int64)
+		for w := 0; w < workers; w++ {
+			part := &Result{
+				CrashBits:    make(map[trace.Use]uint64),
+				DefCrashBits: make(map[int64]uint64),
+			}
+			parts[w] = part
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ev := range next {
+					analyzeAccess(tr, part, cfg, ev, maxDepth)
+				}
+			}()
+		}
+		for _, ev := range accesses {
+			next <- ev
+		}
+		close(next)
+		wg.Wait()
+		for _, part := range parts {
+			res.AccessesAnalyzed += part.AccessesAnalyzed
+			for u, m := range part.CrashBits {
+				res.CrashBits[u] |= m
+			}
+		}
+	}
+	for u, m := range res.CrashBits {
+		res.UseCrashBitCount += int64(crash.PopCount(m))
+		e := &tr.Events[u.Event]
+		if u.Op < len(e.OpDefs) && e.OpDefs[u.Op] != trace.NoDef {
+			res.DefCrashBits[e.OpDefs[u.Op]] |= m
+		}
+	}
+	for _, m := range res.DefCrashBits {
+		res.CrashBitCount += int64(crash.PopCount(m))
+	}
+	return res
+}
+
+// analyzeAccess runs the boundary check and backward walk for one
+// ACE-graph memory access.
+func analyzeAccess(tr *trace.Trace, res *Result, cfg Config, ev int64, maxDepth int) {
+	e := &tr.Events[ev]
+	bound, ok := cfg.Model.Boundary(tr, ev)
+	if !ok {
+		return
+	}
+	res.AccessesAnalyzed++
+	ptrOp := 0
+	if e.Instr.Op == ir.OpStore {
+		ptrOp = 1
+	}
+	crashCalc(tr, res, cfg, ev, ptrOp, bound, maxDepth)
+}
+
+// item is one worklist entry: operand use (Ev, Op) whose value must remain
+// within R for the seeding access not to fault.
+type item struct {
+	ev    int64
+	op    int
+	r     crash.Bound
+	depth int
+	// direct marks the seeding address use, for the exact-oracle mode.
+	direct bool
+}
+
+// crashCalc implements CRASH_CALC/GET_RANGE_FOR_CRASH_BITS for one memory
+// access: a worklist walk over the backward slice of its address operand.
+func crashCalc(tr *trace.Trace, res *Result, cfg Config, accessEv int64, ptrOp int, bound crash.Bound, maxDepth int) {
+	visited := make(map[int64]bool)
+	work := []item{{ev: accessEv, op: ptrOp, r: bound, direct: true}}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+
+		e := &tr.Events[it.ev]
+		v := e.Ops[it.op]
+		width := trace.OperandWidth(e.Instr, it.op)
+		if trace.InjectableOperand(e.Instr, it.op) || e.Instr.Op == ir.OpPhi {
+			u := trace.Use{Event: it.ev, Op: it.op}
+			var mask uint64
+			if it.direct && cfg.ExactAddress {
+				mask = cfg.Model.MaskExact(tr, it.ev, v, width)
+			} else {
+				mask = crash.MaskFromBound(v, width, it.r)
+			}
+			if mask != 0 {
+				res.CrashBits[u] |= mask
+			}
+		}
+
+		def := e.OpDefs[it.op]
+		if def == trace.NoDef || visited[def] {
+			continue
+		}
+		if maxDepth > 0 && it.depth >= maxDepth {
+			continue
+		}
+		visited[def] = true
+		for _, nxt := range invert(tr, def, it.r) {
+			nxt.depth = it.depth + 1
+			work = append(work, nxt)
+		}
+	}
+}
+
+// invert applies Table III: given that the value produced by event def must
+// stay within r, derive ranges for def's own operand uses.
+func invert(tr *trace.Trace, def int64, r crash.Bound) []item {
+	e := &tr.Events[def]
+	in := e.Instr
+	mk := func(op int, b crash.Bound) item { return item{ev: def, op: op, r: b} }
+
+	signedOp := func(op int) int64 {
+		return ir.SignExtend(e.Ops[op], trace.OperandWidth(in, op))
+	}
+
+	switch in.Op {
+	case ir.OpAdd:
+		// dest = op0 + op1: op_i within [lo - other, hi - other].
+		return []item{
+			mk(0, shift(r, -signedOp(1))),
+			mk(1, shift(r, -signedOp(0))),
+		}
+	case ir.OpSub:
+		// dest = op0 - op1.
+		return []item{
+			mk(0, shift(r, signedOp(1))),
+			mk(1, crash.Bound{Lo: satSub(signedOp(0), r.Hi), Hi: satSub(signedOp(0), r.Lo)}),
+		}
+	case ir.OpMul:
+		var out []item
+		if b := divRange(r, signedOp(1)); !b.IsUnconstrained() {
+			out = append(out, mk(0, b))
+		}
+		if b := divRange(r, signedOp(0)); !b.IsUnconstrained() {
+			out = append(out, mk(1, b))
+		}
+		return out
+	case ir.OpSDiv, ir.OpUDiv:
+		// dest = op0 / c (truncating). Invertible for positive c and
+		// non-negative ranges: op0 within [lo*c, hi*c + c - 1].
+		c := signedOp(1)
+		if c > 0 && r.Lo >= 0 {
+			return []item{mk(0, crash.Bound{
+				Lo: satMul(r.Lo, c),
+				Hi: satAdd(satMul(r.Hi, c), c-1),
+			})}
+		}
+		return nil
+	case ir.OpShl:
+		// dest = op0 * 2^k.
+		k := signedOp(1)
+		if k >= 0 && k < 63 {
+			if b := divRange(r, int64(1)<<uint(k)); !b.IsUnconstrained() {
+				return []item{mk(0, b)}
+			}
+		}
+		return nil
+	case ir.OpGEP:
+		// dest = base + stride*idx.
+		stride := in.Elem.Size()
+		base := signedOp(0)
+		idx := signedOp(1)
+		out := []item{mk(0, shift(r, -satMul(stride, idx)))}
+		if stride > 0 {
+			lo := ceilDiv(satSub(r.Lo, base), stride)
+			hi := floorDiv(satSub(r.Hi, base), stride)
+			out = append(out, mk(1, crash.Bound{Lo: lo, Hi: hi}))
+		}
+		return out
+	case ir.OpBitcast, ir.OpPtrToInt, ir.OpIntToPtr:
+		return []item{mk(0, r)}
+	case ir.OpZExt:
+		w := in.Args[0].Type().BitWidth()
+		return []item{mk(0, intersect(r, crash.Bound{Lo: 0, Hi: maxOfWidthU(w)}))}
+	case ir.OpSExt:
+		w := in.Args[0].Type().BitWidth()
+		return []item{mk(0, intersect(r, widthBound(w)))}
+	case ir.OpLoad:
+		// Value identity through memory: the loaded value equals the value
+		// operand of the producing store. (The store's own address operand
+		// is seeded separately by its own boundary check.)
+		if e.MemDef != trace.NoDef {
+			return []item{{ev: e.MemDef, op: 0, r: r}}
+		}
+		return nil
+	case ir.OpPhi:
+		return []item{mk(0, r)}
+	case ir.OpSelect:
+		// The chosen arm carried the value; determine it from the recorded
+		// condition.
+		if e.Ops[0]&1 != 0 {
+			return []item{mk(1, r)}
+		}
+		return []item{mk(2, r)}
+	default:
+		// srem/urem, bitwise logic, shifts right, float ops, calls:
+		// not invertible to an interval (Table III stops here); the walk
+		// terminates conservatively (no crash bits claimed upstream).
+		return nil
+	}
+}
+
+// shift translates a bound by delta with saturation.
+func shift(r crash.Bound, delta int64) crash.Bound {
+	return crash.Bound{Lo: satAdd(r.Lo, delta), Hi: satAdd(r.Hi, delta)}
+}
+
+// divRange inverts dest = c * op: the range of op keeping c*op within r.
+// Returns Unconstrained when not invertible (c == 0).
+func divRange(r crash.Bound, c int64) crash.Bound {
+	switch {
+	case c > 0:
+		return crash.Bound{Lo: ceilDiv(r.Lo, c), Hi: floorDiv(r.Hi, c)}
+	case c < 0:
+		return crash.Bound{Lo: ceilDiv(r.Hi, c), Hi: floorDiv(r.Lo, c)}
+	default:
+		return crash.Unconstrained
+	}
+}
+
+func intersect(a, b crash.Bound) crash.Bound {
+	out := a
+	if b.Lo > out.Lo {
+		out.Lo = b.Lo
+	}
+	if b.Hi < out.Hi {
+		out.Hi = b.Hi
+	}
+	return out
+}
+
+// widthBound returns the representable signed range of the given width.
+func widthBound(w int) crash.Bound {
+	if w >= 64 {
+		return crash.Unconstrained
+	}
+	return crash.Bound{Lo: -(int64(1) << uint(w-1)), Hi: int64(1)<<uint(w-1) - 1}
+}
+
+// maxOfWidthU returns the maximum unsigned value of the given width as an
+// int64 (saturated).
+func maxOfWidthU(w int) int64 {
+	if w >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(w) - 1
+}
+
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		if a > 0 {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return s
+}
+
+func satSub(a, b int64) int64 {
+	if b == math.MinInt64 {
+		if a >= 0 {
+			return math.MaxInt64
+		}
+		return satAdd(a+1, math.MaxInt64)
+	}
+	return satAdd(a, -b)
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a {
+		if (a > 0) == (b > 0) {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return p
+}
+
+// floorDiv divides rounding toward negative infinity.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// ceilDiv divides rounding toward positive infinity.
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("Demo", "Name", "Value")
+	tbl.AddRow("short", 1)
+	tbl.AddRow("much-longer-name", 123456)
+	s := tbl.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title, underline, header, separator, two rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Error("missing title")
+	}
+	// Column starts align between header and rows.
+	headerIdx := strings.Index(lines[2], "Value")
+	rowIdx := strings.Index(lines[4], "1")
+	if headerIdx != rowIdx {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", headerIdx, rowIdx, s)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{0.125, "0.125"},
+		{12.34, "12.3"},
+		{4321, "4321"},
+		{-2000, "-2000"},
+	}
+	for _, tt := range tests {
+		if got := FormatFloat(tt.v); got != tt.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.125) != "12.5%" {
+		t.Errorf("Percent = %q", Percent(0.125))
+	}
+}
+
+func TestChartRendersBars(t *testing.T) {
+	c := NewChart("Bars")
+	c.Add(Series{Name: "a", Labels: []string{"x", "y"}, Values: []float64{1, 2}})
+	c.Add(Series{Name: "b", Labels: []string{"x"}, Values: []float64{4}})
+	s := c.String()
+	if !strings.Contains(s, "Bars") || !strings.Contains(s, "####") {
+		t.Errorf("chart rendering:\n%s", s)
+	}
+	// The max value gets the longest bar.
+	var maxLine string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, " 4") && strings.Count(line, "#") > strings.Count(maxLine, "#") {
+			maxLine = line
+		}
+	}
+	if strings.Count(maxLine, "#") != 40 {
+		t.Errorf("max bar not full width:\n%s", s)
+	}
+}
+
+func TestChartEmptyValues(t *testing.T) {
+	c := NewChart("Zero")
+	c.Add(Series{Name: "z", Labels: []string{"l"}, Values: []float64{0}})
+	if s := c.String(); !strings.Contains(s, "z") {
+		t.Errorf("zero chart broken:\n%s", s)
+	}
+}

@@ -1,0 +1,176 @@
+// Package stats provides the small statistical toolkit the evaluation
+// needs: means and variances, binomial confidence intervals for
+// fault-injection rates (the paper reports 95% CIs as error bars),
+// geometric means (Fig. 13 aggregates SDC rates geometrically), empirical
+// CDFs (Fig. 12) and simple linear fits.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (zero for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// GeoMean returns the geometric mean of positive values; zero and negative
+// entries are clamped to a small epsilon to keep Fig. 13-style aggregation
+// defined.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	const eps = 1e-9
+	s := 0.0
+	for _, x := range xs {
+		if x < eps {
+			x = eps
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Proportion is an observed binomial proportion with its sample size.
+type Proportion struct {
+	Successes int
+	N         int
+}
+
+// Rate returns the point estimate.
+func (p Proportion) Rate() float64 {
+	if p.N == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.N)
+}
+
+// z95 is the standard normal quantile for a 95% two-sided interval.
+const z95 = 1.959963984540054
+
+// WilsonCI returns the 95% Wilson score interval for the proportion — the
+// interval used for the fault-injection error bars. It behaves sensibly at
+// the 0 and 1 boundaries where the normal approximation fails.
+func (p Proportion) WilsonCI() (lo, hi float64) {
+	if p.N == 0 {
+		return 0, 0
+	}
+	n := float64(p.N)
+	phat := p.Rate()
+	z2 := z95 * z95
+	denom := 1 + z2/n
+	center := (phat + z2/(2*n)) / denom
+	half := z95 * math.Sqrt(phat*(1-phat)/n+z2/(4*n*n)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// HalfWidth returns the 95% CI half width around the point estimate (a
+// symmetric approximation used for compact "±" reporting).
+func (p Proportion) HalfWidth() float64 {
+	lo, hi := p.WilsonCI()
+	return (hi - lo) / 2
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64
+	// P is the fraction of samples <= X.
+	P float64
+}
+
+// CDF returns the empirical CDF of xs as sorted points (deduplicated on X).
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var out []CDFPoint
+	for i, x := range sorted {
+		p := float64(i+1) / n
+		if len(out) > 0 && out[len(out)-1].X == x {
+			out[len(out)-1].P = p
+			continue
+		}
+		out = append(out, CDFPoint{X: x, P: p})
+	}
+	return out
+}
+
+// CDFAt evaluates an empirical CDF at x.
+func CDFAt(cdf []CDFPoint, x float64) float64 {
+	p := 0.0
+	for _, pt := range cdf {
+		if pt.X > x {
+			break
+		}
+		p = pt.P
+	}
+	return p
+}
+
+// ErrNoData reports a fit over fewer than two points.
+var ErrNoData = errors.New("stats: need at least two points")
+
+// LinearFit returns the least-squares slope and intercept of y over x.
+func LinearFit(x, y []float64) (slope, intercept float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, ErrNoData
+	}
+	mx, my := Mean(x), Mean(y)
+	var num, den float64
+	for i := range x {
+		num += (x[i] - mx) * (y[i] - my)
+		den += (x[i] - mx) * (x[i] - mx)
+	}
+	if den == 0 {
+		return 0, 0, ErrNoData
+	}
+	slope = num / den
+	return slope, my - slope*mx, nil
+}
+
+// NormalizedVariance returns variance over squared mean — the sampling
+// regularity indicator of §IV-E.
+func NormalizedVariance(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return Variance(xs) / (m * m)
+}

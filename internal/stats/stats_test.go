@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5) {
+		t.Errorf("mean = %v", Mean(xs))
+	}
+	if !almost(Variance(xs), 32.0/7) {
+		t.Errorf("variance = %v", Variance(xs))
+	}
+	if !almost(StdDev(xs), math.Sqrt(32.0/7)) {
+		t.Errorf("stddev = %v", StdDev(xs))
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs must be zero")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4, 16}), 4) {
+		t.Errorf("geomean = %v", GeoMean([]float64{1, 4, 16}))
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean must be 0")
+	}
+	// Zero entries clamp rather than collapse to 0.
+	if GeoMean([]float64{0, 1}) <= 0 {
+		t.Error("clamped geomean must stay positive")
+	}
+}
+
+func TestWilsonCI(t *testing.T) {
+	p := Proportion{Successes: 63, N: 100}
+	lo, hi := p.WilsonCI()
+	if !(lo < 0.63 && 0.63 < hi) {
+		t.Errorf("CI [%v, %v] does not bracket the point estimate", lo, hi)
+	}
+	if hi-lo > 0.2 {
+		t.Errorf("CI width %v too wide for n=100", hi-lo)
+	}
+	// Boundary behaviour.
+	lo0, hi0 := Proportion{Successes: 0, N: 50}.WilsonCI()
+	if lo0 != 0 || hi0 <= 0 {
+		t.Errorf("zero-successes CI = [%v, %v]", lo0, hi0)
+	}
+	lo1, hi1 := Proportion{Successes: 50, N: 50}.WilsonCI()
+	if hi1 != 1 || lo1 >= 1 {
+		t.Errorf("all-successes CI = [%v, %v]", lo1, hi1)
+	}
+	if l, h := (Proportion{}).WilsonCI(); l != 0 || h != 0 {
+		t.Error("empty proportion CI must be zero")
+	}
+}
+
+func TestWilsonCIProperties(t *testing.T) {
+	f := func(succ uint8, extra uint8) bool {
+		n := int(succ) + int(extra) + 1
+		p := Proportion{Successes: int(succ), N: n}
+		lo, hi := p.WilsonCI()
+		if lo < 0 || hi > 1 || lo > hi {
+			return false
+		}
+		r := p.Rate()
+		return lo <= r+1e-9 && r-1e-9 <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCIWidthShrinksWithN(t *testing.T) {
+	small := Proportion{Successes: 10, N: 20}.HalfWidth()
+	large := Proportion{Successes: 1000, N: 2000}.HalfWidth()
+	if large >= small {
+		t.Errorf("CI half width did not shrink: %v -> %v", small, large)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	cdf := CDF([]float64{3, 1, 2, 2})
+	if len(cdf) != 3 {
+		t.Fatalf("cdf points = %d, want 3", len(cdf))
+	}
+	if !almost(CDFAt(cdf, 0.5), 0) {
+		t.Error("CDF below min must be 0")
+	}
+	if !almost(CDFAt(cdf, 1), 0.25) {
+		t.Errorf("CDF(1) = %v", CDFAt(cdf, 1))
+	}
+	if !almost(CDFAt(cdf, 2), 0.75) {
+		t.Errorf("CDF(2) = %v", CDFAt(cdf, 2))
+	}
+	if !almost(CDFAt(cdf, 99), 1) {
+		t.Error("CDF above max must be 1")
+	}
+	if CDF(nil) != nil {
+		t.Error("empty CDF must be nil")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(xs []float64) bool {
+		cdf := CDF(xs)
+		prev := 0.0
+		for _, p := range cdf {
+			if p.P < prev {
+				return false
+			}
+			prev = p.P
+		}
+		return len(xs) == 0 || almost(cdf[len(cdf)-1].P, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(slope, 2) || !almost(intercept, 1) {
+		t.Errorf("fit = %vx + %v", slope, intercept)
+	}
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("fit of one point must fail")
+	}
+	if _, _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("vertical fit must fail")
+	}
+}
+
+func TestNormalizedVariance(t *testing.T) {
+	if NormalizedVariance([]float64{5, 5, 5}) != 0 {
+		t.Error("constant data must have zero normalized variance")
+	}
+	if NormalizedVariance(nil) != 0 {
+		t.Error("empty data must be zero")
+	}
+	spread := NormalizedVariance([]float64{1, 10})
+	tight := NormalizedVariance([]float64{9, 10})
+	if spread <= tight {
+		t.Error("normalized variance did not discriminate spread")
+	}
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/ir"
+	"repro/internal/mem"
+)
+
+// The on-disk representation references static instructions by ID, so a
+// saved trace can only be loaded against the module that produced it (same
+// name and instruction count — compilation is deterministic, so a rebuild
+// of the same source matches). Profiling a large benchmark once and
+// re-analyzing offline mirrors how the paper separates its profiling and
+// modelling phases.
+
+type savedEvent struct {
+	InstrID int32
+	Ops     []uint64
+	OpDefs  []int64
+	Result  uint64
+	Addr    uint64
+	MemDef  int64
+	VMAVer  int32
+	SP      uint64
+}
+
+type savedTrace struct {
+	ModuleName string
+	NumInstrs  int
+	Events     []savedEvent
+	Outputs    []Output
+	Snapshots  map[int][]mem.VMA
+	Layout     mem.Layout
+}
+
+// Save writes the trace in gob form.
+func (t *Trace) Save(w io.Writer) error {
+	st := savedTrace{
+		ModuleName: t.Module.Name,
+		NumInstrs:  t.Module.NumInstrs(),
+		Events:     make([]savedEvent, len(t.Events)),
+		Outputs:    t.Outputs,
+		Snapshots:  t.Snapshots,
+		Layout:     t.Layout,
+	}
+	for i := range t.Events {
+		e := &t.Events[i]
+		st.Events[i] = savedEvent{
+			InstrID: int32(e.Instr.ID),
+			Ops:     e.Ops,
+			OpDefs:  e.OpDefs,
+			Result:  e.Result,
+			Addr:    e.Addr,
+			MemDef:  e.MemDef,
+			VMAVer:  int32(e.VMAVer),
+			SP:      e.SP,
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("trace: encoding: %w", err)
+	}
+	return nil
+}
+
+// Load reads a trace saved by Save and re-binds it to m, which must be the
+// module (or an identical recompilation of the module) that produced it.
+func Load(r io.Reader, m *ir.Module) (*Trace, error) {
+	var st savedTrace
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("trace: decoding: %w", err)
+	}
+	if st.ModuleName != m.Name {
+		return nil, fmt.Errorf("trace: saved for module %q, loading against %q", st.ModuleName, m.Name)
+	}
+	if st.NumInstrs != m.NumInstrs() {
+		return nil, fmt.Errorf("trace: saved against %d static instructions, module has %d",
+			st.NumInstrs, m.NumInstrs())
+	}
+	byID := make([]*ir.Instr, m.NumInstrs())
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				byID[in.ID] = in
+			}
+		}
+	}
+	tr := &Trace{
+		Module:    m,
+		Events:    make([]Event, len(st.Events)),
+		Outputs:   st.Outputs,
+		Snapshots: st.Snapshots,
+		Layout:    st.Layout,
+	}
+	for i := range st.Events {
+		se := &st.Events[i]
+		if int(se.InstrID) < 0 || int(se.InstrID) >= len(byID) {
+			return nil, fmt.Errorf("trace: event %d references unknown instruction %d", i, se.InstrID)
+		}
+		tr.Events[i] = Event{
+			Instr:  byID[se.InstrID],
+			Ops:    se.Ops,
+			OpDefs: se.OpDefs,
+			Result: se.Result,
+			Addr:   se.Addr,
+			MemDef: se.MemDef,
+			VMAVer: int(se.VMAVer),
+			SP:     se.SP,
+		}
+	}
+	return tr, nil
+}
