@@ -1,0 +1,234 @@
+// Command campaign orchestrates durable, resumable fault-injection
+// campaigns over the built-in benchmarks (or a MiniC / textual-IR source
+// file) via internal/campaign.
+//
+// Usage:
+//
+//	campaign plan   -bench mm -runs 3000 [-seed N] [-shard-size K]
+//	campaign run    -bench mm -runs 3000 -log mm.jsonl [-epsilon 0.01] [-workers W] [-shards 0,2]
+//	campaign resume -bench mm -runs 3000 -log mm.jsonl
+//	campaign status -log mm.jsonl
+//	campaign merge  -out merged.jsonl shard-a.jsonl shard-b.jsonl
+//
+// `run` is restartable: interrupting it and re-invoking `run` (or
+// `resume`) continues from the log and converges on results identical to
+// an uninterrupted campaign. `-epsilon` enables adaptive early stopping
+// once the crash and SDC rate 95% CIs are within ±ε. `-shards` restricts
+// one invocation to a shard subset so several processes (or machines) can
+// split a plan; `merge` combines their logs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/campaign"
+	"repro/internal/fi"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/mem"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: campaign <plan|run|resume|status|merge> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "plan", "run", "resume":
+		return runCampaign(cmd, rest, out)
+	case "status":
+		return runStatus(rest, out)
+	case "merge":
+		return runMerge(rest, out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want plan, run, resume, status or merge)", cmd)
+	}
+}
+
+// runCampaign handles the module-bearing subcommands: plan, run, resume.
+func runCampaign(cmd string, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("campaign "+cmd, flag.ContinueOnError)
+	benchName := fs.String("bench", "", "built-in benchmark name")
+	srcPath := fs.String("src", "", "path to a MiniC source file (or .ll textual IR) instead")
+	scale := fs.Int("scale", 1, "benchmark input scale")
+	runs := fs.Int("runs", 3000, "total planned injections")
+	seed := fs.Int64("seed", 2016, "campaign seed")
+	jitterPages := fs.Uint64("jitter", 64, "ASLR jitter window in pages (0 = deterministic layout)")
+	shardSize := fs.Int("shard-size", campaign.DefaultShardSize, "runs per shard (checkpoint granularity)")
+	faultBits := fs.Int("fault-bits", 1, "bits flipped per injection")
+	logPath := fs.String("log", "", "JSONL result log (required for run/resume)")
+	workers := fs.Int("workers", runtime.NumCPU(), "injection worker goroutines")
+	epsilon := fs.Float64("epsilon", 0, "adaptive stop once crash & SDC ±95% CI <= epsilon (0 = fixed count)")
+	minRuns := fs.Int64("min-runs", 0, "floor below which adaptive stopping never triggers")
+	budget := fs.Int64("budget", 0, "max new runs this invocation (0 = unlimited)")
+	shardsFlag := fs.String("shards", "", "comma-separated shard subset to execute (default: all)")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := loadModule(*benchName, *srcPath, *scale)
+	if err != nil {
+		return err
+	}
+	golden, err := interp.Run(m, interp.Config{Record: true})
+	if err != nil {
+		return fmt.Errorf("golden run: %w", err)
+	}
+	label := *benchName
+	if label == "" {
+		label = m.Name
+	}
+	plan, err := campaign.NewPlan(m, golden, campaign.PlanConfig{
+		Benchmark: label,
+		Runs:      *runs,
+		ShardSize: *shardSize,
+		FI: fi.Config{
+			Seed:         *seed,
+			JitterWindow: *jitterPages * mem.PageSize,
+			FaultBits:    *faultBits,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	if cmd == "plan" {
+		t := report.NewTable(fmt.Sprintf("Campaign plan %s [%s]", plan.ID, plan.Benchmark), "Field", "Value")
+		t.AddRow("runs", plan.Runs)
+		t.AddRow("shards", fmt.Sprintf("%d x %d", plan.NumShards(), plan.ShardSize))
+		t.AddRow("seed", plan.Seed)
+		t.AddRow("jitter window", plan.JitterWindow)
+		t.AddRow("trace events", plan.TraceEvents)
+		t.AddRow("injectable bits", plan.TotalBits)
+		fmt.Fprint(out, t.String())
+		return nil
+	}
+
+	if *logPath == "" {
+		return fmt.Errorf("%s requires -log <path>", cmd)
+	}
+	var shards []int
+	if *shardsFlag != "" {
+		for _, s := range strings.Split(*shardsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad -shards entry %q: %w", s, err)
+			}
+			shards = append(shards, n)
+		}
+	}
+	opts := campaign.RunOptions{
+		LogPath: *logPath,
+		Workers: *workers,
+		Epsilon: *epsilon,
+		MinRuns: *minRuns,
+		Budget:  *budget,
+		Shards:  shards,
+	}
+	if !*quiet {
+		opts.Progress = out
+	}
+	var res *campaign.Result
+	if cmd == "resume" {
+		res, err = campaign.Resume(m, golden, plan, opts)
+	} else {
+		res, err = campaign.Run(m, golden, plan, opts)
+	}
+	if err != nil {
+		return err
+	}
+	if *quiet {
+		fmt.Fprint(out, res.Render())
+	}
+	if !res.Complete {
+		fmt.Fprintf(out, "campaign incomplete: %d/%d runs logged — re-invoke `campaign resume` to continue\n",
+			res.Replayed+res.Executed, plan.Runs)
+	}
+	return nil
+}
+
+func runStatus(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("campaign status", flag.ContinueOnError)
+	logPath := fs.String("log", "", "JSONL result log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := *logPath
+	if path == "" && fs.NArg() == 1 {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		return fmt.Errorf("status requires -log <path>")
+	}
+	st, err := campaign.ReadStatus(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, st.Render())
+	return nil
+}
+
+func runMerge(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("campaign merge", flag.ContinueOnError)
+	outPath := fs.String("out", "", "merged JSONL log to write")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outPath == "" {
+		return fmt.Errorf("merge requires -out <path>")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("merge requires at least one input log")
+	}
+	st, err := campaign.MergeLogs(*outPath, fs.Args())
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, st.Render())
+	return nil
+}
+
+func loadModule(benchName, srcPath string, scale int) (*ir.Module, error) {
+	switch {
+	case benchName != "" && srcPath != "":
+		return nil, fmt.Errorf("-bench and -src are mutually exclusive")
+	case benchName != "":
+		b, ok := bench.Get(benchName)
+		if !ok {
+			var names []string
+			for _, bb := range bench.All() {
+				names = append(names, bb.Name)
+			}
+			return nil, fmt.Errorf("unknown benchmark %q; available: %s", benchName, strings.Join(names, ", "))
+		}
+		return b.Module(scale)
+	case srcPath != "":
+		src, err := os.ReadFile(srcPath)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(srcPath, ".ll") {
+			return ir.Parse(string(src))
+		}
+		return lang.Compile(strings.TrimSuffix(srcPath, ".c"), string(src))
+	default:
+		return nil, fmt.Errorf("specify -bench <name> or -src <file>")
+	}
+}

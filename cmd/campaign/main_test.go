@@ -1,0 +1,98 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPlanRunResumeStatusMerge(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "lud.jsonl")
+	common := []string{"-bench", "lud", "-runs", "90", "-shard-size", "30", "-jitter", "0"}
+
+	var plan strings.Builder
+	if err := run(append([]string{"plan"}, common...), &plan); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if !strings.Contains(plan.String(), "3 x 30") {
+		t.Errorf("plan output missing shard geometry:\n%s", plan.String())
+	}
+
+	// Budgeted first slice, then resume to completion.
+	var out strings.Builder
+	if err := run(append([]string{"run", "-log", logPath, "-budget", "40", "-q"}, common...), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "campaign incomplete") {
+		t.Errorf("budgeted run did not report incompleteness:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(append([]string{"resume", "-log", logPath, "-q"}, common...), &out); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if strings.Contains(out.String(), "campaign incomplete") {
+		t.Errorf("resumed campaign still incomplete:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"status", "-log", logPath}, &out); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if !strings.Contains(out.String(), "90/90") {
+		t.Errorf("status missing run tally:\n%s", out.String())
+	}
+
+	merged := filepath.Join(dir, "merged.jsonl")
+	out.Reset()
+	if err := run([]string{"merge", "-out", merged, logPath}, &out); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !strings.Contains(out.String(), "90/90") {
+		t.Errorf("merge status missing tally:\n%s", out.String())
+	}
+}
+
+func TestShardedInvocations(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	common := []string{"-bench", "mm", "-runs", "60", "-shard-size", "20", "-jitter", "0", "-q"}
+	var out strings.Builder
+	if err := run(append([]string{"run", "-log", a, "-shards", "0,2"}, common...), &out); err != nil {
+		t.Fatalf("shard run a: %v", err)
+	}
+	if err := run(append([]string{"run", "-log", b, "-shards", "1"}, common...), &out); err != nil {
+		t.Fatalf("shard run b: %v", err)
+	}
+	merged := filepath.Join(dir, "m.jsonl")
+	out.Reset()
+	if err := run([]string{"merge", "-out", merged, a, b}, &out); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !strings.Contains(out.String(), "60/60") || !strings.Contains(out.String(), "3/3") {
+		t.Errorf("merged shards incomplete:\n%s", out.String())
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("empty invocation accepted")
+	}
+	if err := run([]string{"bogus"}, &out); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"run", "-bench", "lud"}, &out); err == nil {
+		t.Error("run without -log accepted")
+	}
+	if err := run([]string{"run", "-bench", "ghost", "-log", "x"}, &out); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"status"}, &out); err == nil {
+		t.Error("status without log accepted")
+	}
+	if err := run([]string{"merge", "-out", "x"}, &out); err == nil {
+		t.Error("merge without inputs accepted")
+	}
+}

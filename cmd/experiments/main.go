@@ -8,7 +8,10 @@
 //	experiments [flags] ablations           # the DESIGN.md ablations
 //
 // Flags scale the campaigns: -runs (default 3000, the paper's size),
-// -quick (CI-scale), -benchmarks (comma-separated subset).
+// -quick (CI-scale), -benchmarks (comma-separated subset). With
+// -campaign-cache <dir>, fault-injection campaigns persist to durable
+// JSONL logs under the directory and later invocations replay them
+// instead of re-injecting (interrupted runs resume mid-campaign).
 package main
 
 import (
@@ -40,6 +43,7 @@ func run(args []string) error {
 	caseScale := fs.Int("case-scale", 2, "input scale for the §V case-study campaigns")
 	seed := fs.Int64("seed", 2016, "random seed")
 	benchList := fs.String("benchmarks", "", "comma-separated benchmark subset (default: the paper's ten)")
+	campaignCache := fs.String("campaign-cache", "", "directory of durable campaign logs; reused across invocations and resumable after interruption")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +60,12 @@ func run(args []string) error {
 	cfg.Seed = *seed
 	if *quick {
 		cfg = experiments.QuickConfig()
+	}
+	if *campaignCache != "" {
+		if err := os.MkdirAll(*campaignCache, 0o755); err != nil {
+			return fmt.Errorf("campaign cache: %w", err)
+		}
+		cfg.CampaignDir = *campaignCache
 	}
 	if *benchList != "" {
 		var bs []*bench.Benchmark

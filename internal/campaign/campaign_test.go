@@ -1,0 +1,398 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fi"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/mem"
+)
+
+// kernelSrc is a small kernel with a healthy mix of crash, SDC and benign
+// outcomes under injection.
+const kernelSrc = `
+void main() {
+  long *a = malloc(40 * 8);
+  int i;
+  for (i = 0; i < 40; i = i + 1) { a[i] = i * 5; }
+  long s = 0;
+  for (i = 0; i < 40; i = i + 1) { s = s + a[i]; }
+  output(s);
+  free(a);
+}
+`
+
+func golden(t *testing.T, src string) *interp.Result {
+	t.Helper()
+	m, err := lang.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := interp.Run(m, interp.Config{Record: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Exception != nil || res.Hang {
+		t.Fatalf("abnormal golden run: exc=%v hang=%v", res.Exception, res.Hang)
+	}
+	return res
+}
+
+func testPlan(t *testing.T, g *interp.Result, runs, shard int) *Plan {
+	t.Helper()
+	p, err := NewPlan(g.Trace.Module, g, PlanConfig{
+		Benchmark: "kernel",
+		Runs:      runs,
+		ShardSize: shard,
+		FI:        fi.Config{Seed: 41, JitterWindow: 16 * mem.PageSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlanHashStableAndSensitive(t *testing.T) {
+	g := golden(t, kernelSrc)
+	p1 := testPlan(t, g, 100, 25)
+	p2 := testPlan(t, g, 100, 25)
+	if p1.ID != p2.ID {
+		t.Errorf("identical inputs produced different plan IDs: %s vs %s", p1.ID, p2.ID)
+	}
+	p3, err := NewPlan(g.Trace.Module, g, PlanConfig{
+		Benchmark: "kernel", Runs: 100, ShardSize: 25,
+		FI: fi.Config{Seed: 42, JitterWindow: 16 * mem.PageSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.ID == p1.ID {
+		t.Error("changing the seed did not change the plan ID")
+	}
+	// A different module must hash differently.
+	g2 := golden(t, `void main() { int x = 3; int y = x * x; output(y); }`)
+	p4, err := NewPlan(g2.Trace.Module, g2, PlanConfig{
+		Benchmark: "kernel", Runs: 100, ShardSize: 25,
+		FI: fi.Config{Seed: 41, JitterWindow: 16 * mem.PageSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.ID == p1.ID {
+		t.Error("different modules share a plan ID")
+	}
+	// The benchmark label is cosmetic.
+	p5, err := NewPlan(g.Trace.Module, g, PlanConfig{
+		Benchmark: "renamed", Runs: 100, ShardSize: 25,
+		FI: fi.Config{Seed: 41, JitterWindow: 16 * mem.PageSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p5.ID != p1.ID {
+		t.Error("renaming the benchmark invalidated the plan ID")
+	}
+}
+
+func TestShardGeometry(t *testing.T) {
+	g := golden(t, kernelSrc)
+	p := testPlan(t, g, 90, 25)
+	if p.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", p.NumShards())
+	}
+	covered := int64(0)
+	for i := 0; i < p.NumShards(); i++ {
+		lo, hi := p.ShardRange(i)
+		if lo != covered {
+			t.Errorf("shard %d starts at %d, want %d", i, lo, covered)
+		}
+		covered = hi
+	}
+	if covered != 90 {
+		t.Errorf("shards cover %d runs, want 90", covered)
+	}
+}
+
+func TestRunMatchesFiCampaign(t *testing.T) {
+	// The engine with no log and no stopping must agree bitwise with the
+	// legacy fi.RunCampaign wrapper.
+	g := golden(t, kernelSrc)
+	p := testPlan(t, g, 80, 32)
+	res, err := Run(g.Trace.Module, g, p, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := fi.RunCampaign(g.Trace.Module, g, p.FIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != len(legacy.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(res.Records), len(legacy.Records))
+	}
+	for i := range res.Records {
+		if res.Records[i] != legacy.Records[i] {
+			t.Fatalf("record %d differs between engine and fi.RunCampaign", i)
+		}
+	}
+	if !res.Complete {
+		t.Error("full campaign not marked complete")
+	}
+}
+
+func TestInterruptedCampaignResumesBitwiseIdentical(t *testing.T) {
+	// Acceptance criterion: interrupt after N records (budgeted
+	// invocation), resume from the JSONL log, and compare against an
+	// uninterrupted run of the same plan: final records and counts must
+	// be bitwise identical.
+	g := golden(t, kernelSrc)
+	p := testPlan(t, g, 120, 30)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "campaign.jsonl")
+
+	first, err := Run(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 3, Budget: 47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Executed != 47 {
+		t.Fatalf("budgeted invocation executed %d runs, want 47", first.Executed)
+	}
+	if first.Complete {
+		t.Fatal("interrupted campaign claims completion")
+	}
+	st, err := ReadStatus(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 47 {
+		t.Fatalf("log holds %d runs after interruption, want 47", st.Done)
+	}
+
+	resumed, err := Resume(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Replayed != 47 || resumed.Executed != 120-47 {
+		t.Fatalf("resume replayed %d / executed %d, want 47 / 73", resumed.Replayed, resumed.Executed)
+	}
+	uninterrupted, err := Run(g.Trace.Module, g, p, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Records) != len(uninterrupted.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(resumed.Records), len(uninterrupted.Records))
+	}
+	for i := range resumed.Records {
+		if resumed.Records[i] != uninterrupted.Records[i] {
+			t.Fatalf("record %d differs between resumed and uninterrupted campaigns", i)
+		}
+	}
+	for o, c := range uninterrupted.Counts {
+		if resumed.Counts[o] != c {
+			t.Errorf("outcome %v: resumed count %d != uninterrupted %d", o, resumed.Counts[o], c)
+		}
+	}
+}
+
+func TestResumeRefusesMissingLog(t *testing.T) {
+	g := golden(t, kernelSrc)
+	p := testPlan(t, g, 10, 5)
+	if _, err := Resume(g.Trace.Module, g, p, RunOptions{LogPath: filepath.Join(t.TempDir(), "absent.jsonl")}); err == nil {
+		t.Error("resume from a missing log must fail")
+	}
+	if _, err := Resume(g.Trace.Module, g, p, RunOptions{}); err == nil {
+		t.Error("resume without a log path must fail")
+	}
+}
+
+func TestResumeDetectsPlanMismatch(t *testing.T) {
+	g := golden(t, kernelSrc)
+	p := testPlan(t, g, 40, 20)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "campaign.jsonl")
+	if _, err := Run(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Budget: 5}); err != nil {
+		t.Fatal(err)
+	}
+	other := testPlan(t, g, 40, 20)
+	other.Seed = 999 // tamper: same ID claim, different config
+	if _, err := Run(g.Trace.Module, g, other, RunOptions{LogPath: logPath}); err == nil {
+		t.Error("tampered plan must be rejected against the module hash")
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	// A crash mid-append leaves a partial final line; replay must ignore
+	// it and resume must re-execute that run.
+	g := golden(t, kernelSrc)
+	p := testPlan(t, g, 30, 10)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "campaign.jsonl")
+	if _, err := Run(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Budget: 12}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file mid-way through its final line.
+	torn := data[:len(data)-7]
+	if err := os.WriteFile(logPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(g.Trace.Module, g, p, RunOptions{LogPath: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(g.Trace.Module, g, p, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Records {
+		if resumed.Records[i] != full.Records[i] {
+			t.Fatalf("record %d differs after torn-tail resume", i)
+		}
+	}
+}
+
+func TestAdaptiveStoppingSavesRuns(t *testing.T) {
+	// Acceptance criterion: with ε wide enough to converge well before
+	// the planned run count, the adaptive campaign must execute >= 30%
+	// fewer runs while its rate estimates stay within ε of the full
+	// campaign's.
+	g := golden(t, kernelSrc)
+	const total = 2400
+	p := testPlan(t, g, total, 100)
+	eps := 0.05
+	adaptive, err := Run(g.Trace.Module, g, p, RunOptions{Workers: 8, Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adaptive.Stopped {
+		t.Fatalf("adaptive campaign did not stop early (%d runs)", len(adaptive.Records))
+	}
+	used := len(adaptive.Records)
+	if float64(used) > 0.7*total {
+		t.Fatalf("adaptive campaign used %d/%d runs; want >= 30%% savings", used, total)
+	}
+	if adaptive.Saved != int64(total-used) {
+		t.Errorf("Saved = %d, want %d", adaptive.Saved, total-used)
+	}
+	full, err := Run(g.Trace.Module, g, p, RunOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullFI, adFI := full.FIResult(), adaptive.FIResult()
+	for _, o := range []fi.Outcome{fi.OutcomeCrash, fi.OutcomeSDC} {
+		d := adFI.Rate(o) - fullFI.Rate(o)
+		if d < 0 {
+			d = -d
+		}
+		if d > eps {
+			t.Errorf("outcome %v: adaptive estimate %.4f deviates from full %.4f by more than ε=%.2f",
+				o, adFI.Rate(o), fullFI.Rate(o), eps)
+		}
+	}
+}
+
+func TestAdaptiveStopDeterministicAcrossResume(t *testing.T) {
+	// The stop boundary must not depend on interruption: a budgeted run +
+	// resume must stop at the same prefix as a straight-through run.
+	g := golden(t, kernelSrc)
+	p := testPlan(t, g, 1200, 100)
+	straight, err := Run(g.Trace.Module, g, p, RunOptions{Workers: 4, Epsilon: 0.06})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !straight.Stopped {
+		t.Skip("kernel did not converge at this ε; determinism check not applicable")
+	}
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "c.jsonl")
+	if _, err := Run(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 2, Epsilon: 0.06, Budget: 130}); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 7, Epsilon: 0.06})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Records) != len(straight.Records) {
+		t.Fatalf("stop boundary moved: %d vs %d runs", len(resumed.Records), len(straight.Records))
+	}
+	for i := range straight.Records {
+		if resumed.Records[i] != straight.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestShardedProcessesMerge(t *testing.T) {
+	// Two "processes" run disjoint shard sets into separate logs; merge
+	// combines them into a complete campaign equal to a monolithic run.
+	g := golden(t, kernelSrc)
+	p := testPlan(t, g, 100, 20)
+	dir := t.TempDir()
+	logA := filepath.Join(dir, "a.jsonl")
+	logB := filepath.Join(dir, "b.jsonl")
+	if _, err := Run(g.Trace.Module, g, p, RunOptions{LogPath: logA, Shards: []int{0, 2, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g.Trace.Module, g, p, RunOptions{LogPath: logB, Shards: []int{1, 3}, Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	merged := filepath.Join(dir, "merged.jsonl")
+	st, err := MergeLogs(merged, []string{logA, logB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 100 || st.ShardsComplete != 5 {
+		t.Fatalf("merged status: %d runs, %d shards complete", st.Done, st.ShardsComplete)
+	}
+	// Resuming the merged log needs zero additional work and agrees with
+	// a monolithic campaign.
+	resumed, err := Resume(g.Trace.Module, g, p, RunOptions{LogPath: merged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Executed != 0 {
+		t.Errorf("merged campaign executed %d extra runs", resumed.Executed)
+	}
+	mono, err := Run(g.Trace.Module, g, p, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mono.Records {
+		if resumed.Records[i] != mono.Records[i] {
+			t.Fatalf("record %d differs between merged-shard and monolithic campaigns", i)
+		}
+	}
+}
+
+func TestStatusAndResultRender(t *testing.T) {
+	g := golden(t, kernelSrc)
+	p := testPlan(t, g, 60, 30)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "c.jsonl")
+	var buf strings.Builder
+	res, err := Run(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Progress: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "crash") || !strings.Contains(out, p.ID) {
+		t.Errorf("result render missing fields:\n%s", out)
+	}
+	if !strings.Contains(buf.String(), "executed") {
+		t.Errorf("progress writer saw no summary: %q", buf.String())
+	}
+	st, err := ReadStatus(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := st.Render()
+	if !strings.Contains(sr, "runs logged") || !strings.Contains(sr, "60/60") {
+		t.Errorf("status render missing fields:\n%s", sr)
+	}
+}

@@ -1,0 +1,396 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/fi"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/stats"
+)
+
+// RunOptions controls one engine invocation over a plan.
+type RunOptions struct {
+	// LogPath is the durable JSONL result log. Empty runs the campaign
+	// in memory only (no persistence, no resume).
+	LogPath string
+	// Workers bounds the injection worker pool; <= 0 means 1.
+	Workers int
+	// Epsilon, when positive, enables adaptive early stopping: the
+	// campaign ends once the Wilson 95% CI half-widths of both the crash
+	// rate and the SDC rate are <= Epsilon.
+	Epsilon float64
+	// MinRuns is the floor below which adaptive stopping never triggers;
+	// zero defaults to two shards' worth.
+	MinRuns int64
+	// Budget caps the number of new runs this invocation executes; zero
+	// is unlimited. A budgeted invocation that exhausts its budget leaves
+	// a resumable log behind.
+	Budget int64
+	// Shards restricts execution to the given shard indices (for manual
+	// sharding across processes); nil runs every shard. Adaptive stopping
+	// still evaluates on the contiguous completed prefix only.
+	Shards []int
+	// Progress, when non-nil, receives periodic progress lines.
+	Progress io.Writer
+}
+
+// Result aggregates one engine invocation.
+type Result struct {
+	Plan *Plan
+	// Records holds the campaign's effective records in run-index order:
+	// the full plan when complete, the converged prefix when adaptively
+	// stopped, or every available record otherwise.
+	Records    []fi.Record
+	Counts     map[fi.Outcome]int
+	CrashTypes map[interp.ExcKind]int
+	GoldenDyn  int64
+	// Executed counts runs performed by this invocation; Replayed counts
+	// runs recovered from the log.
+	Executed int64
+	Replayed int64
+	// Stopped is set when adaptive stopping ended the campaign early;
+	// Saved is the number of planned runs it avoided.
+	Stopped bool
+	Saved   int64
+	Reason  string
+	// Complete reports whether the campaign needs no further runs.
+	Complete bool
+	Elapsed  time.Duration
+}
+
+// FIResult converts to the legacy fi.Result shape every experiment
+// consumes.
+func (r *Result) FIResult() *fi.Result {
+	return &fi.Result{
+		Records:    r.Records,
+		Counts:     r.Counts,
+		CrashTypes: r.CrashTypes,
+		GoldenDyn:  r.GoldenDyn,
+	}
+}
+
+// Run executes (or continues) the planned campaign. When opts.LogPath
+// names an existing log for the same plan, completed runs are replayed and
+// only missing run indices execute — interrupt and resume converge on
+// results bitwise-identical to an uninterrupted run, because every run's
+// RNG stream depends only on (plan seed, run index).
+func Run(m *ir.Module, golden *interp.Result, plan *Plan, opts RunOptions) (*Result, error) {
+	start := time.Now()
+	if got := contentHash(m, plan); got != plan.ID {
+		return nil, fmt.Errorf("campaign: plan %s does not match module %q (content hash %s) — regenerate the plan",
+			plan.ID, m.Name, got)
+	}
+	runner, err := fi.NewRunner(m, golden, plan.FIConfig())
+	if err != nil {
+		return nil, err
+	}
+	if n := golden.Trace.NumEvents(); n != plan.TraceEvents {
+		return nil, fmt.Errorf("campaign: golden trace has %d events, plan %s expects %d", n, plan.ID, plan.TraceEvents)
+	}
+
+	st := &state{
+		plan:    plan,
+		runner:  runner,
+		records: make(map[int64]fi.Record),
+	}
+	var w *logWriter
+	if opts.LogPath != "" {
+		rp, err := readLog(opts.LogPath)
+		fresh := false
+		switch {
+		case err == nil:
+			if err := plan.Compatible(rp.Plan); err != nil {
+				return nil, fmt.Errorf("%s: %w", opts.LogPath, err)
+			}
+			st.records = rp.Records
+			st.stopped = rp.Stopped
+			st.saved = rp.Saved
+			st.reason = rp.Reason
+		case os.IsNotExist(err):
+			fresh = true
+		default:
+			return nil, err
+		}
+		if w, err = openLog(opts.LogPath, plan, fresh); err != nil {
+			return nil, err
+		}
+		defer w.close()
+	}
+	replayed := int64(len(st.records))
+
+	minRuns := opts.MinRuns
+	if minRuns <= 0 {
+		minRuns = 2 * plan.ShardSize
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	prog := newProgress(opts.Progress, plan, replayed)
+
+	shardOrder := opts.Shards
+	if shardOrder == nil {
+		shardOrder = make([]int, plan.NumShards())
+		for i := range shardOrder {
+			shardOrder[i] = i
+		}
+	} else {
+		for _, s := range shardOrder {
+			if s < 0 || s >= plan.NumShards() {
+				return nil, fmt.Errorf("campaign: shard %d out of range [0, %d)", s, plan.NumShards())
+			}
+		}
+	}
+
+	// An already-logged stop decision, or one implied by the replayed
+	// prefix, short-circuits execution.
+	loggedStop := st.stopped
+	if !st.stopped && opts.Epsilon > 0 {
+		st.checkStop(opts.Epsilon, minRuns)
+	}
+
+	var executed int64
+	budgetLeft := opts.Budget
+	budgetExhausted := false
+	for _, si := range shardOrder {
+		if st.stopped {
+			break
+		}
+		lo, hi := plan.ShardRange(si)
+		// Skip shards beyond an adaptive-stop prefix boundary check; run
+		// the missing indices of this shard.
+		var missing []int64
+		for idx := lo; idx < hi; idx++ {
+			if _, ok := st.records[idx]; !ok {
+				missing = append(missing, idx)
+			}
+		}
+		if len(missing) > 0 {
+			if opts.Budget > 0 {
+				if budgetLeft <= 0 {
+					budgetExhausted = true
+					break
+				}
+				if int64(len(missing)) > budgetLeft {
+					missing = missing[:budgetLeft]
+					budgetExhausted = true
+				}
+			}
+			if err := st.runIndices(missing, workers, w, prog); err != nil {
+				return nil, err
+			}
+			executed += int64(len(missing))
+			budgetLeft -= int64(len(missing))
+		}
+		if st.complete(si) {
+			if w != nil {
+				if err := w.append(logRecord{Kind: kindShardDone, Shard: si}); err != nil {
+					return nil, err
+				}
+				if err := w.checkpoint(); err != nil {
+					return nil, err
+				}
+			}
+			if opts.Epsilon > 0 {
+				st.checkStop(opts.Epsilon, minRuns)
+			}
+		}
+		if budgetExhausted {
+			break
+		}
+	}
+	if st.stopped && !loggedStop && w != nil {
+		if err := w.append(logRecord{Kind: kindStop, Done: st.stopN, Saved: st.saved, Reason: st.reason}); err != nil {
+			return nil, err
+		}
+		if err := w.checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+
+	res := st.result(golden.DynInstrs)
+	res.Executed = executed
+	res.Replayed = replayed
+	res.Elapsed = time.Since(start)
+	prog.finish(res)
+	return res, nil
+}
+
+// Resume continues a previously started campaign from its log; unlike Run
+// it refuses to start from scratch, so a typo'd path fails loudly instead
+// of silently launching a fresh campaign.
+func Resume(m *ir.Module, golden *interp.Result, plan *Plan, opts RunOptions) (*Result, error) {
+	if opts.LogPath == "" {
+		return nil, fmt.Errorf("campaign: resume requires a log path")
+	}
+	if _, err := os.Stat(opts.LogPath); err != nil {
+		return nil, fmt.Errorf("campaign: resume: %w", err)
+	}
+	return Run(m, golden, plan, opts)
+}
+
+// state tracks a campaign mid-flight.
+type state struct {
+	plan    *Plan
+	runner  *fi.Runner
+	records map[int64]fi.Record
+	stopped bool
+	stopN   int64 // effective run count when stopped
+	saved   int64
+	reason  string
+}
+
+// indexed pairs a run index with its record for the worker pool.
+type indexed struct {
+	i   int64
+	rec fi.Record
+}
+
+// runIndices executes the given run indices on the worker pool, streaming
+// each record into the log as it completes.
+func (st *state) runIndices(idxs []int64, workers int, w *logWriter, prog *progress) error {
+	if workers > len(idxs) {
+		workers = len(idxs)
+	}
+	if workers <= 1 {
+		for _, i := range idxs {
+			rec := st.runner.RunIndex(i)
+			st.records[i] = rec
+			if w != nil {
+				if err := w.append(runToLog(i, rec)); err != nil {
+					return err
+				}
+			}
+			prog.add(rec)
+		}
+		return nil
+	}
+	work := make(chan int64)
+	results := make(chan indexed, workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			for i := range work {
+				results <- indexed{i: i, rec: st.runner.RunIndex(i)}
+			}
+		}()
+	}
+	go func() {
+		for _, i := range idxs {
+			work <- i
+		}
+		close(work)
+	}()
+	for range idxs {
+		r := <-results
+		st.records[r.i] = r.rec
+		if w != nil {
+			if err := w.append(runToLog(r.i, r.rec)); err != nil {
+				return err
+			}
+		}
+		prog.add(r.rec)
+	}
+	return nil
+}
+
+// complete reports whether shard si has every record.
+func (st *state) complete(si int) bool {
+	lo, hi := st.plan.ShardRange(si)
+	for i := lo; i < hi; i++ {
+		if _, ok := st.records[i]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// checkStop scans contiguous completed-shard prefixes in order and stops
+// at the first boundary where both tracked rates have converged. Because
+// record values depend only on run index, the boundary chosen — and
+// therefore the final result — is independent of worker count,
+// interruptions, and shard execution order.
+func (st *state) checkStop(epsilon float64, minRuns int64) {
+	for k := 0; k < st.plan.NumShards(); k++ {
+		if !st.complete(k) {
+			return
+		}
+		_, n := st.plan.ShardRange(k)
+		if n >= st.plan.Runs {
+			return // full campaign: nothing left to save
+		}
+		if n < minRuns {
+			continue
+		}
+		crash, sdc := 0, 0
+		for i := int64(0); i < n; i++ {
+			switch st.records[i].Outcome {
+			case fi.OutcomeCrash:
+				crash++
+			case fi.OutcomeSDC:
+				sdc++
+			}
+		}
+		cw := stats.Proportion{Successes: crash, N: int(n)}.HalfWidth()
+		sw := stats.Proportion{Successes: sdc, N: int(n)}.HalfWidth()
+		if cw <= epsilon && sw <= epsilon {
+			st.stopped = true
+			st.stopN = n
+			st.saved = st.plan.Runs - n
+			st.reason = fmt.Sprintf("converged at %d/%d runs: ±crash %.4f, ±SDC %.4f <= ε %.4f",
+				n, st.plan.Runs, cw, sw, epsilon)
+			return
+		}
+	}
+}
+
+// result snapshots the effective campaign outcome.
+func (st *state) result(goldenDyn int64) *Result {
+	res := &Result{
+		Plan:       st.plan,
+		Counts:     make(map[fi.Outcome]int),
+		CrashTypes: make(map[interp.ExcKind]int),
+		GoldenDyn:  goldenDyn,
+		Stopped:    st.stopped,
+		Saved:      st.saved,
+		Reason:     st.reason,
+	}
+	switch {
+	case st.stopped:
+		// The converged prefix is the campaign's result; later records
+		// (from out-of-order shard execution) stay in the log but are not
+		// part of the estimate.
+		res.Records = make([]fi.Record, 0, st.stopN)
+		for i := int64(0); i < st.stopN; i++ {
+			res.Records = append(res.Records, st.records[i])
+		}
+		res.Complete = true
+	case int64(len(st.records)) == st.plan.Runs:
+		res.Records = make([]fi.Record, 0, st.plan.Runs)
+		for i := int64(0); i < st.plan.Runs; i++ {
+			res.Records = append(res.Records, st.records[i])
+		}
+		res.Complete = true
+	default:
+		idxs := make([]int64, 0, len(st.records))
+		for i := range st.records {
+			idxs = append(idxs, i)
+		}
+		sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+		res.Records = make([]fi.Record, 0, len(idxs))
+		for _, i := range idxs {
+			res.Records = append(res.Records, st.records[i])
+		}
+	}
+	for _, rec := range res.Records {
+		res.Counts[rec.Outcome]++
+		if rec.Outcome == fi.OutcomeCrash {
+			res.CrashTypes[rec.Exc]++
+		}
+	}
+	return res
+}

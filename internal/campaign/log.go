@@ -1,0 +1,279 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/fi"
+	"repro/internal/interp"
+)
+
+// Log record kinds. A campaign log is append-only JSONL: one header, then
+// run records in completion order (each self-identifying by run index),
+// shard checkpoints, and optionally one stop record. Because every run
+// record carries its index, the log is valid in any interleaving — crash
+// mid-write loses at most the unflushed tail, never consistency.
+const (
+	kindHeader    = "header"
+	kindRun       = "run"
+	kindShardDone = "shard_done"
+	kindStop      = "stop"
+)
+
+// logRecord is the envelope for every JSONL line.
+type logRecord struct {
+	Kind string `json:"kind"`
+	// header
+	Plan *Plan `json:"plan,omitempty"`
+	// run
+	Index   int64  `json:"index,omitempty"`
+	Event   int64  `json:"event,omitempty"`
+	Bit     int    `json:"bit,omitempty"`
+	Mask    uint64 `json:"mask,omitempty"`
+	Outcome int    `json:"outcome,omitempty"`
+	Exc     int    `json:"exc,omitempty"`
+	// shard_done
+	Shard int `json:"shard,omitempty"`
+	// stop
+	Done   int64  `json:"done,omitempty"`
+	Saved  int64  `json:"saved,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func runToLog(index int64, rec fi.Record) logRecord {
+	return logRecord{
+		Kind:    kindRun,
+		Index:   index,
+		Event:   rec.Target.Event,
+		Bit:     rec.Target.Bit,
+		Mask:    rec.Target.Mask,
+		Outcome: int(rec.Outcome),
+		Exc:     int(rec.Exc),
+	}
+}
+
+func (lr logRecord) fiRecord() fi.Record {
+	return fi.Record{
+		Target:  fi.Target{Event: lr.Event, Bit: lr.Bit, Mask: lr.Mask},
+		Outcome: fi.Outcome(lr.Outcome),
+		Exc:     interp.ExcKind(lr.Exc),
+	}
+}
+
+// logWriter appends records to a campaign log file. Writes are buffered;
+// Checkpoint flushes and fsyncs so completed shards survive a crash.
+type logWriter struct {
+	f   *os.File
+	buf *bufio.Writer
+	enc *json.Encoder
+}
+
+// openLog opens (creating if needed) a log for appending. When the file is
+// fresh, the plan header is written first; when it already has content,
+// the caller is expected to have replayed it and verified the plan.
+func openLog(path string, plan *Plan, fresh bool) (*logWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: opening log: %w", err)
+	}
+	w := &logWriter{f: f, buf: bufio.NewWriterSize(f, 1<<16)}
+	w.enc = json.NewEncoder(w.buf)
+	if fresh {
+		if err := w.append(logRecord{Kind: kindHeader, Plan: plan}); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := w.checkpoint(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+func (w *logWriter) append(rec logRecord) error {
+	if err := w.enc.Encode(rec); err != nil {
+		return fmt.Errorf("campaign: appending log record: %w", err)
+	}
+	return nil
+}
+
+// checkpoint makes everything appended so far durable.
+func (w *logWriter) checkpoint() error {
+	if err := w.buf.Flush(); err != nil {
+		return fmt.Errorf("campaign: flushing log: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: fsync log: %w", err)
+	}
+	return nil
+}
+
+func (w *logWriter) close() error {
+	if err := w.buf.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// replay is the parsed state of a campaign log.
+type replay struct {
+	Plan *Plan
+	// Records maps run index to its result for every logged run.
+	Records map[int64]fi.Record
+	// ShardsDone marks shards with a durable completion checkpoint.
+	ShardsDone map[int]bool
+	// Stopped is set when the log carries an adaptive-stop decision.
+	Stopped bool
+	Saved   int64
+	Reason  string
+}
+
+// readLog parses a campaign log. A trailing partial line (torn write from
+// a crash) is tolerated and ignored; any other malformed content is an
+// error. Returns os.ErrNotExist when the file is absent.
+func readLog(path string) (*replay, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rp := &replay{
+		Records:    make(map[int64]fi.Record),
+		ShardsDone: make(map[int]bool),
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec logRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// A torn final line is the expected crash artifact; anything
+			// before the end is corruption.
+			if moreData(sc) {
+				return nil, fmt.Errorf("campaign: %s:%d: malformed log record: %v", path, line, err)
+			}
+			break
+		}
+		switch rec.Kind {
+		case kindHeader:
+			if rp.Plan != nil {
+				return nil, fmt.Errorf("campaign: %s:%d: duplicate header", path, line)
+			}
+			rp.Plan = rec.Plan
+		case kindRun:
+			rp.Records[rec.Index] = rec.fiRecord()
+		case kindShardDone:
+			rp.ShardsDone[rec.Shard] = true
+		case kindStop:
+			rp.Stopped = true
+			rp.Saved = rec.Saved
+			rp.Reason = rec.Reason
+		default:
+			return nil, fmt.Errorf("campaign: %s:%d: unknown record kind %q", path, line, rec.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: reading log %s: %w", path, err)
+	}
+	if rp.Plan == nil {
+		return nil, fmt.Errorf("campaign: log %s has no plan header", path)
+	}
+	return rp, nil
+}
+
+// moreData reports whether the scanner still has content after the current
+// token — i.e. the just-failed line was not the final one.
+func moreData(sc *bufio.Scanner) bool {
+	return sc.Scan()
+}
+
+// shardComplete reports whether every index of shard i is present.
+func (rp *replay) shardComplete(p *Plan, i int) bool {
+	if rp.ShardsDone[i] {
+		return true
+	}
+	lo, hi := p.ShardRange(i)
+	for idx := lo; idx < hi; idx++ {
+		if _, ok := rp.Records[idx]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeLogs combines shard logs produced by separate processes running the
+// same plan into one log at out. Inputs must share an identical plan; run
+// records are deduplicated by index. Returns the merged status.
+func MergeLogs(out string, inputs []string) (*Status, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("campaign: merge needs at least one input log")
+	}
+	var plan *Plan
+	records := make(map[int64]fi.Record)
+	stopped := false
+	var saved int64
+	reason := ""
+	for _, in := range inputs {
+		rp, err := readLog(in)
+		if err != nil {
+			return nil, err
+		}
+		if plan == nil {
+			plan = rp.Plan
+		} else if err := plan.Compatible(rp.Plan); err != nil {
+			return nil, fmt.Errorf("%s: %w", in, err)
+		}
+		for idx, rec := range rp.Records {
+			records[idx] = rec
+		}
+		if rp.Stopped {
+			stopped = true
+			saved = rp.Saved
+			reason = rp.Reason
+		}
+	}
+	w, err := openLog(out, plan, true)
+	if err != nil {
+		return nil, err
+	}
+	rp := &replay{Plan: plan, Records: records, ShardsDone: map[int]bool{}}
+	for idx := int64(0); idx < plan.Runs; idx++ {
+		if rec, ok := records[idx]; ok {
+			if err := w.append(runToLog(idx, rec)); err != nil {
+				w.close()
+				return nil, err
+			}
+		}
+	}
+	for s := 0; s < plan.NumShards(); s++ {
+		if rp.shardComplete(plan, s) {
+			if err := w.append(logRecord{Kind: kindShardDone, Shard: s}); err != nil {
+				w.close()
+				return nil, err
+			}
+		}
+	}
+	if stopped {
+		if err := w.append(logRecord{Kind: kindStop, Done: int64(len(records)), Saved: saved, Reason: reason}); err != nil {
+			w.close()
+			return nil, err
+		}
+	}
+	if err := w.close(); err != nil {
+		return nil, err
+	}
+	return ReadStatus(out)
+}

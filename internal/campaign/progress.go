@@ -1,0 +1,168 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fi"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// progress reports campaign throughput while it runs. All updates happen
+// on the engine's aggregation goroutine, so no locking is needed.
+type progress struct {
+	w         io.Writer
+	plan      *Plan
+	start     time.Time
+	done      int64 // runs executed this invocation
+	replayed  int64
+	counts    map[fi.Outcome]int
+	lastPrint time.Time
+}
+
+// printEvery throttles the periodic progress lines.
+const printEvery = time.Second
+
+func newProgress(w io.Writer, plan *Plan, replayed int64) *progress {
+	return &progress{
+		w:        w,
+		plan:     plan,
+		start:    time.Now(),
+		replayed: replayed,
+		counts:   make(map[fi.Outcome]int),
+	}
+}
+
+func (p *progress) add(rec fi.Record) {
+	p.done++
+	p.counts[rec.Outcome]++
+	if p.w == nil {
+		return
+	}
+	now := time.Now()
+	if now.Sub(p.lastPrint) < printEvery {
+		return
+	}
+	p.lastPrint = now
+	total := p.plan.Runs
+	covered := p.replayed + p.done
+	elapsed := now.Sub(p.start).Seconds()
+	rate := float64(p.done) / elapsed
+	eta := "?"
+	if rate > 0 {
+		eta = fmt.Sprintf("%.0fs", float64(total-covered)/rate)
+	}
+	fmt.Fprintf(p.w, "campaign %s [%s] %d/%d (%.1f%%)  %.0f runs/s  ETA %s  %s\n",
+		p.plan.ID, p.plan.Benchmark, covered, total,
+		100*float64(covered)/float64(total), rate, eta, tallyLine(p.counts, int(p.done)))
+}
+
+// finish prints the invocation summary table.
+func (p *progress) finish(res *Result) {
+	if p.w == nil {
+		return
+	}
+	elapsed := time.Since(p.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(p.done) / elapsed
+	}
+	fmt.Fprintf(p.w, "campaign %s [%s]: %d executed (%.0f runs/s), %d replayed",
+		p.plan.ID, p.plan.Benchmark, res.Executed, rate, res.Replayed)
+	if res.Stopped {
+		fmt.Fprintf(p.w, ", stopped early (%d runs saved: %s)", res.Saved, res.Reason)
+	}
+	fmt.Fprintln(p.w)
+	fmt.Fprintln(p.w, res.Render())
+}
+
+// tallyLine compactly renders outcome percentages for the progress line.
+func tallyLine(counts map[fi.Outcome]int, n int) string {
+	if n == 0 {
+		return ""
+	}
+	s := ""
+	for _, o := range fi.FailureOutcomes {
+		if c := counts[o]; c > 0 {
+			if s != "" {
+				s += " "
+			}
+			s += fmt.Sprintf("%s=%.0f%%", o, 100*float64(c)/float64(n))
+		}
+	}
+	return s
+}
+
+// Render summarizes the campaign result as an outcome table with Wilson
+// 95% confidence intervals.
+func (r *Result) Render() string {
+	title := fmt.Sprintf("Campaign %s [%s]: %d/%d runs", r.Plan.ID, r.Plan.Benchmark, len(r.Records), r.Plan.Runs)
+	t := report.NewTable(title, "Outcome", "Count", "Rate", "±95% CI")
+	n := len(r.Records)
+	for _, o := range fi.FailureOutcomes {
+		p := stats.Proportion{Successes: r.Counts[o], N: n}
+		t.AddRow(o.String(), r.Counts[o], report.Percent(p.Rate()), report.Percent(p.HalfWidth()))
+	}
+	return t.String()
+}
+
+// Status is the durable state of a campaign log, readable without the
+// module (e.g. for `campaign status` on another machine).
+type Status struct {
+	Plan *Plan
+	// Done is the number of distinct logged runs.
+	Done int64
+	// ShardsComplete counts shards whose every index is logged.
+	ShardsComplete int
+	Counts         map[fi.Outcome]int
+	Stopped        bool
+	Saved          int64
+	Reason         string
+}
+
+// ReadStatus parses a campaign log into a Status.
+func ReadStatus(path string) (*Status, error) {
+	rp, err := readLog(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Status{
+		Plan:    rp.Plan,
+		Done:    int64(len(rp.Records)),
+		Counts:  make(map[fi.Outcome]int),
+		Stopped: rp.Stopped,
+		Saved:   rp.Saved,
+		Reason:  rp.Reason,
+	}
+	for i := 0; i < rp.Plan.NumShards(); i++ {
+		if rp.shardComplete(rp.Plan, i) {
+			s.ShardsComplete++
+		}
+	}
+	for _, rec := range rp.Records {
+		s.Counts[rec.Outcome]++
+	}
+	return s, nil
+}
+
+// Render prints the status as a table.
+func (s *Status) Render() string {
+	title := fmt.Sprintf("Campaign %s [%s]", s.Plan.ID, s.Plan.Benchmark)
+	t := report.NewTable(title, "Field", "Value")
+	t.AddRow("runs logged", fmt.Sprintf("%d/%d", s.Done, s.Plan.Runs))
+	t.AddRow("shards complete", fmt.Sprintf("%d/%d", s.ShardsComplete, s.Plan.NumShards()))
+	t.AddRow("shard size", s.Plan.ShardSize)
+	t.AddRow("seed", s.Plan.Seed)
+	n := int(s.Done)
+	for _, o := range fi.FailureOutcomes {
+		p := stats.Proportion{Successes: s.Counts[o], N: n}
+		t.AddRow(o.String(), fmt.Sprintf("%d (%s ± %s)", s.Counts[o],
+			report.Percent(p.Rate()), report.Percent(p.HalfWidth())))
+	}
+	if s.Stopped {
+		t.AddRow("early stop", fmt.Sprintf("saved %d runs (%s)", s.Saved, s.Reason))
+	}
+	return t.String()
+}

@@ -8,10 +8,12 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 
 	"repro/internal/bench"
+	"repro/internal/campaign"
 	"repro/internal/epvf"
 	"repro/internal/fi"
 	"repro/internal/interp"
@@ -44,6 +46,13 @@ type Config struct {
 	// Parallel is the campaign worker count (§VI-A parallelism); zero
 	// runs serially. Results are identical either way.
 	Parallel int
+	// CampaignDir, when set, persists each benchmark's fault-injection
+	// campaign to a JSONL log under this directory (keyed by the plan's
+	// content hash) and resumes from it on later invocations — table2,
+	// fig5, fig9 and every other campaign consumer then reuse cached
+	// injections instead of re-running them. Empty keeps campaigns in
+	// memory. Results are identical either way.
+	CampaignDir string
 }
 
 // DefaultConfig mirrors the paper's campaign sizes.
@@ -117,18 +126,41 @@ func (s *Suite) Bench(b *bench.Benchmark) (*BenchResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: analyzing %s: %w", b.Name, err)
 	}
-	campaign, err := fi.RunCampaign(m, golden, fi.Config{
-		Runs:         s.Cfg.Runs,
-		Seed:         s.Cfg.Seed,
-		JitterWindow: s.Cfg.Jitter,
-		Parallel:     s.Cfg.Parallel,
-	})
+	camp, err := s.runCampaign(b.Name, m, golden)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: campaign on %s: %w", b.Name, err)
 	}
-	r := &BenchResult{Bench: b, Module: m, Golden: golden, Analysis: analysis, Campaign: campaign}
+	r := &BenchResult{Bench: b, Module: m, Golden: golden, Analysis: analysis, Campaign: camp}
 	s.results[b.Name] = r
 	return r, nil
+}
+
+// runCampaign drives the benchmark's fault-injection campaign through the
+// internal/campaign engine. With CampaignDir set the campaign is durable:
+// a previous invocation's log (same module, trace and config, per the
+// plan's content hash) is replayed instead of re-injecting, and an
+// interrupted experiment run resumes where it stopped.
+func (s *Suite) runCampaign(name string, m *ir.Module, golden *interp.Result) (*fi.Result, error) {
+	plan, err := campaign.NewPlan(m, golden, campaign.PlanConfig{
+		Benchmark: name,
+		Runs:      s.Cfg.Runs,
+		FI: fi.Config{
+			Seed:         s.Cfg.Seed,
+			JitterWindow: s.Cfg.Jitter,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	opts := campaign.RunOptions{Workers: s.Cfg.Parallel}
+	if s.Cfg.CampaignDir != "" {
+		opts.LogPath = filepath.Join(s.Cfg.CampaignDir, fmt.Sprintf("%s-%s.jsonl", name, plan.ID))
+	}
+	res, err := campaign.Run(m, golden, plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.FIResult(), nil
 }
 
 // ForEach runs fn over the configured benchmark suite in order.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -54,6 +55,42 @@ func TestTable2SegfaultsDominate(t *testing.T) {
 	}
 	if !strings.Contains(r.Render(), "pathfinder") {
 		t.Error("render missing benchmark name")
+	}
+}
+
+func TestSuiteCampaignCacheReuse(t *testing.T) {
+	// With CampaignDir set, a second suite over the same config must
+	// replay the durable campaign logs and reproduce the artifacts
+	// identically — the cmd/experiments -campaign-cache contract.
+	dir := t.TempDir()
+	mk := func() *Suite {
+		s := tinySuite(t, "mm")
+		s.Cfg.CampaignDir = dir
+		return s
+	}
+	r1, err := Fig5(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs, err := filepath.Glob(filepath.Join(dir, "mm-*.jsonl"))
+	if err != nil || len(logs) != 1 {
+		t.Fatalf("campaign log not written: %v (%v)", logs, err)
+	}
+	// Corrupting nothing, a fresh suite replays the log; results match
+	// bitwise (same Render output) and also match a cacheless suite.
+	r2, err := Fig5(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Render() != r2.Render() {
+		t.Errorf("cached replay changed Fig5:\n%s\nvs\n%s", r1.Render(), r2.Render())
+	}
+	r3, err := Fig5(tinySuite(t, "mm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Render() != r3.Render() {
+		t.Errorf("cached and in-memory campaigns disagree:\n%s\nvs\n%s", r1.Render(), r3.Render())
 	}
 }
 

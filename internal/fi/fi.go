@@ -86,8 +86,8 @@ type Config struct {
 	// Parallel is the number of worker goroutines executing injection
 	// runs (the trivial parallelism §VI-A of the paper points out). Zero
 	// or one runs serially. Campaign results are identical regardless of
-	// parallelism: targets and per-run layouts are drawn sequentially
-	// before the runs execute.
+	// parallelism: every run's RNG stream is derived from (Seed, run
+	// index) via TargetSeed, independent of scheduling order.
 	Parallel int
 	// Align is the alignment-trap policy; zero means the interpreter
 	// default.
@@ -237,80 +237,134 @@ func sameOutputs(a, b []trace.Output) bool {
 	return true
 }
 
-// RunCampaign performs cfg.Runs bit-uniform injections into the module and
-// aggregates the outcomes. golden must be a recorded run of the same
-// module.
-func RunCampaign(m *ir.Module, golden *interp.Result, cfg Config) (*Result, error) {
+// TargetSeed derives the RNG seed for run index of a campaign from the
+// campaign seed alone, via a splitmix64-style mix. Every run owns an
+// independent deterministic stream, so run i can be drawn and executed
+// without drawing runs 0..i-1 — results are independent of worker
+// scheduling, batch boundaries, and process placement (shards computed on
+// different machines agree bit for bit).
+func TargetSeed(campaignSeed, index int64) int64 {
+	z := uint64(campaignSeed)*0x9e3779b97f4a7c15 + uint64(index) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Runner executes individual campaign runs by index with deterministic
+// per-index RNG streams. It is the batch-granular core that RunCampaign
+// wraps and that internal/campaign shards across workers and processes.
+type Runner struct {
+	m       *ir.Module
+	golden  *interp.Result
+	sampler *Sampler
+	cfg     Config
+}
+
+// NewRunner validates the golden run and indexes its trace for sampling.
+func NewRunner(m *ir.Module, golden *interp.Result, cfg Config) (*Runner, error) {
 	if golden.Trace == nil {
 		return nil, fmt.Errorf("fi: golden result has no recorded trace")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	s := NewSampler(golden.Trace)
 	if s.TotalBits() == 0 {
 		return nil, fmt.Errorf("fi: module %q has no injectable register bits", m.Name)
 	}
-	out := &Result{
-		Counts:     make(map[Outcome]int),
-		CrashTypes: make(map[interp.ExcKind]int),
-		GoldenDyn:  golden.DynInstrs,
-	}
-	// Draw all targets and per-run layouts sequentially so results do not
-	// depend on the degree of parallelism.
-	type job struct {
-		tgt    Target
-		layout mem.Layout
-	}
-	jobs := make([]job, 0, cfg.Runs)
-	for i := 0; i < cfg.Runs; i++ {
-		tgt, ok := s.SampleMulti(rng, cfg.FaultBits)
-		if !ok {
-			break
-		}
-		layout := mem.DefaultLayout()
-		if cfg.JitterWindow > 0 {
-			layout = layout.Jitter(rng, cfg.JitterWindow)
-		}
-		jobs = append(jobs, job{tgt: tgt, layout: layout})
-	}
+	return &Runner{m: m, golden: golden, sampler: s, cfg: cfg}, nil
+}
 
-	out.Records = make([]Record, len(jobs))
-	workers := cfg.Parallel
-	if workers < 1 {
-		workers = 1
+// Sampler exposes the bit-population index (e.g. for TotalBits).
+func (r *Runner) Sampler() *Sampler { return r.sampler }
+
+// Golden returns the recorded golden run.
+func (r *Runner) Golden() *interp.Result { return r.golden }
+
+// Draw deterministically derives run index's target and memory layout.
+func (r *Runner) Draw(index int64) (Target, mem.Layout) {
+	rng := rand.New(rand.NewSource(TargetSeed(r.cfg.Seed, index)))
+	tgt, _ := r.sampler.SampleMulti(rng, r.cfg.FaultBits)
+	layout := mem.DefaultLayout()
+	if r.cfg.JitterWindow > 0 {
+		layout = layout.Jitter(rng, r.cfg.JitterWindow)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	return tgt, layout
+}
+
+// RunIndex draws and executes run index. The result depends only on
+// (module, golden, Config.Seed/JitterWindow/FaultBits/HangFactor/Align,
+// index).
+func (r *Runner) RunIndex(index int64) Record {
+	tgt, layout := r.Draw(index)
+	return runWithLayout(r.m, r.golden, tgt, layout, r.cfg)
+}
+
+// RunRange executes runs [lo, hi) across the given number of workers and
+// returns the records in index order. workers <= 1 runs serially; the
+// records are identical either way.
+func (r *Runner) RunRange(lo, hi int64, workers int) []Record {
+	if hi <= lo {
+		return nil
+	}
+	out := make([]Record, hi-lo)
+	if workers > len(out) {
+		workers = len(out)
 	}
 	if workers <= 1 {
-		for i, j := range jobs {
-			out.Records[i] = runWithLayout(m, golden, j.tgt, j.layout, cfg)
+		for i := range out {
+			out[i] = r.RunIndex(lo + int64(i))
 		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					j := jobs[i]
-					out.Records[i] = runWithLayout(m, golden, j.tgt, j.layout, cfg)
-				}
-			}()
-		}
-		for i := range jobs {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
+		return out
 	}
-	for _, rec := range out.Records {
+	var wg sync.WaitGroup
+	next := make(chan int64)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i-lo] = r.RunIndex(i)
+			}
+		}()
+	}
+	for i := lo; i < hi; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Aggregate tallies records into a campaign Result.
+func (r *Runner) Aggregate(records []Record) *Result {
+	out := &Result{
+		Records:    records,
+		Counts:     make(map[Outcome]int),
+		CrashTypes: make(map[interp.ExcKind]int),
+		GoldenDyn:  r.golden.DynInstrs,
+	}
+	for _, rec := range records {
 		out.Counts[rec.Outcome]++
 		if rec.Outcome == OutcomeCrash {
 			out.CrashTypes[rec.Exc]++
 		}
 	}
-	return out, nil
+	return out
+}
+
+// RunCampaign performs cfg.Runs bit-uniform injections into the module and
+// aggregates the outcomes. golden must be a recorded run of the same
+// module. It is a thin wrapper over Runner: each run's RNG stream is
+// derived from (cfg.Seed, run index), so the same configuration yields the
+// same records under any cfg.Parallel setting.
+func RunCampaign(m *ir.Module, golden *interp.Result, cfg Config) (*Result, error) {
+	r, err := NewRunner(m, golden, cfg)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	return r.Aggregate(r.RunRange(0, int64(cfg.Runs), workers)), nil
 }
 
 // MeasureRecall computes the crash-prediction recall (§IV-B): among

@@ -332,6 +332,73 @@ func TestParallelCampaignDeterministic(t *testing.T) {
 	}
 }
 
+func TestTargetSeedStableAndDistinct(t *testing.T) {
+	if TargetSeed(7, 3) != TargetSeed(7, 3) {
+		t.Error("TargetSeed is not a pure function")
+	}
+	seen := map[int64]bool{}
+	for i := int64(0); i < 1000; i++ {
+		s := TargetSeed(42, i)
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if TargetSeed(1, 0) == TargetSeed(2, 0) {
+		t.Error("different campaign seeds map index 0 to the same stream")
+	}
+}
+
+func TestRunnerIndexIndependence(t *testing.T) {
+	// Run index i must yield the same record whether executed alone, as
+	// part of a batch, or inside a full campaign — the property sharded
+	// campaigns rely on.
+	g := golden(t, kernelSrc)
+	m := g.Trace.Module
+	cfg := Config{Runs: 40, Seed: 17, JitterWindow: 64 * mem.PageSize}
+	r, err := NewRunner(m, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := RunCampaign(m, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := r.RunRange(10, 20, 4)
+	for i, rec := range batch {
+		if rec != full.Records[10+i] {
+			t.Fatalf("batched record %d differs from campaign record", 10+i)
+		}
+	}
+	if one := r.RunIndex(33); one != full.Records[33] {
+		t.Fatal("individually executed record differs from campaign record")
+	}
+}
+
+func TestRunnerAggregateMatchesCampaign(t *testing.T) {
+	g := golden(t, kernelSrc)
+	m := g.Trace.Module
+	cfg := Config{Runs: 50, Seed: 19}
+	r, err := NewRunner(m, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Execute the same index range in two disjoint batches, out of order,
+	// and aggregate: counts must match the monolithic campaign.
+	recs := append(r.RunRange(25, 50, 3), r.RunRange(0, 25, 2)...)
+	agg := r.Aggregate(recs)
+	full, err := RunCampaign(m, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range FailureOutcomes {
+		if agg.Counts[o] != full.Counts[o] {
+			t.Errorf("outcome %v: batched count %d != campaign count %d",
+				o, agg.Counts[o], full.Counts[o])
+		}
+	}
+}
+
 func TestMultiBitCampaign(t *testing.T) {
 	g := golden(t, kernelSrc)
 	m := g.Trace.Module

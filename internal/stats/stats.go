@@ -64,8 +64,25 @@ type Proportion struct {
 	N         int
 }
 
-// Rate returns the point estimate.
+// normalized clamps a proportion into a well-formed state: a non-positive
+// sample size is empty, and successes are clamped into [0, N] so the rate
+// and interval stay inside [0, 1] for any input.
+func (p Proportion) normalized() Proportion {
+	if p.N <= 0 {
+		return Proportion{}
+	}
+	if p.Successes < 0 {
+		p.Successes = 0
+	}
+	if p.Successes > p.N {
+		p.Successes = p.N
+	}
+	return p
+}
+
+// Rate returns the point estimate, clamped into [0, 1].
 func (p Proportion) Rate() float64 {
+	p = p.normalized()
 	if p.N == 0 {
 		return 0
 	}
@@ -77,10 +94,14 @@ const z95 = 1.959963984540054
 
 // WilsonCI returns the 95% Wilson score interval for the proportion — the
 // interval used for the fault-injection error bars. It behaves sensibly at
-// the 0 and 1 boundaries where the normal approximation fails.
+// the 0 and 1 boundaries where the normal approximation fails: for any
+// input (including n=0, k=0, k=n and out-of-range counts) the interval is
+// clamped so that 0 <= lo <= Rate() <= hi <= 1. An empty sample yields the
+// vacuous interval [0, 1].
 func (p Proportion) WilsonCI() (lo, hi float64) {
+	p = p.normalized()
 	if p.N == 0 {
-		return 0, 0
+		return 0, 1
 	}
 	n := float64(p.N)
 	phat := p.Rate()
@@ -89,11 +110,20 @@ func (p Proportion) WilsonCI() (lo, hi float64) {
 	center := (phat + z2/(2*n)) / denom
 	half := z95 * math.Sqrt(phat*(1-phat)/n+z2/(4*n*n)) / denom
 	lo, hi = center-half, center+half
+	// Clamp against floating-point drift at the boundaries (k=0 makes
+	// center and half analytically equal; k=n mirrors it at one) and keep
+	// the point estimate inside the interval.
 	if lo < 0 {
 		lo = 0
 	}
 	if hi > 1 {
 		hi = 1
+	}
+	if lo > phat {
+		lo = phat
+	}
+	if hi < phat {
+		hi = phat
 	}
 	return lo, hi
 }

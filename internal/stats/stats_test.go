@@ -55,24 +55,43 @@ func TestWilsonCI(t *testing.T) {
 	if hi1 != 1 || lo1 >= 1 {
 		t.Errorf("all-successes CI = [%v, %v]", lo1, hi1)
 	}
-	if l, h := (Proportion{}).WilsonCI(); l != 0 || h != 0 {
-		t.Error("empty proportion CI must be zero")
+	// An empty sample carries no information: the vacuous interval.
+	if l, h := (Proportion{}).WilsonCI(); l != 0 || h != 1 {
+		t.Errorf("empty proportion CI = [%v, %v], want [0, 1]", l, h)
+	}
+	if l, h := (Proportion{Successes: 3, N: 0}).WilsonCI(); l != 0 || h != 1 {
+		t.Errorf("n=0 CI = [%v, %v], want [0, 1]", l, h)
 	}
 }
 
+// TestWilsonCIProperties asserts, for arbitrary (including degenerate and
+// out-of-range) inputs, that 0 <= lo <= Rate() <= hi <= 1 and that the
+// interval never inverts.
 func TestWilsonCIProperties(t *testing.T) {
-	f := func(succ uint8, extra uint8) bool {
-		n := int(succ) + int(extra) + 1
-		p := Proportion{Successes: int(succ), N: n}
+	f := func(succ int, n int) bool {
+		p := Proportion{Successes: succ, N: n}
 		lo, hi := p.WilsonCI()
 		if lo < 0 || hi > 1 || lo > hi {
 			return false
 		}
 		r := p.Rate()
-		return lo <= r+1e-9 && r-1e-9 <= hi
+		if r < 0 || r > 1 {
+			return false
+		}
+		return lo <= r && r <= hi
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Error(err)
+	}
+	// The documented edge cases explicitly.
+	for _, p := range []Proportion{
+		{0, 0}, {0, 1}, {1, 1}, {0, 50}, {50, 50}, {-3, 10}, {20, 10}, {5, -1},
+	} {
+		lo, hi := p.WilsonCI()
+		r := p.Rate()
+		if !(0 <= lo && lo <= r && r <= hi && hi <= 1) {
+			t.Errorf("Proportion%+v: violated 0<=lo<=rate<=hi<=1: lo=%v rate=%v hi=%v", p, lo, r, hi)
+		}
 	}
 }
 
