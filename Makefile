@@ -1,9 +1,16 @@
 # Tier-1 verification gate and convenience targets.
 
-.PHONY: check build test fmt vet
+.PHONY: check build test fmt vet bench-obs
 
 check:
 	./scripts/check.sh
+
+# bench-obs asserts the disabled observability path stays under the noise
+# floor (TestDisabledOverheadUnderNoise) and prints the nil-handle
+# benchmark numbers alongside the enabled-path cost.
+bench-obs:
+	go test ./internal/obs/ -run TestDisabledOverheadUnderNoise -v
+	go test ./internal/obs/ -run '^$$' -bench 'Disabled|Enabled' -benchtime 0.2s
 
 build:
 	go build ./...

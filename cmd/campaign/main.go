@@ -7,7 +7,7 @@
 //	campaign plan   -bench mm -runs 3000 [-seed N] [-shard-size K]
 //	campaign run    -bench mm -runs 3000 -log mm.jsonl [-epsilon 0.01] [-workers W] [-shards 0,2]
 //	campaign resume -bench mm -runs 3000 -log mm.jsonl
-//	campaign status -log mm.jsonl
+//	campaign status -log mm.jsonl [-json]
 //	campaign merge  -out merged.jsonl shard-a.jsonl shard-b.jsonl
 //
 // `run` is restartable: interrupting it and re-invoking `run` (or
@@ -16,9 +16,15 @@
 // once the crash and SDC rate 95% CIs are within ±ε. `-shards` restricts
 // one invocation to a shard subset so several processes (or machines) can
 // split a plan; `merge` combines their logs.
+//
+// `-obs-addr host:port` on run/resume serves live introspection while the
+// campaign executes: /metrics (Prometheus text), /debug/pprof/*,
+// /debug/vars and /campaign (JSON status, the same schema as
+// `campaign status -json`).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +40,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/lang"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -79,6 +86,7 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 	budget := fs.Int64("budget", 0, "max new runs this invocation (0 = unlimited)")
 	shardsFlag := fs.String("shards", "", "comma-separated shard subset to execute (default: all)")
 	quiet := fs.Bool("q", false, "suppress progress output")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/pprof and /campaign on this address while running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -145,6 +153,21 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 	if !*quiet {
 		opts.Progress = out
 	}
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.SetDefault(reg)
+		defer obs.SetDefault(nil)
+		mon := campaign.NewMonitor(reg)
+		opts.Monitor = mon
+		srv, err := obs.NewServer(*obsAddr, reg)
+		if err != nil {
+			return err
+		}
+		srv.HandleJSON("/campaign", func() (any, error) { return mon.Status() })
+		srv.Start()
+		defer srv.Close()
+		fmt.Fprintf(out, "observability: serving http://%s/{metrics,campaign,debug/pprof}\n", srv.Addr())
+	}
 	var res *campaign.Result
 	if cmd == "resume" {
 		res, err = campaign.Resume(m, golden, plan, opts)
@@ -167,6 +190,7 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 func runStatus(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("campaign status", flag.ContinueOnError)
 	logPath := fs.String("log", "", "JSONL result log")
+	asJSON := fs.Bool("json", false, "emit the status as JSON (same schema as the /campaign HTTP view)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -180,6 +204,11 @@ func runStatus(args []string, out io.Writer) error {
 	st, err := campaign.ReadStatus(path)
 	if err != nil {
 		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st.JSON())
 	}
 	fmt.Fprint(out, st.Render())
 	return nil

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/campaign"
 )
 
 func TestPlanRunResumeStatusMerge(t *testing.T) {
@@ -50,6 +53,52 @@ func TestPlanRunResumeStatusMerge(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "90/90") {
 		t.Errorf("merge status missing tally:\n%s", out.String())
+	}
+}
+
+func TestStatusJSON(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "mm.jsonl")
+	common := []string{"-bench", "mm", "-runs", "40", "-shard-size", "20", "-jitter", "0", "-q"}
+	var out strings.Builder
+	if err := run(append([]string{"run", "-log", logPath}, common...), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"status", "-json", "-log", logPath}, &out); err != nil {
+		t.Fatalf("status -json: %v", err)
+	}
+	var st campaign.StatusJSON
+	if err := json.Unmarshal([]byte(out.String()), &st); err != nil {
+		t.Fatalf("status output is not valid StatusJSON: %v\n%s", err, out.String())
+	}
+	if st.Benchmark != "mm" || st.Done != 40 || st.PlannedRuns != 40 || st.NumShards != 2 {
+		t.Errorf("status fields: %+v", st)
+	}
+	var n int64
+	for _, o := range st.Outcomes {
+		n += o.Count
+	}
+	if n != 40 {
+		t.Errorf("outcome tallies sum to %d, want 40", n)
+	}
+}
+
+// TestRunWithObsAddr drives the acceptance flow at the CLI layer: a run
+// with -obs-addr serves Prometheus metrics and the /campaign status view.
+func TestRunWithObsAddr(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "lud.jsonl")
+	var out strings.Builder
+	err := run([]string{"run", "-bench", "lud", "-runs", "60", "-shard-size", "30",
+		"-jitter", "0", "-log", logPath, "-obs-addr", "127.0.0.1:0", "-q"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// The server is closed when run returns; the address line proves it
+	// was up, and the campaign output proves the monitor fed the table.
+	if !strings.Contains(out.String(), "observability: serving http://127.0.0.1:") {
+		t.Errorf("missing obs address line:\n%s", out.String())
 	}
 }
 

@@ -6,6 +6,10 @@
 //
 //	epvf -bench mm [-scale 1] [-sample 0.1] [-per-instr 10]
 //	epvf -src kernel.c
+//
+// `-obs-addr host:port` serves /metrics and /debug/pprof while the
+// analysis runs; `-trace-out spans.jsonl` records per-phase spans (wall
+// time, allocations) and prints the phase summary table.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
@@ -46,8 +51,34 @@ func run(args []string) error {
 	loadTrace := fs.String("load-trace", "", "analyze a previously saved trace instead of re-profiling")
 	dotFile := fs.String("dot", "", "write a Graphviz rendering of the DDG prefix to this file")
 	dotEvents := fs.Int64("dot-events", 400, "number of events included in the -dot rendering")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics and /debug/pprof on this address while analyzing")
+	traceOut := fs.String("trace-out", "", "record phase spans to this JSONL file and print the phase summary")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.SetDefault(reg)
+		defer obs.SetDefault(nil)
+		srv, err := obs.NewServer(*obsAddr, reg)
+		if err != nil {
+			return err
+		}
+		srv.Start()
+		defer srv.Close()
+		fmt.Printf("observability: serving http://%s/{metrics,debug/pprof}\n", srv.Addr())
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f)
+		obs.SetDefaultTracer(tracer)
+		defer obs.SetDefaultTracer(nil)
 	}
 
 	if *list {
@@ -173,6 +204,9 @@ func run(args []string) error {
 			pt.AddRow(e.v.Instr.ID, e.v.Instr.Op.String(), e.v.Dynamic, e.v.PVF(), e.v.EPVF())
 		}
 		fmt.Print(pt.String())
+	}
+	if tracer != nil {
+		fmt.Print("\n" + tracer.Summary())
 	}
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // renderer is any experiment result.
@@ -44,8 +45,21 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 2016, "random seed")
 	benchList := fs.String("benchmarks", "", "comma-separated benchmark subset (default: the paper's ten)")
 	campaignCache := fs.String("campaign-cache", "", "directory of durable campaign logs; reused across invocations and resumable after interruption")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics and /debug/pprof on this address while the suite runs")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.SetDefault(reg)
+		defer obs.SetDefault(nil)
+		srv, err := obs.NewServer(*obsAddr, reg)
+		if err != nil {
+			return err
+		}
+		srv.Start()
+		defer srv.Close()
+		fmt.Printf("observability: serving http://%s/{metrics,debug/pprof}\n", srv.Addr())
 	}
 	names := fs.Args()
 	if len(names) == 0 {

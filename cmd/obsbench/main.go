@@ -1,0 +1,114 @@
+// Command obsbench profiles the ePVF analysis pipeline with obs phase
+// tracing enabled and emits a per-benchmark, per-phase baseline (wall
+// time, allocations, span counters) as JSON. The committed
+// BENCH_obs_baseline.json at the repository root is its output; re-run
+//
+//	obsbench -out BENCH_obs_baseline.json
+//
+// after pipeline changes to refresh the baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/epvf"
+	"repro/internal/obs"
+)
+
+// benchBaseline is one benchmark's traced analysis.
+type benchBaseline struct {
+	Benchmark string          `json:"benchmark"`
+	Domain    string          `json:"domain"`
+	DynInstrs int64           `json:"dyn_instrs"`
+	PVF       float64         `json:"pvf"`
+	EPVF      float64         `json:"epvf"`
+	Phases    []obs.PhaseStat `json:"phases"`
+}
+
+type baseline struct {
+	// Note is a human pointer, not provenance: timings are
+	// machine-dependent; compare shapes and ratios, not absolutes.
+	Note       string          `json:"note"`
+	Scale      int             `json:"scale"`
+	Benchmarks []benchBaseline `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "obsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("obsbench", flag.ContinueOnError)
+	outPath := fs.String("out", "", "write the JSON baseline here (default stdout)")
+	scale := fs.Int("scale", 1, "benchmark input scale")
+	benchList := fs.String("benchmarks", "", "comma-separated subset (default: all built-ins)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	benches := bench.All()
+	if *benchList != "" {
+		benches = benches[:0]
+		for _, n := range strings.Split(*benchList, ",") {
+			b, ok := bench.Get(strings.TrimSpace(n))
+			if !ok {
+				return fmt.Errorf("unknown benchmark %q", n)
+			}
+			benches = append(benches, b)
+		}
+	}
+
+	base := baseline{
+		Note:  "per-phase obs tracer baseline; wall times are machine-dependent — compare phase shapes and alloc counts, not absolute ns",
+		Scale: *scale,
+	}
+	for _, b := range benches {
+		m, err := b.Module(*scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		tracer := obs.NewTracer(nil)
+		obs.SetDefaultTracer(tracer)
+		a, golden, err := epvf.AnalyzeModule(m, epvf.Config{})
+		obs.SetDefaultTracer(nil)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		base.Benchmarks = append(base.Benchmarks, benchBaseline{
+			Benchmark: b.Name,
+			Domain:    b.Domain,
+			DynInstrs: golden.DynInstrs,
+			PVF:       a.PVF(),
+			EPVF:      a.EPVF(),
+			Phases:    tracer.Aggregate(),
+		})
+	}
+
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		return err
+	}
+	if *outPath != "" {
+		fmt.Fprintf(out, "wrote %s (%d benchmarks)\n", *outPath, len(base.Benchmarks))
+	}
+	return nil
+}

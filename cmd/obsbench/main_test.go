@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestObsbenchEmitsPhases(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-benchmarks", "mm"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal([]byte(out.String()), &base); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(base.Benchmarks) != 1 || base.Benchmarks[0].Benchmark != "mm" {
+		t.Fatalf("unexpected benchmarks: %+v", base.Benchmarks)
+	}
+	b := base.Benchmarks[0]
+	want := map[string]bool{"epvf_profile": false, "epvf_ddg_ace": false, "epvf_models": false, "epvf_analyze_trace": false}
+	for _, p := range b.Phases {
+		if _, ok := want[p.Name]; ok {
+			want[p.Name] = true
+		}
+		if p.WallNS < 0 || p.Count < 1 {
+			t.Errorf("degenerate phase stat: %+v", p)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("phase %s missing from baseline", name)
+		}
+	}
+	if b.DynInstrs <= 0 || b.PVF <= 0 {
+		t.Errorf("missing analysis summary: %+v", b)
+	}
+}
+
+func TestObsbenchRejectsUnknownBenchmark(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-benchmarks", "ghost"}, &out); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

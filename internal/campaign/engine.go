@@ -37,6 +37,12 @@ type RunOptions struct {
 	Shards []int
 	// Progress, when non-nil, receives periodic progress lines.
 	Progress io.Writer
+	// Monitor, when non-nil, receives live tallies (outcome counters,
+	// latency histograms, shard gauges) for its obs registry; progress
+	// lines render from the same registry, so the CLI output, /metrics
+	// and the /campaign status view can never disagree. Nil allocates a
+	// private monitor.
+	Monitor *Monitor
 }
 
 // Result aggregates one engine invocation.
@@ -131,7 +137,15 @@ func Run(m *ir.Module, golden *interp.Result, plan *Plan, opts RunOptions) (*Res
 	if workers <= 0 {
 		workers = 1
 	}
-	prog := newProgress(opts.Progress, plan, replayed)
+	mon := opts.Monitor
+	if mon == nil {
+		mon = NewMonitor(nil)
+	}
+	replayedCounts := make(map[fi.Outcome]int)
+	for _, rec := range st.records {
+		replayedCounts[rec.Outcome]++
+	}
+	mon.begin(plan, opts.Progress, replayedCounts)
 
 	shardOrder := opts.Shards
 	if shardOrder == nil {
@@ -181,18 +195,19 @@ func Run(m *ir.Module, golden *interp.Result, plan *Plan, opts RunOptions) (*Res
 					budgetExhausted = true
 				}
 			}
-			if err := st.runIndices(missing, workers, w, prog); err != nil {
+			if err := st.runIndices(missing, workers, w, mon); err != nil {
 				return nil, err
 			}
 			executed += int64(len(missing))
 			budgetLeft -= int64(len(missing))
 		}
 		if st.complete(si) {
+			mon.shardComplete()
 			if w != nil {
 				if err := w.append(logRecord{Kind: kindShardDone, Shard: si}); err != nil {
 					return nil, err
 				}
-				if err := w.checkpoint(); err != nil {
+				if err := mon.timedCheckpoint(w); err != nil {
 					return nil, err
 				}
 			}
@@ -208,7 +223,7 @@ func Run(m *ir.Module, golden *interp.Result, plan *Plan, opts RunOptions) (*Res
 		if err := w.append(logRecord{Kind: kindStop, Done: st.stopN, Saved: st.saved, Reason: st.reason}); err != nil {
 			return nil, err
 		}
-		if err := w.checkpoint(); err != nil {
+		if err := mon.timedCheckpoint(w); err != nil {
 			return nil, err
 		}
 	}
@@ -217,7 +232,7 @@ func Run(m *ir.Module, golden *interp.Result, plan *Plan, opts RunOptions) (*Res
 	res.Executed = executed
 	res.Replayed = replayed
 	res.Elapsed = time.Since(start)
-	prog.finish(res)
+	mon.finish(res)
 	return res, nil
 }
 
@@ -245,28 +260,32 @@ type state struct {
 	reason  string
 }
 
-// indexed pairs a run index with its record for the worker pool.
+// indexed pairs a run index with its record and wall time for the worker
+// pool.
 type indexed struct {
 	i   int64
 	rec fi.Record
+	dur time.Duration
 }
 
 // runIndices executes the given run indices on the worker pool, streaming
 // each record into the log as it completes.
-func (st *state) runIndices(idxs []int64, workers int, w *logWriter, prog *progress) error {
+func (st *state) runIndices(idxs []int64, workers int, w *logWriter, mon *Monitor) error {
 	if workers > len(idxs) {
 		workers = len(idxs)
 	}
 	if workers <= 1 {
 		for _, i := range idxs {
+			t0 := mon.now()
 			rec := st.runner.RunIndex(i)
+			dur := mon.now().Sub(t0)
 			st.records[i] = rec
 			if w != nil {
 				if err := w.append(runToLog(i, rec)); err != nil {
 					return err
 				}
 			}
-			prog.add(rec)
+			mon.record(rec, dur)
 		}
 		return nil
 	}
@@ -275,7 +294,9 @@ func (st *state) runIndices(idxs []int64, workers int, w *logWriter, prog *progr
 	for g := 0; g < workers; g++ {
 		go func() {
 			for i := range work {
-				results <- indexed{i: i, rec: st.runner.RunIndex(i)}
+				t0 := mon.now()
+				rec := st.runner.RunIndex(i)
+				results <- indexed{i: i, rec: rec, dur: mon.now().Sub(t0)}
 			}
 		}()
 	}
@@ -293,7 +314,7 @@ func (st *state) runIndices(idxs []int64, workers int, w *logWriter, prog *progr
 				return err
 			}
 		}
-		prog.add(r.rec)
+		mon.record(r.rec, r.dur)
 	}
 	return nil
 }

@@ -1,0 +1,285 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/fi"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Monitor feeds one campaign's live state into an obs.Registry and renders
+// every human- and machine-facing view — the periodic CLI progress line,
+// the /metrics exposition and the /campaign JSON status — from the same
+// registry series, so the three can never disagree.
+//
+// Series are labeled id=<plan.ID>:
+//
+//	epvf_campaign_runs_total{id,outcome}       runs by outcome (replay + executed)
+//	epvf_campaign_runs_executed_total{id}      runs performed this invocation
+//	epvf_campaign_runs_replayed_total{id}      runs recovered from the log
+//	epvf_campaign_run_seconds{id}              executed-run latency histogram
+//	epvf_campaign_checkpoint_sync_seconds{id}  log checkpoint fsync latency
+//	epvf_campaign_shards_complete{id}          completed shards (gauge)
+//	epvf_campaign_stopped{id}                  1 after adaptive early stop
+//	epvf_campaign_runs_saved{id}               runs avoided by early stop
+type Monitor struct {
+	reg *obs.Registry
+	now func() time.Time
+
+	mu        sync.Mutex
+	w         io.Writer
+	plan      *Plan
+	start     time.Time
+	lastPrint time.Time
+	reason    string
+}
+
+// NewMonitor returns a monitor writing into reg; nil reg allocates a
+// private registry, so progress rendering works without global metrics.
+func NewMonitor(reg *obs.Registry) *Monitor {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Monitor{reg: reg, now: time.Now}
+}
+
+// SetClock installs an alternative time source. It must be called before
+// the campaign starts; tests share this seam with the obs tracer.
+func (m *Monitor) SetClock(now func() time.Time) {
+	if now != nil {
+		m.now = now
+	}
+}
+
+// Registry returns the registry the monitor writes into (for serving
+// /metrics alongside /campaign).
+func (m *Monitor) Registry() *obs.Registry { return m.reg }
+
+// begin binds the monitor to an invocation: it zeroes this plan's series
+// (a rerun in the same process must not double-count) and seeds the
+// outcome tallies with the runs replayed from the log.
+func (m *Monitor) begin(plan *Plan, w io.Writer, replayed map[fi.Outcome]int) {
+	m.mu.Lock()
+	m.plan = plan
+	m.w = w
+	m.start = m.now()
+	m.lastPrint = time.Time{}
+	m.reason = ""
+	m.mu.Unlock()
+
+	m.reg.ResetLabeled("id", plan.ID)
+	var n int64
+	for o, c := range replayed {
+		m.reg.Counter("epvf_campaign_runs_total", "id", plan.ID, "outcome", o.String()).Add(int64(c))
+		n += int64(c)
+	}
+	m.reg.Counter("epvf_campaign_runs_replayed_total", "id", plan.ID).Add(n)
+	m.reg.Counter("epvf_campaign_runs_executed_total", "id", plan.ID).Add(0)
+}
+
+// record tallies one executed run and its latency, then refreshes the
+// progress line if due.
+func (m *Monitor) record(rec fi.Record, dur time.Duration) {
+	id := m.planID()
+	m.reg.Counter("epvf_campaign_runs_total", "id", id, "outcome", rec.Outcome.String()).Inc()
+	m.reg.Counter("epvf_campaign_runs_executed_total", "id", id).Inc()
+	m.reg.Histogram("epvf_campaign_run_seconds", nil, "id", id).Observe(dur.Seconds())
+	m.maybePrint()
+}
+
+// shardComplete bumps the completed-shard gauge.
+func (m *Monitor) shardComplete() {
+	m.reg.Gauge("epvf_campaign_shards_complete", "id", m.planID()).Add(1)
+}
+
+// stop records an adaptive early stop.
+func (m *Monitor) stop(saved int64, reason string) {
+	id := m.planID()
+	m.reg.Gauge("epvf_campaign_stopped", "id", id).Set(1)
+	m.reg.Gauge("epvf_campaign_runs_saved", "id", id).Set(float64(saved))
+	m.mu.Lock()
+	m.reason = reason
+	m.mu.Unlock()
+}
+
+// timedCheckpoint runs a log checkpoint under the fsync-latency histogram.
+func (m *Monitor) timedCheckpoint(w *logWriter) error {
+	t0 := m.now()
+	err := w.checkpoint()
+	m.reg.Histogram("epvf_campaign_checkpoint_sync_seconds", nil, "id", m.planID()).
+		Observe(m.now().Sub(t0).Seconds())
+	return err
+}
+
+func (m *Monitor) planID() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.plan == nil {
+		return ""
+	}
+	return m.plan.ID
+}
+
+// printEvery throttles the periodic progress lines.
+const printEvery = time.Second
+
+// maybePrint emits a throttled progress line rendered from the registry.
+func (m *Monitor) maybePrint() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.w == nil || m.plan == nil {
+		return
+	}
+	now := m.now()
+	if now.Sub(m.lastPrint) < printEvery {
+		return
+	}
+	m.lastPrint = now
+	fmt.Fprintln(m.w, m.statusLocked(now).progressLine())
+}
+
+// Status renders the live campaign state from a registry snapshot — the
+// same schema `campaign status -json` derives from the log. It errors
+// until a campaign has been bound, matching obs.Server.HandleJSON.
+func (m *Monitor) Status() (*StatusJSON, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.plan == nil {
+		return nil, fmt.Errorf("no campaign running")
+	}
+	return m.statusLocked(m.now()), nil
+}
+
+// statusLocked snapshots the registry into the shared status schema.
+// m.mu must be held.
+func (m *Monitor) statusLocked(now time.Time) *StatusJSON {
+	snap := m.reg.Snapshot()
+	id := m.plan.ID
+	s := &StatusJSON{
+		ID:             id,
+		Benchmark:      m.plan.Benchmark,
+		PlannedRuns:    m.plan.Runs,
+		ShardSize:      m.plan.ShardSize,
+		NumShards:      m.plan.NumShards(),
+		ShardsComplete: int(snap.Gauge("epvf_campaign_shards_complete", "id", id)),
+		Replayed:       snap.Counter("epvf_campaign_runs_replayed_total", "id", id),
+		Executed:       snap.Counter("epvf_campaign_runs_executed_total", "id", id),
+		ETASeconds:     -1,
+		Stopped:        snap.Gauge("epvf_campaign_stopped", "id", id) != 0,
+		Saved:          int64(snap.Gauge("epvf_campaign_runs_saved", "id", id)),
+		Reason:         m.reason,
+	}
+	s.Done = s.Replayed + s.Executed
+	n := int(s.Done)
+	for _, o := range fi.FailureOutcomes {
+		c := snap.Counter("epvf_campaign_runs_total", "id", id, "outcome", o.String())
+		p := stats.Proportion{Successes: int(c), N: n}
+		s.Outcomes = append(s.Outcomes, OutcomeJSON{
+			Outcome: o.String(), Count: c, Rate: p.Rate(), CIHalfWidth: p.HalfWidth(),
+		})
+	}
+	// elapsed can be zero (coarse clocks, fake clocks): never divide by it.
+	s.ElapsedSeconds = now.Sub(m.start).Seconds()
+	if s.ElapsedSeconds > 0 {
+		s.RunsPerSec = float64(s.Executed) / s.ElapsedSeconds
+	}
+	if s.RunsPerSec > 0 && s.PlannedRuns > s.Done {
+		s.ETASeconds = float64(s.PlannedRuns-s.Done) / s.RunsPerSec
+	}
+	return s
+}
+
+// finish syncs the outcome series to the invocation's effective result and
+// prints the summary. An adaptively stopped campaign's effective records
+// are the converged prefix only, so the counters are nudged by the delta
+// to match res.Counts exactly — the acceptance contract between the final
+// CLI table, /metrics and /campaign.
+func (m *Monitor) finish(res *Result) {
+	id := m.planID()
+	snap := m.reg.Snapshot()
+	for _, o := range fi.FailureOutcomes {
+		have := snap.Counter("epvf_campaign_runs_total", "id", id, "outcome", o.String())
+		if d := int64(res.Counts[o]) - have; d != 0 {
+			m.reg.Counter("epvf_campaign_runs_total", "id", id, "outcome", o.String()).Add(d)
+		}
+	}
+	if res.Stopped {
+		m.stop(res.Saved, res.Reason)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.w == nil {
+		return
+	}
+	elapsed := m.now().Sub(m.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(res.Executed) / elapsed
+	}
+	fmt.Fprintf(m.w, "campaign %s [%s]: %d executed (%.0f runs/s), %d replayed",
+		res.Plan.ID, res.Plan.Benchmark, res.Executed, rate, res.Replayed)
+	if res.Stopped {
+		fmt.Fprintf(m.w, ", stopped early (%d runs saved: %s)", res.Saved, res.Reason)
+	}
+	fmt.Fprintln(m.w)
+	fmt.Fprintln(m.w, res.Render())
+}
+
+// StatusJSON is the shared campaign-status schema: the /campaign HTTP view
+// and `campaign status -json` both emit it.
+type StatusJSON struct {
+	ID             string        `json:"id"`
+	Benchmark      string        `json:"benchmark"`
+	PlannedRuns    int64         `json:"planned_runs"`
+	ShardSize      int64         `json:"shard_size"`
+	NumShards      int           `json:"num_shards"`
+	ShardsComplete int           `json:"shards_complete"`
+	Done           int64         `json:"done"`
+	Replayed       int64         `json:"replayed"`
+	Executed       int64         `json:"executed"`
+	Outcomes       []OutcomeJSON `json:"outcomes"`
+	RunsPerSec     float64       `json:"runs_per_sec"`
+	// ETASeconds is -1 when no rate is measurable yet.
+	ETASeconds     float64 `json:"eta_seconds"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Stopped        bool    `json:"stopped"`
+	Saved          int64   `json:"saved"`
+	Reason         string  `json:"reason,omitempty"`
+}
+
+// OutcomeJSON is one outcome tally with its Wilson 95% CI half-width.
+type OutcomeJSON struct {
+	Outcome     string  `json:"outcome"`
+	Count       int64   `json:"count"`
+	Rate        float64 `json:"rate"`
+	CIHalfWidth float64 `json:"ci_half_width"`
+}
+
+// progressLine renders the one-line periodic progress report.
+func (s *StatusJSON) progressLine() string {
+	pct := 0.0
+	if s.PlannedRuns > 0 {
+		pct = 100 * float64(s.Done) / float64(s.PlannedRuns)
+	}
+	eta := "?"
+	if s.ETASeconds >= 0 {
+		eta = fmt.Sprintf("%.0fs", s.ETASeconds)
+	}
+	tally := ""
+	for _, o := range s.Outcomes {
+		if o.Count == 0 {
+			continue
+		}
+		if tally != "" {
+			tally += " "
+		}
+		tally += fmt.Sprintf("%s=%.0f%%", o.Outcome, 100*o.Rate)
+	}
+	return fmt.Sprintf("campaign %s [%s] %d/%d (%.1f%%)  %.0f runs/s  ETA %s  %s",
+		s.ID, s.Benchmark, s.Done, s.PlannedRuns, pct, s.RunsPerSec, eta, tally)
+}

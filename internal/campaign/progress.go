@@ -2,98 +2,11 @@ package campaign
 
 import (
 	"fmt"
-	"io"
-	"time"
 
 	"repro/internal/fi"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
-
-// progress reports campaign throughput while it runs. All updates happen
-// on the engine's aggregation goroutine, so no locking is needed.
-type progress struct {
-	w         io.Writer
-	plan      *Plan
-	start     time.Time
-	done      int64 // runs executed this invocation
-	replayed  int64
-	counts    map[fi.Outcome]int
-	lastPrint time.Time
-}
-
-// printEvery throttles the periodic progress lines.
-const printEvery = time.Second
-
-func newProgress(w io.Writer, plan *Plan, replayed int64) *progress {
-	return &progress{
-		w:        w,
-		plan:     plan,
-		start:    time.Now(),
-		replayed: replayed,
-		counts:   make(map[fi.Outcome]int),
-	}
-}
-
-func (p *progress) add(rec fi.Record) {
-	p.done++
-	p.counts[rec.Outcome]++
-	if p.w == nil {
-		return
-	}
-	now := time.Now()
-	if now.Sub(p.lastPrint) < printEvery {
-		return
-	}
-	p.lastPrint = now
-	total := p.plan.Runs
-	covered := p.replayed + p.done
-	elapsed := now.Sub(p.start).Seconds()
-	rate := float64(p.done) / elapsed
-	eta := "?"
-	if rate > 0 {
-		eta = fmt.Sprintf("%.0fs", float64(total-covered)/rate)
-	}
-	fmt.Fprintf(p.w, "campaign %s [%s] %d/%d (%.1f%%)  %.0f runs/s  ETA %s  %s\n",
-		p.plan.ID, p.plan.Benchmark, covered, total,
-		100*float64(covered)/float64(total), rate, eta, tallyLine(p.counts, int(p.done)))
-}
-
-// finish prints the invocation summary table.
-func (p *progress) finish(res *Result) {
-	if p.w == nil {
-		return
-	}
-	elapsed := time.Since(p.start).Seconds()
-	rate := 0.0
-	if elapsed > 0 {
-		rate = float64(p.done) / elapsed
-	}
-	fmt.Fprintf(p.w, "campaign %s [%s]: %d executed (%.0f runs/s), %d replayed",
-		p.plan.ID, p.plan.Benchmark, res.Executed, rate, res.Replayed)
-	if res.Stopped {
-		fmt.Fprintf(p.w, ", stopped early (%d runs saved: %s)", res.Saved, res.Reason)
-	}
-	fmt.Fprintln(p.w)
-	fmt.Fprintln(p.w, res.Render())
-}
-
-// tallyLine compactly renders outcome percentages for the progress line.
-func tallyLine(counts map[fi.Outcome]int, n int) string {
-	if n == 0 {
-		return ""
-	}
-	s := ""
-	for _, o := range fi.FailureOutcomes {
-		if c := counts[o]; c > 0 {
-			if s != "" {
-				s += " "
-			}
-			s += fmt.Sprintf("%s=%.0f%%", o, 100*float64(c)/float64(n))
-		}
-	}
-	return s
-}
 
 // Render summarizes the campaign result as an outcome table with Wilson
 // 95% confidence intervals.
@@ -145,6 +58,35 @@ func ReadStatus(path string) (*Status, error) {
 		s.Counts[rec.Outcome]++
 	}
 	return s, nil
+}
+
+// JSON converts the log-derived status into the shared StatusJSON schema —
+// the same shape the live /campaign HTTP view serves. Throughput fields
+// are unknowable from a cold log: RunsPerSec and ElapsedSeconds stay 0 and
+// ETASeconds is -1. Every logged run counts as replayed.
+func (s *Status) JSON() *StatusJSON {
+	out := &StatusJSON{
+		ID:             s.Plan.ID,
+		Benchmark:      s.Plan.Benchmark,
+		PlannedRuns:    s.Plan.Runs,
+		ShardSize:      s.Plan.ShardSize,
+		NumShards:      s.Plan.NumShards(),
+		ShardsComplete: s.ShardsComplete,
+		Done:           s.Done,
+		Replayed:       s.Done,
+		ETASeconds:     -1,
+		Stopped:        s.Stopped,
+		Saved:          s.Saved,
+		Reason:         s.Reason,
+	}
+	n := int(s.Done)
+	for _, o := range fi.FailureOutcomes {
+		p := stats.Proportion{Successes: s.Counts[o], N: n}
+		out.Outcomes = append(out.Outcomes, OutcomeJSON{
+			Outcome: o.String(), Count: int64(s.Counts[o]), Rate: p.Rate(), CIHalfWidth: p.HalfWidth(),
+		})
+	}
+	return out
 }
 
 // Render prints the status as a table.

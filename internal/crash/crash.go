@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -55,6 +56,9 @@ func NewModel() *Model { return &Model{StackRule: true} }
 // addr+w-1 to stay inside the segment). ok is false when the event is not a
 // memory access or its snapshot is missing.
 func (m *Model) Boundary(tr *trace.Trace, ev int64) (Bound, bool) {
+	if r := obs.Default(); r != nil {
+		r.Counter("epvf_crash_boundaries_total").Inc()
+	}
 	e := &tr.Events[ev]
 	if !e.IsMemAccess() {
 		return Bound{}, false

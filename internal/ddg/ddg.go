@@ -9,6 +9,7 @@ package ddg
 
 import (
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -149,6 +150,11 @@ func (g *Graph) aceFromRoots(roots []int64) []bool {
 				stack = append(stack, p)
 			}
 		}
+	}
+	if r := obs.Default(); r != nil {
+		r.Counter("epvf_ddg_ace_builds_total").Inc()
+		r.Counter("epvf_ddg_events_total").Add(g.tr.NumEvents())
+		r.Counter("epvf_ddg_ace_nodes_total").Add(CountMask(mask))
 	}
 	return mask
 }

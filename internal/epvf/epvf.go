@@ -16,6 +16,7 @@ import (
 	"repro/internal/ddg"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/rangeprop"
 	"repro/internal/trace"
 )
@@ -97,16 +98,32 @@ func (a *Analysis) VulnerableBitReduction() float64 {
 // AnalyzeTrace runs the ACE, crash and propagation analyses over an
 // already-recorded trace.
 func AnalyzeTrace(tr *trace.Trace, cfg Config) *Analysis {
+	root := obs.StartSpan("epvf_analyze_trace")
 	t0 := time.Now()
+	sp := root.Child("epvf_ddg_ace")
 	g := ddg.New(tr)
 	aceMask := g.ACEMask()
 	a := &Analysis{Trace: tr, Graph: g, ACEMask: aceMask}
 	a.TotalBits, a.ACEBits = defBits(tr, aceMask)
 	a.ACENodes = ddg.CountMask(aceMask)
+	sp.Add("events", int64(tr.NumEvents()))
+	sp.Add("ace_nodes", a.ACENodes)
+	sp.Add("ace_bits", a.ACEBits)
+	sp.End()
 	t1 := time.Now()
+	sp = root.Child("epvf_models")
 	a.CrashResult = rangeprop.Analyze(tr, g, aceMask, cfg.Prop)
+	sp.Add("crash_bits", a.CrashResult.CrashBitCount)
+	sp.End()
 	a.Timing.GraphBuild = t1.Sub(t0)
 	a.Timing.Models = time.Since(t1)
+	root.End()
+	if r := obs.Default(); r != nil {
+		r.Counter("epvf_epvf_analyses_total").Inc()
+		r.Counter("epvf_epvf_ace_nodes_total").Add(a.ACENodes)
+		r.Counter("epvf_epvf_ace_bits_total").Add(a.ACEBits)
+		r.Counter("epvf_epvf_crash_bits_total").Add(a.CrashResult.CrashBitCount)
+	}
 	return a
 }
 
@@ -115,12 +132,16 @@ func AnalyzeTrace(tr *trace.Trace, cfg Config) *Analysis {
 // the paper's cost accounting.
 func AnalyzeModule(m *ir.Module, cfg Config) (*Analysis, *interp.Result, error) {
 	t0 := time.Now()
+	sp := obs.StartSpan("epvf_profile")
 	icfg := cfg.Interp
 	icfg.Record = true
 	res, err := interp.Run(m, icfg)
 	if err != nil {
+		sp.End()
 		return nil, nil, err
 	}
+	sp.Add("dyn_instrs", res.DynInstrs)
+	sp.End()
 	buildTime := time.Since(t0)
 	a := AnalyzeTrace(res.Trace, cfg)
 	a.Timing.GraphBuild += buildTime

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -53,6 +54,24 @@ func (k ExcKind) String() string {
 		return s
 	}
 	return fmt.Sprintf("exc(%d)", int(k))
+}
+
+// excMetricLabels are the metric-friendly (label-safe) exception names,
+// mirroring the signal each kind models.
+var excMetricLabels = map[ExcKind]string{
+	ExcSegFault:   "segfault",
+	ExcAbort:      "abort",
+	ExcMisaligned: "misaligned",
+	ExcArith:      "arith",
+	ExcDetected:   "detected",
+}
+
+// MetricLabel returns the exception kind as an epvf_* metric label value.
+func (k ExcKind) MetricLabel() string {
+	if s, ok := excMetricLabels[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("exc_%d", int(k))
 }
 
 // Exception describes a terminated execution.
@@ -209,7 +228,29 @@ func Run(m *ir.Module, cfg Config) (*Result, error) {
 			Layout:    cfg.Layout,
 		}
 	}
+	vm.flushObs()
 	return res, vm.fatal
+}
+
+// flushObs publishes one run's tallies to the obs registry. Counting is
+// machine-local (plain int64 increments in the hot loop) and flushed once
+// per run, so the instrumentation costs one nil check when observability
+// is disabled and four registry lookups per run when enabled.
+func (vm *machine) flushObs() {
+	r := obs.Default()
+	if r == nil {
+		return
+	}
+	r.Counter("epvf_interp_runs_total").Inc()
+	r.Counter("epvf_interp_instructions_total").Add(vm.dyn)
+	r.Counter("epvf_interp_loads_total").Add(vm.loads)
+	r.Counter("epvf_interp_stores_total").Add(vm.stores)
+	if vm.exc != nil {
+		r.Counter("epvf_interp_exceptions_total", "kind", vm.exc.Kind.MetricLabel()).Inc()
+	}
+	if vm.hang {
+		r.Counter("epvf_interp_hangs_total").Inc()
+	}
 }
 
 type frameLayout struct {
@@ -226,6 +267,8 @@ type machine struct {
 	layouts map[*ir.Function]*frameLayout
 
 	dyn     int64
+	loads   int64
+	stores  int64
 	events  []trace.Event
 	outputs []trace.Output
 	memDef  map[uint64]int64
@@ -648,6 +691,7 @@ func (vm *machine) alignOK(in *ir.Instr, addr uint64) bool {
 }
 
 func (vm *machine) load(in *ir.Instr, idx int64, addr uint64) (uint64, bool) {
+	vm.loads++
 	size := in.Elem.Size()
 	if ev := vm.event(idx); ev != nil {
 		ev.Addr = addr
@@ -675,6 +719,7 @@ func (vm *machine) load(in *ir.Instr, idx int64, addr uint64) (uint64, bool) {
 }
 
 func (vm *machine) store(in *ir.Instr, idx int64, val, addr uint64) bool {
+	vm.stores++
 	size := in.Elem.Size()
 	if ev := vm.event(idx); ev != nil {
 		ev.Addr = addr

@@ -1,0 +1,81 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/obs"
+)
+
+// TestObsCounters checks that each run flushes instruction, memory and
+// exception tallies into the enabled registry, and that the exception
+// family is labeled by signal kind.
+func TestObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+
+	// A store, a load, and an abort: every counter family fires.
+	b := ir.NewBuilder("obs")
+	b.NewFunc("main", ir.Void)
+	p := b.Alloca(ir.I64, 1)
+	b.Store(ir.ConstInt(ir.I64, 7), p)
+	v := b.Load(p)
+	b.Output(v)
+	b.Abort()
+	b.Ret(nil)
+	res := run(t, b.MustModule(), Config{})
+	if res.Exception == nil || res.Exception.Kind != ExcAbort {
+		t.Fatalf("expected abort, got %+v", res.Exception)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("epvf_interp_runs_total"); got != 1 {
+		t.Errorf("runs counter = %d, want 1", got)
+	}
+	if got := snap.Counter("epvf_interp_instructions_total"); got != res.DynInstrs {
+		t.Errorf("instruction counter = %d, want %d", got, res.DynInstrs)
+	}
+	if got := snap.Counter("epvf_interp_loads_total"); got != 1 {
+		t.Errorf("loads counter = %d, want 1", got)
+	}
+	if got := snap.Counter("epvf_interp_stores_total"); got != 1 {
+		t.Errorf("stores counter = %d, want 1", got)
+	}
+	if got := snap.Counter("epvf_interp_exceptions_total", "kind", "abort"); got != 1 {
+		t.Errorf("abort exception counter = %d, want 1", got)
+	}
+	if got := snap.Counter("epvf_interp_exceptions_total", "kind", "segfault"); got != 0 {
+		t.Errorf("segfault exception counter = %d, want 0", got)
+	}
+}
+
+// TestObsDisabledIsInert confirms the default (nil registry) records
+// nothing and the run is unaffected.
+func TestObsDisabledIsInert(t *testing.T) {
+	if obs.Default() != nil {
+		t.Skip("another test left the default registry set")
+	}
+	res := outputOnly(t, func(b *ir.Builder) ir.Value {
+		return ir.ConstInt(ir.I32, 9)
+	})
+	if res.Exception != nil || len(res.Outputs) != 1 {
+		t.Fatalf("unexpected run result: %+v", res)
+	}
+}
+
+func TestExcKindMetricLabel(t *testing.T) {
+	want := map[ExcKind]string{
+		ExcSegFault:   "segfault",
+		ExcAbort:      "abort",
+		ExcMisaligned: "misaligned",
+		ExcArith:      "arith",
+		ExcDetected:   "detected",
+		ExcKind(99):   "exc_99",
+	}
+	for k, w := range want {
+		if got := k.MetricLabel(); got != w {
+			t.Errorf("MetricLabel(%v) = %q, want %q", k, got, w)
+		}
+	}
+}

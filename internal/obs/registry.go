@@ -1,0 +1,514 @@
+// Package obs is the stdlib-only observability layer of the reproduction:
+// a metrics registry (atomic counters, gauges and fixed-bucket histograms
+// with labeled families, Prometheus-text and JSON encoders), a phase tracer
+// (nestable spans recording wall time and allocation deltas), and an
+// opt-in net/http introspection server exposing /metrics, /debug/pprof,
+// expvar and registrable JSON status views.
+//
+// Everything is zero-cost when disabled: the package-level default registry
+// and tracer are nil until a CLI enables them, and every method is nil-safe
+// — a nil *Registry hands out nil *Counter/*Gauge/*Histogram handles whose
+// operations are single-branch no-ops, so instrumented hot paths pay one
+// predictable nil check.
+//
+// Metric names follow the convention epvf_<layer>_<name>, with counters
+// suffixed _total and histograms measuring seconds.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; a nil Counter ignores all operations.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// reset zeroes the counter (used by Registry.Reset and per-campaign
+// rebinding; Prometheus consumers treat it as an ordinary counter reset).
+func (c *Counter) reset() {
+	if c != nil {
+		c.v.Store(0)
+	}
+}
+
+// Gauge is a metric that can go up and down, stored as float64 bits. A nil
+// Gauge ignores all operations.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution. Bounds are inclusive upper
+// bounds in ascending order; an implicit +Inf bucket catches the rest. A
+// nil Histogram ignores all operations.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1, non-cumulative
+	total   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// LatencyBuckets is the default bucket layout for second-denominated
+// latency histograms: 5µs to 10s, roughly logarithmic.
+var LatencyBuckets = []float64{
+	5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+func (h *Histogram) reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.total.Store(0)
+	h.sumBits.Store(0)
+}
+
+// metric kinds.
+const (
+	kindCounter = "counter"
+	kindGauge   = "gauge"
+	kindHist    = "histogram"
+)
+
+// series is one registered (name, labels) metric instance.
+type series struct {
+	name   string
+	key    string // name + rendered labels, the registry map key
+	labels [][2]string
+	kind   string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds labeled metric families. All methods are safe for
+// concurrent use, and all are no-ops on a nil *Registry (the disabled
+// default).
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// seriesKey renders name plus sorted k="v" label pairs. kv is alternating
+// key, value; an odd trailing key is ignored.
+func seriesKey(name string, kv []string) (string, [][2]string) {
+	if len(kv) < 2 {
+		return name, nil
+	}
+	labels := make([][2]string, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		labels = append(labels, [2]string{kv[i], kv[i+1]})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i][0] < labels[j][0] })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l[0], l[1])
+	}
+	b.WriteByte('}')
+	return b.String(), labels
+}
+
+// lookup returns the series for key, creating it via init when absent.
+func (r *Registry) lookup(name, kind string, kv []string, init func(s *series)) *series {
+	key, labels := seriesKey(name, kv)
+	r.mu.RLock()
+	s := r.series[key]
+	r.mu.RUnlock()
+	if s == nil {
+		r.mu.Lock()
+		if s = r.series[key]; s == nil {
+			s = &series{name: name, key: key, labels: labels, kind: kind}
+			init(s)
+			r.series[key] = s
+		}
+		r.mu.Unlock()
+	}
+	if s.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", key, s.kind, kind))
+	}
+	return s
+}
+
+// Counter returns the counter for name and alternating label key/value
+// pairs, registering it on first use. Nil receiver returns a nil (no-op)
+// counter.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindCounter, kv, func(s *series) { s.c = &Counter{} }).c
+}
+
+// Gauge returns the gauge for name and label pairs.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindGauge, kv, func(s *series) { s.g = &Gauge{} }).g
+}
+
+// Histogram returns the histogram for name and label pairs. buckets are
+// ascending upper bounds; nil means LatencyBuckets. The bucket layout is
+// fixed by the first registration.
+func (r *Registry) Histogram(name string, buckets []float64, kv ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindHist, kv, func(s *series) {
+		if buckets == nil {
+			buckets = LatencyBuckets
+		}
+		bounds := append([]float64(nil), buckets...)
+		s.h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	}).h
+}
+
+// Reset zeroes every registered series without invalidating the handles
+// instrumented code holds.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, s := range r.series {
+		switch s.kind {
+		case kindCounter:
+			s.c.reset()
+		case kindGauge:
+			s.g.Set(0)
+		case kindHist:
+			s.h.reset()
+		}
+	}
+}
+
+// ResetLabeled zeroes every series carrying the label key=value, leaving
+// other series untouched. Campaign monitors use it to restart one plan's
+// series when an invocation begins, so a replayed log never double-counts.
+func (r *Registry) ResetLabeled(key, value string) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, s := range r.series {
+		matched := false
+		for _, l := range s.labels {
+			if l[0] == key && l[1] == value {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		switch s.kind {
+		case kindCounter:
+			s.c.reset()
+		case kindGauge:
+			s.g.Set(0)
+		case kindHist:
+			s.h.reset()
+		}
+	}
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	// Le is the inclusive upper bound; +Inf for the overflow bucket.
+	Le float64 `json:"le"`
+	// Count is the cumulative count of observations <= Le.
+	Count int64 `json:"count"`
+}
+
+// Sample is the frozen value of one series.
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	// Value carries counter and gauge values.
+	Value float64 `json:"value"`
+	// Count, Sum and Buckets carry histogram state.
+	Count   int64    `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+
+	key string
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by series key.
+type Snapshot struct {
+	Samples []Sample `json:"samples"`
+}
+
+// Snapshot freezes the registry. Nil receiver yields an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	if r == nil {
+		return snap
+	}
+	r.mu.RLock()
+	for _, s := range r.series {
+		smp := Sample{Name: s.name, Kind: s.kind, key: s.key}
+		if len(s.labels) > 0 {
+			smp.Labels = make(map[string]string, len(s.labels))
+			for _, l := range s.labels {
+				smp.Labels[l[0]] = l[1]
+			}
+		}
+		switch s.kind {
+		case kindCounter:
+			smp.Value = float64(s.c.Value())
+		case kindGauge:
+			smp.Value = s.g.Value()
+		case kindHist:
+			smp.Count = s.h.Count()
+			smp.Sum = s.h.Sum()
+			cum := int64(0)
+			for i := range s.h.counts {
+				cum += s.h.counts[i].Load()
+				le := math.Inf(1)
+				if i < len(s.h.bounds) {
+					le = s.h.bounds[i]
+				}
+				smp.Buckets = append(smp.Buckets, Bucket{Le: le, Count: cum})
+			}
+		}
+		snap.Samples = append(snap.Samples, smp)
+	}
+	r.mu.RUnlock()
+	sort.Slice(snap.Samples, func(i, j int) bool {
+		if snap.Samples[i].Name != snap.Samples[j].Name {
+			return snap.Samples[i].Name < snap.Samples[j].Name
+		}
+		return snap.Samples[i].key < snap.Samples[j].key
+	})
+	return snap
+}
+
+// match reports whether the sample carries every given label pair.
+func (s *Sample) match(kv []string) bool {
+	for i := 0; i+1 < len(kv); i += 2 {
+		if s.Labels[kv[i]] != kv[i+1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the value of the exactly-labeled counter (or gauge),
+// summing every series of the family that carries the given label pairs —
+// pass all labels for an exact series, fewer to aggregate.
+func (s *Snapshot) Counter(name string, kv ...string) int64 {
+	var total int64
+	for i := range s.Samples {
+		smp := &s.Samples[i]
+		if smp.Name == name && smp.Kind != kindHist && smp.match(kv) {
+			total += int64(smp.Value)
+		}
+	}
+	return total
+}
+
+// Gauge returns the value of the first matching gauge.
+func (s *Snapshot) Gauge(name string, kv ...string) float64 {
+	for i := range s.Samples {
+		smp := &s.Samples[i]
+		if smp.Name == name && smp.Kind == kindGauge && smp.match(kv) {
+			return smp.Value
+		}
+	}
+	return 0
+}
+
+// labelString renders the {k="v",...} suffix of a sample, with extra pairs
+// appended (for histogram le labels).
+func labelString(s *Sample, extra ...string) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys)+1)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, s.Labels[k]))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf("%s=%q", extra[i], extra[i+1]))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus encodes the registry in the Prometheus text exposition
+// format (one # TYPE line per family, histograms as _bucket/_sum/_count).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus encodes a frozen snapshot.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	lastName := ""
+	for i := range s.Samples {
+		smp := &s.Samples[i]
+		if smp.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", smp.Name, smp.Kind); err != nil {
+				return err
+			}
+			lastName = smp.Name
+		}
+		switch smp.Kind {
+		case kindHist:
+			for _, b := range smp.Buckets {
+				le := "+Inf"
+				if !math.IsInf(b.Le, 1) {
+					le = fmt.Sprintf("%g", b.Le)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", smp.Name, labelString(smp, "le", le), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n",
+				smp.Name, labelString(smp), smp.Sum, smp.Name, labelString(smp), smp.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", smp.Name, labelString(smp), formatValue(smp.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON encodes the registry snapshot as JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// defaultReg is the process-wide registry; nil (disabled) until a CLI
+// enables observability.
+var defaultReg atomic.Pointer[Registry]
+
+// Default returns the process-wide registry, nil when observability is
+// disabled. The nil registry is fully usable: every method no-ops.
+func Default() *Registry { return defaultReg.Load() }
+
+// SetDefault installs the process-wide registry (nil disables).
+func SetDefault(r *Registry) { defaultReg.Store(r) }

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("epvf_x_total")
+	g := r.Gauge("epvf_x")
+	h := r.Histogram("epvf_x_seconds", nil)
+	c.Add(3)
+	c.Inc()
+	g.Set(2)
+	g.Add(1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	r.Reset()
+	if snap := r.Snapshot(); len(snap.Samples) != 0 {
+		t.Errorf("nil registry snapshot has %d samples", len(snap.Samples))
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("epvf_test_runs_total", "outcome", "crash")
+	c.Add(4)
+	c.Inc()
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Same (name, labels) returns the same instance regardless of pair order.
+	c2 := r.Counter("epvf_test_runs_total", "outcome", "crash")
+	if c2 != c {
+		t.Error("same series returned a different handle")
+	}
+	g := r.Gauge("epvf_test_depth")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Errorf("gauge = %g, want 2", got)
+	}
+	h := r.Histogram("epvf_test_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("hist count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Errorf("hist sum = %g, want 56.05", h.Sum())
+	}
+
+	snap := r.Snapshot()
+	if got := snap.Counter("epvf_test_runs_total", "outcome", "crash"); got != 5 {
+		t.Errorf("snapshot counter = %d, want 5", got)
+	}
+	if got := snap.Gauge("epvf_test_depth"); got != 2 {
+		t.Errorf("snapshot gauge = %g, want 2", got)
+	}
+	var hist *Sample
+	for i := range snap.Samples {
+		if snap.Samples[i].Name == "epvf_test_seconds" {
+			hist = &snap.Samples[i]
+		}
+	}
+	if hist == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	wantCum := []int64{1, 3, 4, 5} // le 0.1, 1, 10, +Inf
+	for i, b := range hist.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+}
+
+func TestLabelAggregation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("epvf_runs_total", "id", "a", "outcome", "crash").Add(2)
+	r.Counter("epvf_runs_total", "id", "a", "outcome", "SDC").Add(3)
+	r.Counter("epvf_runs_total", "id", "b", "outcome", "crash").Add(7)
+	snap := r.Snapshot()
+	if got := snap.Counter("epvf_runs_total", "id", "a"); got != 5 {
+		t.Errorf("id=a total = %d, want 5", got)
+	}
+	if got := snap.Counter("epvf_runs_total", "outcome", "crash"); got != 9 {
+		t.Errorf("outcome=crash total = %d, want 9", got)
+	}
+	if got := snap.Counter("epvf_runs_total"); got != 12 {
+		t.Errorf("family total = %d, want 12", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("epvf_a_total")
+	g := r.Gauge("epvf_b")
+	h := r.Histogram("epvf_c_seconds", []float64{1})
+	c.Add(5)
+	g.Set(5)
+	h.Observe(0.5)
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("reset did not zero values")
+	}
+	// Handles stay live after reset.
+	c.Inc()
+	if r.Snapshot().Counter("epvf_a_total") != 1 {
+		t.Error("counter handle dead after reset")
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("epvf_interp_runs_total").Add(3)
+	r.Counter("epvf_campaign_runs_total", "outcome", "crash", "id", "abc").Add(2)
+	r.Gauge("epvf_campaign_shards_complete", "id", "abc").Set(4)
+	r.Histogram("epvf_campaign_run_seconds", []float64{0.1, 1}, "id", "abc").Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE epvf_interp_runs_total counter",
+		"epvf_interp_runs_total 3",
+		`epvf_campaign_runs_total{id="abc",outcome="crash"} 2`,
+		"# TYPE epvf_campaign_shards_complete gauge",
+		`epvf_campaign_shards_complete{id="abc"} 4`,
+		"# TYPE epvf_campaign_run_seconds histogram",
+		`epvf_campaign_run_seconds_bucket{id="abc",le="0.1"} 0`,
+		`epvf_campaign_run_seconds_bucket{id="abc",le="1"} 1`,
+		`epvf_campaign_run_seconds_bucket{id="abc",le="+Inf"} 1`,
+		`epvf_campaign_run_seconds_count{id="abc"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("epvf_x_total", "k", "v").Add(9)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got := snap.Counter("epvf_x_total", "k", "v"); got != 9 {
+		t.Errorf("round-tripped counter = %d, want 9", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("epvf_x_total")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge registration over a counter did not panic")
+		}
+	}()
+	r.Gauge("epvf_x_total")
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("epvf_conc_total", "w", string(rune('a'+w%4))).Inc()
+				r.Gauge("epvf_conc").Add(1)
+				r.Histogram("epvf_conc_seconds", []float64{0.5}).Observe(float64(i%2) * 0.9)
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.Counter("epvf_conc_total"); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	if got := snap.Gauge("epvf_conc"); got != 8000 {
+		t.Errorf("concurrent gauge = %g, want 8000", got)
+	}
+}
+
+func TestDefaultRegistry(t *testing.T) {
+	if Default() != nil {
+		t.Fatal("default registry must start disabled")
+	}
+	r := NewRegistry()
+	SetDefault(r)
+	defer SetDefault(nil)
+	if Default() != r {
+		t.Error("SetDefault did not install")
+	}
+	Default().Counter("epvf_default_total").Inc()
+	if r.Snapshot().Counter("epvf_default_total") != 1 {
+		t.Error("default registry did not record")
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is the opt-in live-introspection endpoint: /metrics (Prometheus
+// text, or JSON with ?format=json), /debug/pprof/*, /debug/vars (expvar)
+// and any JSON status views registered with HandleJSON (the campaign
+// engine registers /campaign).
+type Server struct {
+	reg *Registry
+	mux *http.ServeMux
+	ln  net.Listener
+	srv *http.Server
+}
+
+// expvarOnce guards the one-time expvar publication of the obs snapshot
+// (expvar.Publish panics on duplicate names).
+var expvarOnce sync.Once
+
+// NewServer binds addr (host:port; :0 picks a free port) and builds the
+// route table, but does not serve until Start.
+func NewServer(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, mux: http.NewServeMux(), ln: ln}
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/", s.handleIndex)
+	expvarOnce.Do(func() {
+		expvar.Publish("epvf_obs", expvar.Func(func() any {
+			return s.reg.Snapshot().Samples
+		}))
+	})
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	return s, nil
+}
+
+// Addr returns the bound address (useful with :0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// HandleJSON registers a view that renders fn's value as JSON on every
+// request.
+func (s *Server) HandleJSON(path string, fn func() (any, error)) {
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, req *http.Request) {
+		v, err := fn()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	})
+}
+
+// Start serves in a background goroutine until Close.
+func (s *Server) Start() {
+	go s.srv.Serve(s.ln)
+}
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		s.reg.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path != "/" {
+		http.NotFound(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "epvf observability endpoint")
+	fmt.Fprintln(w, "  /metrics            Prometheus text format (?format=json for JSON)")
+	fmt.Fprintln(w, "  /campaign           live campaign status (when a campaign is running)")
+	fmt.Fprintln(w, "  /debug/pprof/       CPU, heap, goroutine profiles")
+	fmt.Fprintln(w, "  /debug/vars         expvar (includes the epvf_obs snapshot)")
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startTestServer(t *testing.T, reg *Registry) *Server {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("epvf_interp_runs_total").Add(7)
+	srv := startTestServer(t, reg)
+	srv.HandleJSON("/campaign", func() (any, error) {
+		return map[string]int{"done": 12}, nil
+	})
+	srv.Start()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "epvf_interp_runs_total 7") {
+		t.Errorf("/metrics: code %d body %q", code, body)
+	}
+	code, body = get(t, base+"/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?format=json: code %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if snap.Counter("epvf_interp_runs_total") != 7 {
+		t.Error("JSON metrics missing counter")
+	}
+
+	code, body = get(t, base+"/campaign")
+	if code != http.StatusOK || !strings.Contains(body, `"done": 12`) {
+		t.Errorf("/campaign: code %d body %q", code, body)
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code %d", code)
+	}
+	code, _ = get(t, base+"/debug/pprof/heap?debug=1")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/heap: code %d", code)
+	}
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars: code %d", code)
+	}
+	code, body = get(t, base+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: code %d body %q", code, body)
+	}
+	code, _ = get(t, base+"/nope")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown path: code %d, want 404", code)
+	}
+}
+
+func TestHandleJSONError(t *testing.T) {
+	srv := startTestServer(t, NewRegistry())
+	srv.HandleJSON("/broken", func() (any, error) {
+		return nil, fmt.Errorf("no campaign running")
+	})
+	srv.Start()
+	code, body := get(t, "http://"+srv.Addr()+"/broken")
+	if code != http.StatusInternalServerError || !strings.Contains(body, "no campaign running") {
+		t.Errorf("error view: code %d body %q", code, body)
+	}
+}
+
+func TestServerLiveUpdates(t *testing.T) {
+	reg := NewRegistry()
+	srv := startTestServer(t, reg)
+	srv.Start()
+	base := "http://" + srv.Addr()
+	c := reg.Counter("epvf_live_total")
+	_, body := get(t, base+"/metrics")
+	if !strings.Contains(body, "epvf_live_total 0") {
+		t.Errorf("initial scrape: %q", body)
+	}
+	c.Add(41)
+	c.Inc()
+	_, body = get(t, base+"/metrics")
+	if !strings.Contains(body, "epvf_live_total 42") {
+		t.Errorf("live scrape: %q", body)
+	}
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/report"
+)
+
+// SpanRecord is one completed span: a named phase with wall time, heap
+// allocation deltas (runtime.ReadMemStats) and optional per-span counters.
+type SpanRecord struct {
+	Name  string    `json:"name"`
+	Depth int       `json:"depth"`
+	Start time.Time `json:"start"`
+	// WallNS is the span duration under the tracer's clock.
+	WallNS int64 `json:"wall_ns"`
+	// Allocs and AllocBytes are the heap allocation count/byte deltas
+	// across the span (process-wide, so concurrent work is attributed
+	// too — treat them as an upper bound).
+	Allocs     uint64           `json:"allocs"`
+	AllocBytes uint64           `json:"alloc_bytes"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+}
+
+// Tracer records nestable phase spans. A nil *Tracer (the disabled
+// default) hands out nil *Span handles whose methods no-op, so
+// instrumented pipelines pay one nil check per phase.
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer // JSONL sink, may be nil
+	now   func() time.Time
+	spans []SpanRecord
+}
+
+// NewTracer returns a tracer. w, when non-nil, receives one JSON line per
+// completed span.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, now: time.Now}
+}
+
+// SetClock injects the time source (tests; the campaign progress reporter
+// shares the same seam).
+func (t *Tracer) SetClock(now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+func (t *Tracer) clock() time.Time {
+	t.mu.Lock()
+	now := t.now
+	t.mu.Unlock()
+	return now()
+}
+
+// Span is one in-flight phase. Methods on a nil Span no-op.
+type Span struct {
+	t        *Tracer
+	name     string
+	depth    int
+	start    time.Time
+	mallocs0 uint64
+	bytes0   uint64
+	counters map[string]int64
+	mu       sync.Mutex
+	ended    bool
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.open(name, 0)
+}
+
+func (t *Tracer) open(name string, depth int) *Span {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &Span{
+		t:        t,
+		name:     name,
+		depth:    depth,
+		start:    t.clock(),
+		mallocs0: ms.Mallocs,
+		bytes0:   ms.TotalAlloc,
+	}
+}
+
+// Child opens a nested span one level deeper.
+func (sp *Span) Child(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.t.open(name, sp.depth+1)
+}
+
+// Add accumulates a named per-span counter (node counts, bit counts, ...).
+func (sp *Span) Add(counter string, n int64) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.counters == nil {
+		sp.counters = make(map[string]int64)
+	}
+	sp.counters[counter] += n
+	sp.mu.Unlock()
+}
+
+// End closes the span, recording it on the tracer and emitting its JSONL
+// line. End is idempotent.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.ended {
+		sp.mu.Unlock()
+		return
+	}
+	sp.ended = true
+	counters := sp.counters
+	sp.mu.Unlock()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rec := SpanRecord{
+		Name:       sp.name,
+		Depth:      sp.depth,
+		Start:      sp.start,
+		WallNS:     sp.t.clock().Sub(sp.start).Nanoseconds(),
+		Allocs:     ms.Mallocs - sp.mallocs0,
+		AllocBytes: ms.TotalAlloc - sp.bytes0,
+		Counters:   counters,
+	}
+	sp.t.record(rec)
+}
+
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	t.spans = append(t.spans, rec)
+	w := t.w
+	t.mu.Unlock()
+	if w != nil {
+		line, err := json.Marshal(rec)
+		if err == nil {
+			t.mu.Lock()
+			w.Write(append(line, '\n'))
+			t.mu.Unlock()
+		}
+	}
+}
+
+// Spans returns a copy of every completed span in end order.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// PhaseStat aggregates every completed span of one name.
+type PhaseStat struct {
+	Name       string           `json:"name"`
+	Count      int64            `json:"count"`
+	WallNS     int64            `json:"wall_ns"`
+	Allocs     uint64           `json:"allocs"`
+	AllocBytes uint64           `json:"alloc_bytes"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+}
+
+// Aggregate folds completed spans into per-phase totals, sorted by
+// descending wall time.
+func (t *Tracer) Aggregate() []PhaseStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	byName := make(map[string]*PhaseStat)
+	order := []string{}
+	for i := range t.spans {
+		rec := &t.spans[i]
+		st := byName[rec.Name]
+		if st == nil {
+			st = &PhaseStat{Name: rec.Name}
+			byName[rec.Name] = st
+			order = append(order, rec.Name)
+		}
+		st.Count++
+		st.WallNS += rec.WallNS
+		st.Allocs += rec.Allocs
+		st.AllocBytes += rec.AllocBytes
+		for k, v := range rec.Counters {
+			if st.Counters == nil {
+				st.Counters = make(map[string]int64)
+			}
+			st.Counters[k] += v
+		}
+	}
+	t.mu.Unlock()
+	out := make([]PhaseStat, 0, len(order))
+	for _, n := range order {
+		out = append(out, *byName[n])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].WallNS > out[j].WallNS })
+	return out
+}
+
+// Summary renders the per-phase totals as a table.
+func (t *Tracer) Summary() string {
+	if t == nil {
+		return ""
+	}
+	tab := report.NewTable("Phase summary", "Phase", "Spans", "Wall", "Allocs", "Alloc bytes")
+	for _, st := range t.Aggregate() {
+		tab.AddRow(st.Name, st.Count,
+			time.Duration(st.WallNS).Round(time.Microsecond).String(),
+			st.Allocs, st.AllocBytes)
+	}
+	return tab.String()
+}
+
+// defaultTracer mirrors defaultReg: nil until a CLI enables tracing.
+var defaultTracer atomic.Pointer[Tracer]
+
+// DefaultTracer returns the process-wide tracer (nil when disabled).
+func DefaultTracer() *Tracer { return defaultTracer.Load() }
+
+// SetDefaultTracer installs the process-wide tracer (nil disables).
+func SetDefaultTracer(t *Tracer) { defaultTracer.Store(t) }
+
+// StartSpan opens a root span on the default tracer; nil-safe and free
+// when tracing is disabled.
+func StartSpan(name string) *Span { return DefaultTracer().Start(name) }

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is the injectable time source shared with campaign tests.
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("phase")
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	child := sp.Child("sub")
+	child.Add("nodes", 5)
+	child.End()
+	sp.End()
+	tr.SetClock(time.Now)
+	if tr.Spans() != nil || tr.Aggregate() != nil || tr.Summary() != "" {
+		t.Error("nil tracer must report nothing")
+	}
+}
+
+func TestSpanNestingAndClock(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tr.SetClock(clk.now)
+
+	root := tr.Start("analyze")
+	clk.advance(time.Second)
+	child := root.Child("ddg")
+	child.Add("nodes", 40)
+	child.Add("nodes", 2)
+	clk.advance(2 * time.Second)
+	child.End()
+	child.End() // idempotent
+	clk.advance(time.Second)
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Spans complete child-first.
+	if spans[0].Name != "ddg" || spans[0].Depth != 1 {
+		t.Errorf("first completed span = %q depth %d, want ddg depth 1", spans[0].Name, spans[0].Depth)
+	}
+	if spans[0].WallNS != (2 * time.Second).Nanoseconds() {
+		t.Errorf("child wall = %d ns, want 2s", spans[0].WallNS)
+	}
+	if spans[0].Counters["nodes"] != 42 {
+		t.Errorf("child counter = %d, want 42", spans[0].Counters["nodes"])
+	}
+	if spans[1].Name != "analyze" || spans[1].Depth != 0 {
+		t.Errorf("second completed span = %q depth %d", spans[1].Name, spans[1].Depth)
+	}
+	if spans[1].WallNS != (4 * time.Second).Nanoseconds() {
+		t.Errorf("root wall = %d ns, want 4s", spans[1].WallNS)
+	}
+
+	// The JSONL sink carries one parseable line per span.
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d: %v", lines+1, err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("JSONL sink has %d lines, want 2", lines)
+	}
+}
+
+func TestAggregateAndSummary(t *testing.T) {
+	tr := NewTracer(nil)
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	tr.SetClock(clk.now)
+	for i := 0; i < 3; i++ {
+		sp := tr.Start("rangeprop")
+		sp.Add("accesses", 10)
+		clk.advance(time.Millisecond)
+		sp.End()
+	}
+	sp := tr.Start("profile")
+	clk.advance(time.Second)
+	sp.End()
+
+	agg := tr.Aggregate()
+	if len(agg) != 2 {
+		t.Fatalf("got %d phases, want 2", len(agg))
+	}
+	// Sorted by descending wall time: profile first.
+	if agg[0].Name != "profile" || agg[1].Name != "rangeprop" {
+		t.Errorf("phase order = %s, %s", agg[0].Name, agg[1].Name)
+	}
+	if agg[1].Count != 3 || agg[1].WallNS != (3*time.Millisecond).Nanoseconds() {
+		t.Errorf("rangeprop stat = %+v", agg[1])
+	}
+	if agg[1].Counters["accesses"] != 30 {
+		t.Errorf("aggregated counter = %d, want 30", agg[1].Counters["accesses"])
+	}
+	sum := tr.Summary()
+	if !strings.Contains(sum, "rangeprop") || !strings.Contains(sum, "profile") {
+		t.Errorf("summary missing phases:\n%s", sum)
+	}
+}
+
+func TestStartSpanDefaultTracer(t *testing.T) {
+	if sp := StartSpan("x"); sp != nil {
+		t.Fatal("StartSpan must be nil with tracing disabled")
+	}
+	tr := NewTracer(nil)
+	SetDefaultTracer(tr)
+	defer SetDefaultTracer(nil)
+	sp := StartSpan("x")
+	sp.End()
+	if len(tr.Spans()) != 1 {
+		t.Error("StartSpan did not record on the default tracer")
+	}
+}
+
+func TestSpanAllocationDelta(t *testing.T) {
+	tr := NewTracer(nil)
+	sp := tr.Start("alloc")
+	sink = make([]byte, 1<<20)
+	sp.End()
+	rec := tr.Spans()[0]
+	if rec.AllocBytes < 1<<20 {
+		t.Errorf("alloc delta = %d bytes, want >= 1MiB", rec.AllocBytes)
+	}
+	if rec.Allocs == 0 {
+		t.Error("alloc count delta is zero")
+	}
+}
+
+// sink defeats dead-allocation elimination.
+var sink []byte

@@ -14,6 +14,7 @@ import (
 	"repro/internal/crash"
 	"repro/internal/ddg"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -156,6 +157,11 @@ func Analyze(tr *trace.Trace, g *ddg.Graph, aceMask []bool, cfg Config) *Result 
 	}
 	for _, m := range res.DefCrashBits {
 		res.CrashBitCount += int64(crash.PopCount(m))
+	}
+	if r := obs.Default(); r != nil {
+		r.Counter("epvf_rangeprop_analyses_total").Inc()
+		r.Counter("epvf_rangeprop_accesses_total").Add(res.AccessesAnalyzed)
+		r.Counter("epvf_rangeprop_crash_bits_total").Add(res.CrashBitCount)
 	}
 	return res
 }

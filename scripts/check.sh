@@ -22,4 +22,7 @@ go build ./...
 echo "== go test"
 go test ./...
 
+echo "== go test -race (obs + campaign)"
+go test -race ./internal/obs/... ./internal/campaign/...
+
 echo "check: OK"
