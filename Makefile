@@ -1,9 +1,15 @@
 # Tier-1 verification gate and convenience targets.
 
-.PHONY: check build test fmt vet bench-obs
+.PHONY: check build test fmt vet bench-obs dist-demo
 
 check:
 	./scripts/check.sh
+
+# dist-demo runs a distributed campaign end-to-end on this machine: a
+# coordinator plus two workers over loopback HTTP, with the merged log
+# printed at the end.
+dist-demo:
+	./scripts/dist_demo.sh
 
 # bench-obs asserts the disabled observability path stays under the noise
 # floor (TestDisabledOverheadUnderNoise) and prints the nil-handle

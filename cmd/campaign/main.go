@@ -1,6 +1,6 @@
 // Command campaign orchestrates durable, resumable fault-injection
 // campaigns over the built-in benchmarks (or a MiniC / textual-IR source
-// file) via internal/campaign.
+// file) via internal/campaign, locally or distributed via internal/dist.
 //
 // Usage:
 //
@@ -9,32 +9,48 @@
 //	campaign resume -bench mm -runs 3000 -log mm.jsonl
 //	campaign status -log mm.jsonl [-json]
 //	campaign merge  -out merged.jsonl shard-a.jsonl shard-b.jsonl
+//	campaign serve  -bench mm -runs 3000 -log merged.jsonl -addr :8766 [-lease-ttl 30s]
+//	campaign work   -bench mm -coordinator http://host:8766 [-workers W]
 //
-// `run` is restartable: interrupting it and re-invoking `run` (or
+// `run` is restartable: interrupting it (ctrl-C included — SIGINT
+// checkpoints the log and exits cleanly) and re-invoking `run` (or
 // `resume`) continues from the log and converges on results identical to
 // an uninterrupted campaign. `-epsilon` enables adaptive early stopping
 // once the crash and SDC rate 95% CIs are within ±ε. `-shards` restricts
 // one invocation to a shard subset so several processes (or machines) can
 // split a plan; `merge` combines their logs.
 //
-// `-obs-addr host:port` on run/resume serves live introspection while the
-// campaign executes: /metrics (Prometheus text), /debug/pprof/*,
-// /debug/vars and /campaign (JSON status, the same schema as
-// `campaign status -json`).
+// `serve` runs the distributed coordinator: it owns the shard plan and a
+// TTL lease table, requeues shards whose workers crash, dedupes
+// at-least-once redelivery by shard content hash, and exits once the
+// merged log — bit-identical to a single-process `run` — is complete.
+// `work` executes shards for a coordinator; any number of workers may
+// join, leave, or crash mid-shard. SIGINT on a worker drains: the
+// in-flight shard is finished and delivered before exit.
+//
+// `-obs-addr host:port` serves live introspection while the campaign
+// executes: /metrics (Prometheus text), /debug/pprof/*, /debug/vars and
+// /campaign (JSON status, the same schema as `campaign status -json`);
+// `serve` adds /fleet (coordinator status: leases, requeues, workers).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/campaign"
+	"repro/internal/dist"
 	"repro/internal/fi"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -53,7 +69,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: campaign <plan|run|resume|status|merge> [flags]")
+		return fmt.Errorf("usage: campaign <plan|run|resume|status|merge|serve|work> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -63,9 +79,41 @@ func run(args []string, out io.Writer) error {
 		return runStatus(rest, out)
 	case "merge":
 		return runMerge(rest, out)
+	case "serve":
+		return runServe(rest, out)
+	case "work":
+		return runWork(rest, out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want plan, run, resume, status or merge)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want plan, run, resume, status, merge, serve or work)", cmd)
 	}
+}
+
+// interruptContext returns a context cancelled by SIGINT/SIGTERM, so every
+// subcommand drains to a durable, resumable state instead of dying
+// mid-shard.
+func interruptContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// startObs brings up the introspection server — register adds extra
+// routes before it serves — and returns a graceful closer: in-flight
+// /metrics scrapes finish before the process exits.
+func startObs(addr string, reg *obs.Registry, out io.Writer, register func(*obs.Server)) (func(), error) {
+	srv, err := obs.NewServer(addr, reg)
+	if err != nil {
+		return nil, err
+	}
+	if register != nil {
+		register(srv)
+	}
+	srv.Start()
+	fmt.Fprintf(out, "observability: serving http://%s/{metrics,campaign,debug/pprof}\n", srv.Addr())
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+	return stop, nil
 }
 
 // runCampaign handles the module-bearing subcommands: plan, run, resume.
@@ -159,26 +207,32 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 		defer obs.SetDefault(nil)
 		mon := campaign.NewMonitor(reg)
 		opts.Monitor = mon
-		srv, err := obs.NewServer(*obsAddr, reg)
+		stop, err := startObs(*obsAddr, reg, out, func(srv *obs.Server) {
+			srv.HandleJSON("/campaign", func() (any, error) { return mon.Status() })
+		})
 		if err != nil {
 			return err
 		}
-		srv.HandleJSON("/campaign", func() (any, error) { return mon.Status() })
-		srv.Start()
-		defer srv.Close()
-		fmt.Fprintf(out, "observability: serving http://%s/{metrics,campaign,debug/pprof}\n", srv.Addr())
+		defer stop()
 	}
+	ctx, cancel := interruptContext()
+	defer cancel()
 	var res *campaign.Result
 	if cmd == "resume" {
-		res, err = campaign.Resume(m, golden, plan, opts)
+		res, err = campaign.Resume(ctx, m, golden, plan, opts)
 	} else {
-		res, err = campaign.Run(m, golden, plan, opts)
+		res, err = campaign.Run(ctx, m, golden, plan, opts)
 	}
 	if err != nil {
 		return err
 	}
 	if *quiet {
 		fmt.Fprint(out, res.Render())
+	}
+	if res.Interrupted {
+		fmt.Fprintf(out, "campaign interrupted: %d/%d runs checkpointed to %s — re-invoke `campaign resume` to continue\n",
+			res.Replayed+res.Executed, plan.Runs, *logPath)
+		return nil
 	}
 	if !res.Complete {
 		fmt.Fprintf(out, "campaign incomplete: %d/%d runs logged — re-invoke `campaign resume` to continue\n",
@@ -232,6 +286,178 @@ func runMerge(args []string, out io.Writer) error {
 	}
 	fmt.Fprint(out, st.Render())
 	return nil
+}
+
+// runServe runs the distributed coordinator: it owns the shard plan and
+// durable merged log, hands TTL leases to workers, and exits with the
+// merged result once every shard has been delivered.
+func runServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("campaign serve", flag.ContinueOnError)
+	benchName := fs.String("bench", "", "built-in benchmark name")
+	srcPath := fs.String("src", "", "path to a MiniC source file (or .ll textual IR) instead")
+	scale := fs.Int("scale", 1, "benchmark input scale")
+	runs := fs.Int("runs", 3000, "total planned injections")
+	seed := fs.Int64("seed", 2016, "campaign seed")
+	jitterPages := fs.Uint64("jitter", 64, "ASLR jitter window in pages (0 = deterministic layout)")
+	shardSize := fs.Int("shard-size", campaign.DefaultShardSize, "runs per shard (lease and checkpoint granularity)")
+	faultBits := fs.Int("fault-bits", 1, "bits flipped per injection")
+	logPath := fs.String("log", "", "durable merged JSONL log (required; restart resumes from it)")
+	addr := fs.String("addr", ":8766", "coordinator listen address")
+	leaseTTL := fs.Duration("lease-ttl", dist.DefaultLeaseTTL, "shard lease TTL (crashed workers' shards requeue after this)")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/pprof and /fleet on this address while running")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" {
+		return fmt.Errorf("serve requires -log <path> (the durable merged log)")
+	}
+
+	m, err := loadModule(*benchName, *srcPath, *scale)
+	if err != nil {
+		return err
+	}
+	golden, err := interp.Run(m, interp.Config{Record: true})
+	if err != nil {
+		return fmt.Errorf("golden run: %w", err)
+	}
+	label := *benchName
+	if label == "" {
+		label = m.Name
+	}
+	plan, err := campaign.NewPlan(m, golden, campaign.PlanConfig{
+		Benchmark: label,
+		Runs:      *runs,
+		ShardSize: *shardSize,
+		FI: fi.Config{
+			Seed:         *seed,
+			JitterWindow: *jitterPages * mem.PageSize,
+			FaultBits:    *faultBits,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		Plan:      plan,
+		GoldenDyn: golden.DynInstrs,
+		LogPath:   *logPath,
+		LeaseTTL:  *leaseTTL,
+		Registry:  reg,
+	})
+	if err != nil {
+		return err
+	}
+	if err := coord.Start(*addr); err != nil {
+		return err
+	}
+	if *obsAddr != "" {
+		stop, err := startObs(*obsAddr, reg, out, func(srv *obs.Server) {
+			srv.HandleJSON("/fleet", func() (any, error) { return coord.Status(), nil })
+		})
+		if err != nil {
+			coord.Shutdown(context.Background())
+			return err
+		}
+		defer stop()
+	}
+	if !*quiet {
+		st := coord.Status()
+		fmt.Fprintf(out, "coordinator: serving plan %s [%s] on %s (%d shards, %d already merged, lease TTL %s)\n",
+			plan.ID, plan.Benchmark, coord.Addr(), st.NumShards, st.ShardsDone, *leaseTTL)
+		fmt.Fprintf(out, "coordinator: join workers with: campaign work -coordinator http://%s ...\n", coord.Addr())
+	}
+
+	ctx, cancel := interruptContext()
+	defer cancel()
+	waitErr := coord.Wait(ctx)
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := coord.Shutdown(sctx); err != nil {
+		return err
+	}
+	if waitErr != nil {
+		st := coord.Status()
+		fmt.Fprintf(out, "coordinator interrupted: %d/%d shards merged to %s — re-invoke `campaign serve` to continue\n",
+			st.ShardsDone, st.NumShards, *logPath)
+		return nil
+	}
+	res, err := coord.Result()
+	if err != nil {
+		return err
+	}
+	st := coord.Status()
+	if !*quiet {
+		for _, ws := range st.Workers {
+			fmt.Fprintf(out, "coordinator: worker %s delivered %d shards\n", ws.Name, ws.ShardsDone)
+		}
+		if st.ShardsRequeued > 0 || st.DupDeliveries > 0 {
+			fmt.Fprintf(out, "coordinator: %d leases requeued, %d duplicate deliveries deduped\n",
+				st.ShardsRequeued, st.DupDeliveries)
+		}
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+// runWork runs one worker process against a coordinator. SIGINT drains:
+// the in-flight shard finishes and delivers before exit.
+func runWork(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("campaign work", flag.ContinueOnError)
+	coordURL := fs.String("coordinator", "", "coordinator base URL, e.g. http://host:8766 (required)")
+	benchName := fs.String("bench", "", "built-in benchmark name")
+	srcPath := fs.String("src", "", "path to a MiniC source file (or .ll textual IR) instead")
+	scale := fs.Int("scale", 1, "benchmark input scale")
+	workers := fs.Int("workers", runtime.NumCPU(), "injection worker goroutines per shard")
+	name := fs.String("name", "", "worker name in leases and fleet status (default: host-pid)")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics and /debug/pprof on this address while running")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coordURL == "" {
+		return fmt.Errorf("work requires -coordinator <url>")
+	}
+
+	m, err := loadModule(*benchName, *srcPath, *scale)
+	if err != nil {
+		return err
+	}
+	golden, err := interp.Run(m, interp.Config{Record: true})
+	if err != nil {
+		return fmt.Errorf("golden run: %w", err)
+	}
+	cfg := dist.WorkerConfig{
+		Coordinator: strings.TrimRight(*coordURL, "/"),
+		Name:        *name,
+		Module:      m,
+		Golden:      golden,
+		Workers:     *workers,
+	}
+	if !*quiet {
+		cfg.Progress = out
+	}
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		cfg.Registry = reg
+		stop, err := startObs(*obsAddr, reg, out, nil)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	w, err := dist.NewWorker(cfg)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := interruptContext()
+	defer cancel()
+	return w.Run(ctx)
 }
 
 func loadModule(benchName, srcPath string, scale int) (*ir.Module, error) {

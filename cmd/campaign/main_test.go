@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/campaign"
 )
@@ -124,6 +126,88 @@ func TestShardedInvocations(t *testing.T) {
 	}
 }
 
+// syncWriter lets the test read serve's progress output while the
+// coordinator goroutine is still writing it.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// TestServeWorkEndToEnd drives a distributed campaign entirely through
+// the CLI entry points: `serve` on an ephemeral port, one `work` process
+// joining it, and the merged log bit-identical to a single-process `run`
+// of the same plan (checked by merging the two logs, which rejects any
+// conflicting record).
+func TestServeWorkEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	common := []string{"-bench", "mm", "-runs", "60", "-shard-size", "20", "-jitter", "0"}
+
+	mono := filepath.Join(dir, "mono.jsonl")
+	var out strings.Builder
+	if err := run(append([]string{"run", "-log", mono, "-q"}, common...), &out); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	distLog := filepath.Join(dir, "dist.jsonl")
+	serveOut := &syncWriter{}
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- run(append([]string{"serve", "-log", distLog, "-addr", "127.0.0.1:0"}, common...), serveOut)
+	}()
+
+	// The coordinator announces its bound address; workers join from it.
+	const marker = "campaign work -coordinator "
+	var coordURL string
+	deadline := time.Now().Add(10 * time.Second)
+	for coordURL == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never announced its address:\n%s", serveOut.String())
+		}
+		if i := strings.Index(serveOut.String(), marker); i >= 0 {
+			coordURL = strings.Fields(serveOut.String()[i+len(marker):])[0]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	var workOut strings.Builder
+	if err := run([]string{"work", "-coordinator", coordURL, "-bench", "mm", "-name", "w0"}, &workOut); err != nil {
+		t.Fatalf("work: %v\n%s", err, workOut.String())
+	}
+	if !strings.Contains(workOut.String(), "campaign complete") {
+		t.Errorf("worker did not see completion:\n%s", workOut.String())
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v\n%s", err, serveOut.String())
+	}
+	if !strings.Contains(serveOut.String(), "worker w0 delivered 3 shards") {
+		t.Errorf("serve output missing worker tally:\n%s", serveOut.String())
+	}
+
+	// Merging the single-process and distributed logs errors on any
+	// conflicting record, so success proves them bit-identical.
+	merged := filepath.Join(dir, "merged.jsonl")
+	out.Reset()
+	if err := run([]string{"merge", "-out", merged, mono, distLog}, &out); err != nil {
+		t.Fatalf("distributed log diverges from single-process run: %v", err)
+	}
+	if !strings.Contains(out.String(), "60/60") {
+		t.Errorf("merged log incomplete:\n%s", out.String())
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run(nil, &out); err == nil {
@@ -143,5 +227,11 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if err := run([]string{"merge", "-out", "x"}, &out); err == nil {
 		t.Error("merge without inputs accepted")
+	}
+	if err := run([]string{"serve", "-bench", "lud"}, &out); err == nil {
+		t.Error("serve without -log accepted")
+	}
+	if err := run([]string{"work", "-bench", "lud"}, &out); err == nil {
+		t.Error("work without -coordinator accepted")
 	}
 }

@@ -13,11 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/ddg"
@@ -66,7 +68,11 @@ func run(args []string) error {
 			return err
 		}
 		srv.Start()
-		defer srv.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
 		fmt.Printf("observability: serving http://%s/{metrics,debug/pprof}\n", srv.Addr())
 	}
 	var tracer *obs.Tracer

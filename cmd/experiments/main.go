@@ -15,10 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
@@ -58,7 +60,11 @@ func run(args []string) error {
 			return err
 		}
 		srv.Start()
-		defer srv.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
 		fmt.Printf("observability: serving http://%s/{metrics,debug/pprof}\n", srv.Addr())
 	}
 	names := fs.Args()

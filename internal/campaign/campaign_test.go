@@ -1,10 +1,13 @@
 package campaign
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/fi"
 	"repro/internal/interp"
@@ -122,7 +125,7 @@ func TestRunMatchesFiCampaign(t *testing.T) {
 	// legacy fi.RunCampaign wrapper.
 	g := golden(t, kernelSrc)
 	p := testPlan(t, g, 80, 32)
-	res, err := Run(g.Trace.Module, g, p, RunOptions{Workers: 4})
+	res, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +156,7 @@ func TestInterruptedCampaignResumesBitwiseIdentical(t *testing.T) {
 	dir := t.TempDir()
 	logPath := filepath.Join(dir, "campaign.jsonl")
 
-	first, err := Run(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 3, Budget: 47})
+	first, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 3, Budget: 47})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,14 +174,14 @@ func TestInterruptedCampaignResumesBitwiseIdentical(t *testing.T) {
 		t.Fatalf("log holds %d runs after interruption, want 47", st.Done)
 	}
 
-	resumed, err := Resume(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 5})
+	resumed, err := Resume(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resumed.Replayed != 47 || resumed.Executed != 120-47 {
 		t.Fatalf("resume replayed %d / executed %d, want 47 / 73", resumed.Replayed, resumed.Executed)
 	}
-	uninterrupted, err := Run(g.Trace.Module, g, p, RunOptions{Workers: 2})
+	uninterrupted, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,10 +203,10 @@ func TestInterruptedCampaignResumesBitwiseIdentical(t *testing.T) {
 func TestResumeRefusesMissingLog(t *testing.T) {
 	g := golden(t, kernelSrc)
 	p := testPlan(t, g, 10, 5)
-	if _, err := Resume(g.Trace.Module, g, p, RunOptions{LogPath: filepath.Join(t.TempDir(), "absent.jsonl")}); err == nil {
+	if _, err := Resume(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: filepath.Join(t.TempDir(), "absent.jsonl")}); err == nil {
 		t.Error("resume from a missing log must fail")
 	}
-	if _, err := Resume(g.Trace.Module, g, p, RunOptions{}); err == nil {
+	if _, err := Resume(context.Background(), g.Trace.Module, g, p, RunOptions{}); err == nil {
 		t.Error("resume without a log path must fail")
 	}
 }
@@ -213,12 +216,12 @@ func TestResumeDetectsPlanMismatch(t *testing.T) {
 	p := testPlan(t, g, 40, 20)
 	dir := t.TempDir()
 	logPath := filepath.Join(dir, "campaign.jsonl")
-	if _, err := Run(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Budget: 5}); err != nil {
+	if _, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logPath, Budget: 5}); err != nil {
 		t.Fatal(err)
 	}
 	other := testPlan(t, g, 40, 20)
 	other.Seed = 999 // tamper: same ID claim, different config
-	if _, err := Run(g.Trace.Module, g, other, RunOptions{LogPath: logPath}); err == nil {
+	if _, err := Run(context.Background(), g.Trace.Module, g, other, RunOptions{LogPath: logPath}); err == nil {
 		t.Error("tampered plan must be rejected against the module hash")
 	}
 }
@@ -230,7 +233,7 @@ func TestTornTailTolerated(t *testing.T) {
 	p := testPlan(t, g, 30, 10)
 	dir := t.TempDir()
 	logPath := filepath.Join(dir, "campaign.jsonl")
-	if _, err := Run(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Budget: 12}); err != nil {
+	if _, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logPath, Budget: 12}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(logPath)
@@ -242,11 +245,11 @@ func TestTornTailTolerated(t *testing.T) {
 	if err := os.WriteFile(logPath, torn, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	resumed, err := Resume(g.Trace.Module, g, p, RunOptions{LogPath: logPath})
+	resumed, err := Resume(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logPath})
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := Run(g.Trace.Module, g, p, RunOptions{})
+	full, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +269,7 @@ func TestAdaptiveStoppingSavesRuns(t *testing.T) {
 	const total = 2400
 	p := testPlan(t, g, total, 100)
 	eps := 0.05
-	adaptive, err := Run(g.Trace.Module, g, p, RunOptions{Workers: 8, Epsilon: eps})
+	adaptive, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{Workers: 8, Epsilon: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +283,7 @@ func TestAdaptiveStoppingSavesRuns(t *testing.T) {
 	if adaptive.Saved != int64(total-used) {
 		t.Errorf("Saved = %d, want %d", adaptive.Saved, total-used)
 	}
-	full, err := Run(g.Trace.Module, g, p, RunOptions{Workers: 8})
+	full, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +305,7 @@ func TestAdaptiveStopDeterministicAcrossResume(t *testing.T) {
 	// resume must stop at the same prefix as a straight-through run.
 	g := golden(t, kernelSrc)
 	p := testPlan(t, g, 1200, 100)
-	straight, err := Run(g.Trace.Module, g, p, RunOptions{Workers: 4, Epsilon: 0.06})
+	straight, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{Workers: 4, Epsilon: 0.06})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,10 +314,10 @@ func TestAdaptiveStopDeterministicAcrossResume(t *testing.T) {
 	}
 	dir := t.TempDir()
 	logPath := filepath.Join(dir, "c.jsonl")
-	if _, err := Run(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 2, Epsilon: 0.06, Budget: 130}); err != nil {
+	if _, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 2, Epsilon: 0.06, Budget: 130}); err != nil {
 		t.Fatal(err)
 	}
-	resumed, err := Resume(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 7, Epsilon: 0.06})
+	resumed, err := Resume(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 7, Epsilon: 0.06})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,10 +339,10 @@ func TestShardedProcessesMerge(t *testing.T) {
 	dir := t.TempDir()
 	logA := filepath.Join(dir, "a.jsonl")
 	logB := filepath.Join(dir, "b.jsonl")
-	if _, err := Run(g.Trace.Module, g, p, RunOptions{LogPath: logA, Shards: []int{0, 2, 4}}); err != nil {
+	if _, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logA, Shards: []int{0, 2, 4}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(g.Trace.Module, g, p, RunOptions{LogPath: logB, Shards: []int{1, 3}, Workers: 3}); err != nil {
+	if _, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logB, Shards: []int{1, 3}, Workers: 3}); err != nil {
 		t.Fatal(err)
 	}
 	merged := filepath.Join(dir, "merged.jsonl")
@@ -352,14 +355,14 @@ func TestShardedProcessesMerge(t *testing.T) {
 	}
 	// Resuming the merged log needs zero additional work and agrees with
 	// a monolithic campaign.
-	resumed, err := Resume(g.Trace.Module, g, p, RunOptions{LogPath: merged})
+	resumed, err := Resume(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: merged})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resumed.Executed != 0 {
 		t.Errorf("merged campaign executed %d extra runs", resumed.Executed)
 	}
-	mono, err := Run(g.Trace.Module, g, p, RunOptions{})
+	mono, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,13 +373,163 @@ func TestShardedProcessesMerge(t *testing.T) {
 	}
 }
 
+func TestCancelledRunCheckpointsAndResumes(t *testing.T) {
+	// Cancelling the context mid-campaign must stop at a clean boundary,
+	// leave a durable resumable log, and report Interrupted rather than an
+	// error; resuming converges on the uninterrupted result.
+	g := golden(t, kernelSrc)
+	p := testPlan(t, g, 120, 20)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "c.jsonl")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	mon := NewMonitor(nil)
+	// Cancel from inside the run via the progress writer: the first
+	// progress print happens after runs have started.
+	mon.SetClock(time.Now)
+	w := writerFunc(func(p []byte) (int, error) {
+		once.Do(cancel)
+		return len(p), nil
+	})
+	first, err := Run(ctx, g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 2, Progress: w, Monitor: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Interrupted {
+		// The campaign may have finished before the first progress tick on
+		// a fast machine; cancel deterministically instead.
+		ctx2, cancel2 := context.WithCancel(context.Background())
+		cancel2()
+		logPath = filepath.Join(dir, "c2.jsonl")
+		first, err = Run(ctx2, g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !first.Interrupted {
+			t.Fatal("pre-cancelled context did not interrupt the run")
+		}
+		if first.Executed != 0 {
+			t.Fatalf("pre-cancelled run executed %d runs", first.Executed)
+		}
+	}
+	if first.Complete {
+		t.Fatal("interrupted campaign claims completion")
+	}
+	resumed, err := Resume(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Interrupted || !resumed.Complete {
+		t.Fatalf("resume after cancellation: interrupted=%v complete=%v", resumed.Interrupted, resumed.Complete)
+	}
+	mono, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Records) != len(mono.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(resumed.Records), len(mono.Records))
+	}
+	for i := range mono.Records {
+		if resumed.Records[i] != mono.Records[i] {
+			t.Fatalf("record %d differs after cancel+resume", i)
+		}
+	}
+}
+
+// writerFunc adapts a function to io.Writer for test hooks.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestMergeDedupesDuplicateShards(t *testing.T) {
+	// Overlapping logs (the at-least-once delivery shape) must merge to the
+	// same result as disjoint ones: shard 1 appears in both inputs.
+	g := golden(t, kernelSrc)
+	p := testPlan(t, g, 100, 20)
+	dir := t.TempDir()
+	logA := filepath.Join(dir, "a.jsonl")
+	logB := filepath.Join(dir, "b.jsonl")
+	if _, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logA, Shards: []int{0, 1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logB, Shards: []int{1, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	merged := filepath.Join(dir, "m.jsonl")
+	st, err := MergeLogs(merged, []string{logA, logB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 100 || st.ShardsComplete != 5 {
+		t.Fatalf("overlapping merge double-counted: %d runs, %d shards", st.Done, st.ShardsComplete)
+	}
+	for o, c := range st.Counts {
+		if c < 0 || int64(c) > st.Done {
+			t.Fatalf("outcome %v count %d out of range", o, c)
+		}
+	}
+}
+
+func TestMergeRejectsConflictingDuplicates(t *testing.T) {
+	// Two logs claiming the same run index with different content must be
+	// rejected: identical plans cannot legitimately disagree.
+	g := golden(t, kernelSrc)
+	p := testPlan(t, g, 40, 20)
+	dir := t.TempDir()
+	logA := filepath.Join(dir, "a.jsonl")
+	if _, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logA}); err != nil {
+		t.Fatal(err)
+	}
+	// Forge log B: same plan header, tampered record for run 0.
+	data, err := os.ReadFile(logA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(string(data), "\n", 3)
+	forged := lines[0] + "\n" + `{"kind":"run","index":0,"event":1,"bit":1,"mask":2,"outcome":1,"exc":0}` + "\n"
+	logB := filepath.Join(dir, "b.jsonl")
+	if err := os.WriteFile(logB, []byte(forged), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeLogs(filepath.Join(dir, "m.jsonl"), []string{logA, logB}); err == nil {
+		t.Fatal("merge accepted conflicting duplicate records")
+	} else if !strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("unexpected merge error: %v", err)
+	}
+}
+
+func TestShardHashStableAndOrderInsensitive(t *testing.T) {
+	recs := []RunRec{
+		{Index: 3, Event: 9, Bit: 4, Mask: 16, Outcome: 1},
+		{Index: 1, Event: 2, Bit: 0, Mask: 1, Outcome: 0},
+		{Index: 2, Event: 5, Bit: 7, Mask: 128, Outcome: 2, Exc: 1},
+	}
+	shuffled := []RunRec{recs[2], recs[0], recs[1]}
+	if ShardHash("p", 0, recs) != ShardHash("p", 0, shuffled) {
+		t.Error("shard hash depends on delivery order")
+	}
+	if ShardHash("p", 0, recs) == ShardHash("p", 1, recs) {
+		t.Error("shard hash ignores the shard index")
+	}
+	if ShardHash("p", 0, recs) == ShardHash("q", 0, recs) {
+		t.Error("shard hash ignores the plan ID")
+	}
+	mut := make([]RunRec, len(recs))
+	copy(mut, recs)
+	mut[1].Outcome = 2
+	if ShardHash("p", 0, recs) == ShardHash("p", 0, mut) {
+		t.Error("shard hash ignores record content")
+	}
+}
+
 func TestStatusAndResultRender(t *testing.T) {
 	g := golden(t, kernelSrc)
 	p := testPlan(t, g, 60, 30)
 	dir := t.TempDir()
 	logPath := filepath.Join(dir, "c.jsonl")
 	var buf strings.Builder
-	res, err := Run(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Progress: &buf})
+	res, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logPath, Progress: &buf})
 	if err != nil {
 		t.Fatal(err)
 	}

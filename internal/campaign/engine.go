@@ -1,10 +1,12 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/fi"
@@ -66,7 +68,11 @@ type Result struct {
 	Reason  string
 	// Complete reports whether the campaign needs no further runs.
 	Complete bool
-	Elapsed  time.Duration
+	// Interrupted is set when the invocation's context was cancelled:
+	// execution stopped at a clean boundary, the log (if any) was
+	// checkpointed, and the campaign is resumable.
+	Interrupted bool
+	Elapsed     time.Duration
 }
 
 // FIResult converts to the legacy fi.Result shape every experiment
@@ -85,7 +91,11 @@ func (r *Result) FIResult() *fi.Result {
 // only missing run indices execute — interrupt and resume converge on
 // results bitwise-identical to an uninterrupted run, because every run's
 // RNG stream depends only on (plan seed, run index).
-func Run(m *ir.Module, golden *interp.Result, plan *Plan, opts RunOptions) (*Result, error) {
+//
+// Cancelling ctx stops execution at a clean run boundary: in-flight runs
+// finish, the log is checkpointed, and the partial Result comes back with
+// Interrupted set (and no error) so the caller can report and resume.
+func Run(ctx context.Context, m *ir.Module, golden *interp.Result, plan *Plan, opts RunOptions) (*Result, error) {
 	start := time.Now()
 	if got := contentHash(m, plan); got != plan.ID {
 		return nil, fmt.Errorf("campaign: plan %s does not match module %q (content hash %s) — regenerate the plan",
@@ -171,8 +181,13 @@ func Run(m *ir.Module, golden *interp.Result, plan *Plan, opts RunOptions) (*Res
 	var executed int64
 	budgetLeft := opts.Budget
 	budgetExhausted := false
+	interrupted := false
 	for _, si := range shardOrder {
 		if st.stopped {
+			break
+		}
+		if ctx.Err() != nil {
+			interrupted = true
 			break
 		}
 		lo, hi := plan.ShardRange(si)
@@ -195,11 +210,15 @@ func Run(m *ir.Module, golden *interp.Result, plan *Plan, opts RunOptions) (*Res
 					budgetExhausted = true
 				}
 			}
-			if err := st.runIndices(missing, workers, w, mon); err != nil {
+			n, err := st.runIndices(ctx, missing, workers, w, mon)
+			executed += int64(n)
+			budgetLeft -= int64(n)
+			if err != nil {
 				return nil, err
 			}
-			executed += int64(len(missing))
-			budgetLeft -= int64(len(missing))
+			if ctx.Err() != nil {
+				interrupted = true
+			}
 		}
 		if st.complete(si) {
 			mon.shardComplete()
@@ -215,7 +234,7 @@ func Run(m *ir.Module, golden *interp.Result, plan *Plan, opts RunOptions) (*Res
 				st.checkStop(opts.Epsilon, minRuns)
 			}
 		}
-		if budgetExhausted {
+		if budgetExhausted || interrupted {
 			break
 		}
 	}
@@ -227,10 +246,18 @@ func Run(m *ir.Module, golden *interp.Result, plan *Plan, opts RunOptions) (*Res
 			return nil, err
 		}
 	}
+	if interrupted && w != nil {
+		// Make everything executed so far durable before handing back a
+		// resumable partial result.
+		if err := mon.timedCheckpoint(w); err != nil {
+			return nil, err
+		}
+	}
 
 	res := st.result(golden.DynInstrs)
 	res.Executed = executed
 	res.Replayed = replayed
+	res.Interrupted = interrupted
 	res.Elapsed = time.Since(start)
 	mon.finish(res)
 	return res, nil
@@ -239,14 +266,14 @@ func Run(m *ir.Module, golden *interp.Result, plan *Plan, opts RunOptions) (*Res
 // Resume continues a previously started campaign from its log; unlike Run
 // it refuses to start from scratch, so a typo'd path fails loudly instead
 // of silently launching a fresh campaign.
-func Resume(m *ir.Module, golden *interp.Result, plan *Plan, opts RunOptions) (*Result, error) {
+func Resume(ctx context.Context, m *ir.Module, golden *interp.Result, plan *Plan, opts RunOptions) (*Result, error) {
 	if opts.LogPath == "" {
 		return nil, fmt.Errorf("campaign: resume requires a log path")
 	}
 	if _, err := os.Stat(opts.LogPath); err != nil {
 		return nil, fmt.Errorf("campaign: resume: %w", err)
 	}
-	return Run(m, golden, plan, opts)
+	return Run(ctx, m, golden, plan, opts)
 }
 
 // state tracks a campaign mid-flight.
@@ -269,30 +296,40 @@ type indexed struct {
 }
 
 // runIndices executes the given run indices on the worker pool, streaming
-// each record into the log as it completes.
-func (st *state) runIndices(idxs []int64, workers int, w *logWriter, mon *Monitor) error {
+// each record into the log as it completes, and returns how many ran.
+// Cancelling ctx stops new runs from being issued; in-flight runs finish
+// and are recorded, so the log never holds a torn batch.
+func (st *state) runIndices(ctx context.Context, idxs []int64, workers int, w *logWriter, mon *Monitor) (int, error) {
 	if workers > len(idxs) {
 		workers = len(idxs)
 	}
+	executed := 0
 	if workers <= 1 {
 		for _, i := range idxs {
+			if ctx.Err() != nil {
+				return executed, nil
+			}
 			t0 := mon.now()
 			rec := st.runner.RunIndex(i)
 			dur := mon.now().Sub(t0)
 			st.records[i] = rec
 			if w != nil {
 				if err := w.append(runToLog(i, rec)); err != nil {
-					return err
+					return executed, err
 				}
 			}
+			executed++
 			mon.record(rec, dur)
 		}
-		return nil
+		return executed, nil
 	}
 	work := make(chan int64)
 	results := make(chan indexed, workers)
+	var wg sync.WaitGroup
 	for g := 0; g < workers; g++ {
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
 			for i := range work {
 				t0 := mon.now()
 				rec := st.runner.RunIndex(i)
@@ -301,22 +338,29 @@ func (st *state) runIndices(idxs []int64, workers int, w *logWriter, mon *Monito
 		}()
 	}
 	go func() {
+		defer close(work)
 		for _, i := range idxs {
-			work <- i
-		}
-		close(work)
-	}()
-	for range idxs {
-		r := <-results
-		st.records[r.i] = r.rec
-		if w != nil {
-			if err := w.append(runToLog(r.i, r.rec)); err != nil {
-				return err
+			select {
+			case work <- i:
+			case <-ctx.Done():
+				return
 			}
 		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	var appendErr error
+	for r := range results {
+		st.records[r.i] = r.rec
+		if w != nil && appendErr == nil {
+			appendErr = w.append(runToLog(r.i, r.rec))
+		}
+		executed++
 		mon.record(r.rec, r.dur)
 	}
-	return nil
+	return executed, appendErr
 }
 
 // complete reports whether shard si has every record.

@@ -215,14 +215,22 @@ func (rp *replay) shardComplete(p *Plan, i int) bool {
 }
 
 // MergeLogs combines shard logs produced by separate processes running the
-// same plan into one log at out. Inputs must share an identical plan; run
-// records are deduplicated by index. Returns the merged status.
+// same plan into one log at out. Inputs must share an identical plan.
+// Duplicate deliveries of the same work — overlapping log directories, or
+// at-least-once redelivery from the dist fabric — are deduplicated before
+// tallying: complete shards by their content hash (ShardHash), loose runs
+// by index. A duplicate whose content *differs* is rejected loudly, since
+// identical plans must produce identical records; silent double-counting
+// is impossible either way. Returns the merged status.
 func MergeLogs(out string, inputs []string) (*Status, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("campaign: merge needs at least one input log")
 	}
 	var plan *Plan
 	records := make(map[int64]fi.Record)
+	recordSrc := make(map[int64]string)
+	shardHashes := make(map[int]string)
+	shardSrc := make(map[int]string)
 	stopped := false
 	var saved int64
 	reason := ""
@@ -236,8 +244,37 @@ func MergeLogs(out string, inputs []string) (*Status, error) {
 		} else if err := plan.Compatible(rp.Plan); err != nil {
 			return nil, fmt.Errorf("%s: %w", in, err)
 		}
+		// Complete shards dedupe wholesale by content hash.
+		for s := 0; s < plan.NumShards(); s++ {
+			if !rp.shardComplete(plan, s) {
+				continue
+			}
+			lo, hi := plan.ShardRange(s)
+			recs := make([]RunRec, 0, hi-lo)
+			for idx := lo; idx < hi; idx++ {
+				recs = append(recs, NewRunRec(idx, rp.Records[idx]))
+			}
+			h := ShardHash(plan.ID, s, recs)
+			if prev, ok := shardHashes[s]; ok {
+				if prev != h {
+					return nil, fmt.Errorf("campaign: merge conflict: shard %d content %s in %s vs %s in %s (plan %s) — inputs disagree on identical work",
+						s, h, in, prev, shardSrc[s], plan.ID)
+				}
+				continue // exact duplicate shard: already merged
+			}
+			shardHashes[s] = h
+			shardSrc[s] = in
+		}
 		for idx, rec := range rp.Records {
+			if old, ok := records[idx]; ok {
+				if old != rec {
+					return nil, fmt.Errorf("campaign: merge conflict: run %d differs between %s and %s (plan %s)",
+						idx, in, recordSrc[idx], plan.ID)
+				}
+				continue
+			}
 			records[idx] = rec
+			recordSrc[idx] = in
 		}
 		if rp.Stopped {
 			stopped = true

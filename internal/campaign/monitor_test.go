@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -116,10 +117,10 @@ func TestMonitorServesCampaignStatus(t *testing.T) {
 	logPath := filepath.Join(t.TempDir(), "c.jsonl")
 	// Interrupt after 50 runs, then resume with the same monitor: replay
 	// must not double-count.
-	if _, err := Run(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Budget: 50, Monitor: mon}); err != nil {
+	if _, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logPath, Budget: 50, Monitor: mon}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Resume(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 4, Monitor: mon})
+	res, err := Resume(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logPath, Workers: 4, Monitor: mon})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestMonitorStatusMatchesLogStatus(t *testing.T) {
 	p := testPlan(t, g, 60, 30)
 	logPath := filepath.Join(t.TempDir(), "c.jsonl")
 	mon := NewMonitor(nil)
-	if _, err := Run(g.Trace.Module, g, p, RunOptions{LogPath: logPath, Monitor: mon}); err != nil {
+	if _, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{LogPath: logPath, Monitor: mon}); err != nil {
 		t.Fatal(err)
 	}
 	live, err := mon.Status()
@@ -206,7 +207,7 @@ func TestMonitorAdaptiveStopTalliesMatchPrefix(t *testing.T) {
 	p := testPlan(t, g, 2400, 100)
 	reg := obs.NewRegistry()
 	mon := NewMonitor(reg)
-	res, err := Run(g.Trace.Module, g, p, RunOptions{Workers: 8, Epsilon: 0.05, Monitor: mon})
+	res, err := Run(context.Background(), g.Trace.Module, g, p, RunOptions{Workers: 8, Epsilon: 0.05, Monitor: mon})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,138 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/fi"
+	"repro/internal/interp"
+)
+
+// RunRec is the wire- and log-level form of one run's result: the same
+// fields a `run` log line carries, exported so the dist layer can stream
+// shard results between processes and hash them canonically.
+type RunRec struct {
+	Index   int64  `json:"index"`
+	Event   int64  `json:"event"`
+	Bit     int    `json:"bit"`
+	Mask    uint64 `json:"mask"`
+	Outcome int    `json:"outcome"`
+	Exc     int    `json:"exc"`
+}
+
+// NewRunRec converts an executed record into its wire form.
+func NewRunRec(index int64, rec fi.Record) RunRec {
+	return RunRec{
+		Index:   index,
+		Event:   rec.Target.Event,
+		Bit:     rec.Target.Bit,
+		Mask:    rec.Target.Mask,
+		Outcome: int(rec.Outcome),
+		Exc:     int(rec.Exc),
+	}
+}
+
+// Record converts back to the in-memory form.
+func (r RunRec) Record() fi.Record {
+	return fi.Record{
+		Target:  fi.Target{Event: r.Event, Bit: r.Bit, Mask: r.Mask},
+		Outcome: fi.Outcome(r.Outcome),
+		Exc:     interp.ExcKind(r.Exc),
+	}
+}
+
+// ShardHash digests one shard's results into the idempotency token of the
+// dist protocol: because run records depend only on (plan, index), every
+// correct worker computes the same hash for the same shard, so the
+// coordinator can accept at-least-once redelivery (hash matches → drop as
+// duplicate) and reject divergent results (hash differs → stale or
+// corrupt worker). The records are sorted by index first, so delivery
+// order does not matter.
+func ShardHash(planID string, shard int, recs []RunRec) string {
+	sorted := make([]RunRec, len(recs))
+	copy(sorted, recs)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Index < sorted[b].Index })
+	h := sha256.New()
+	fmt.Fprintf(h, "epvf-shard-v1 plan=%s shard=%d\n", planID, shard)
+	for _, r := range sorted {
+		fmt.Fprintf(h, "%d %d %d %d %d %d\n", r.Index, r.Event, r.Bit, r.Mask, r.Outcome, r.Exc)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// LogState is the replayed content of a campaign log: what a restarted
+// coordinator needs to rebuild its merge state and lease table.
+type LogState struct {
+	// Records maps run index to its logged result.
+	Records map[int64]fi.Record
+	// ShardsDone marks shards whose every index is present.
+	ShardsDone map[int]bool
+}
+
+// DurableLog is the coordinator-side handle on a standard campaign log:
+// whole shards are appended atomically (runs, then the shard_done marker,
+// then an fsync checkpoint), so the file is always a valid input to
+// `campaign status`, `campaign merge` and `campaign resume`.
+type DurableLog struct {
+	w    *logWriter
+	plan *Plan
+}
+
+// OpenDurableLog opens (or resumes) the merged result log for a plan and
+// returns the replayed state. An existing log must carry the same plan.
+func OpenDurableLog(path string, plan *Plan) (*DurableLog, *LogState, error) {
+	st := &LogState{Records: make(map[int64]fi.Record), ShardsDone: make(map[int]bool)}
+	fresh := false
+	rp, err := readLog(path)
+	switch {
+	case err == nil:
+		if err := plan.Compatible(rp.Plan); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		st.Records = rp.Records
+		for i := 0; i < plan.NumShards(); i++ {
+			if rp.shardComplete(plan, i) {
+				st.ShardsDone[i] = true
+			}
+		}
+	case os.IsNotExist(err):
+		fresh = true
+	default:
+		return nil, nil, err
+	}
+	w, err := openLog(path, plan, fresh)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &DurableLog{w: w, plan: plan}, st, nil
+}
+
+// AppendShard durably records one completed shard: its run records, the
+// shard_done marker, and an fsync checkpoint. After it returns, a crashed
+// and restarted coordinator will replay the shard as done.
+func (l *DurableLog) AppendShard(shard int, recs []RunRec) error {
+	for _, r := range recs {
+		if err := l.w.append(runToLog(r.Index, r.Record())); err != nil {
+			return err
+		}
+	}
+	if err := l.w.append(logRecord{Kind: kindShardDone, Shard: shard}); err != nil {
+		return err
+	}
+	return l.w.checkpoint()
+}
+
+// Close flushes and closes the log.
+func (l *DurableLog) Close() error { return l.w.close() }
+
+// Assemble builds a campaign Result from an externally collected record
+// set (the dist coordinator's merge), using the same tallying path as the
+// in-process engine — the merged result of a distributed campaign is
+// therefore bit-identical to a single-process run of the same plan.
+func Assemble(plan *Plan, records map[int64]fi.Record, goldenDyn int64) *Result {
+	st := &state{plan: plan, records: records}
+	return st.result(goldenDyn)
+}

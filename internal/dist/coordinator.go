@@ -1,0 +1,408 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/fi"
+	"repro/internal/obs"
+)
+
+// DefaultLeaseTTL is the lease lifetime when CoordinatorConfig leaves it
+// zero: long enough that a worker chewing a large shard heartbeats
+// comfortably at TTL/3, short enough that a crashed worker's shard
+// requeues quickly.
+const DefaultLeaseTTL = 30 * time.Second
+
+// defaultPollWait is the backoff hint handed to workers when every
+// remaining shard is leased.
+const defaultPollWait = 500 * time.Millisecond
+
+// CoordinatorConfig describes one distributed campaign.
+type CoordinatorConfig struct {
+	// Plan is the shard plan being distributed.
+	Plan *campaign.Plan
+	// GoldenDyn is the golden run's dynamic instruction count, carried
+	// into the merged Result (workers validate the full golden trace
+	// against the plan themselves).
+	GoldenDyn int64
+	// LogPath, when non-empty, makes the merge durable: completed shards
+	// append to a standard campaign JSONL log, and a restarted
+	// coordinator resumes with those shards already done. Empty keeps the
+	// merge in memory only.
+	LogPath string
+	// LeaseTTL bounds how long a silent worker holds a shard; zero means
+	// DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// Registry receives fleet metrics (labeled id=<plan ID>); nil
+	// disables them.
+	Registry *obs.Registry
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+// Coordinator owns the plan, the lease table and the merge. It is an
+// http.Handler; Start binds a listener around it.
+type Coordinator struct {
+	cfg   CoordinatorConfig
+	table *table
+	mux   *http.ServeMux
+
+	mu      sync.Mutex
+	records map[int64]fi.Record
+	log     *campaign.DurableLog
+	workers map[string]int64 // name → shards delivered first
+	dups    int64
+	closed  bool
+
+	doneOnce sync.Once
+	doneCh   chan struct{}
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewCoordinator builds the coordinator, replaying cfg.LogPath (if any)
+// so already-merged shards are marked done before the first worker
+// arrives.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Plan == nil {
+		return nil, fmt.Errorf("dist: coordinator needs a plan")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		table:   newTable(cfg.Plan, cfg.LeaseTTL, cfg.Clock),
+		records: make(map[int64]fi.Record),
+		workers: make(map[string]int64),
+		doneCh:  make(chan struct{}),
+	}
+	if cfg.LogPath != "" {
+		log, st, err := campaign.OpenDurableLog(cfg.LogPath, cfg.Plan)
+		if err != nil {
+			return nil, err
+		}
+		c.log = log
+		for shard := range st.ShardsDone {
+			lo, hi := cfg.Plan.ShardRange(shard)
+			recs := make([]campaign.RunRec, 0, hi-lo)
+			for idx := lo; idx < hi; idx++ {
+				rec := st.Records[idx]
+				c.records[idx] = rec
+				recs = append(recs, campaign.NewRunRec(idx, rec))
+			}
+			c.table.markDone(shard, campaign.ShardHash(cfg.Plan.ID, shard, recs))
+		}
+	}
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("GET "+PathPlan, c.handlePlan)
+	c.mux.HandleFunc("POST "+PathRegister, c.handleRegister)
+	c.mux.HandleFunc("POST "+PathLease, c.handleLease)
+	c.mux.HandleFunc("POST "+PathHeartbeat, c.handleHeartbeat)
+	c.mux.HandleFunc("POST "+PathResults, c.handleResults)
+	c.mux.HandleFunc("GET "+PathStatus, c.handleStatus)
+	if c.table.done() {
+		c.doneOnce.Do(func() { close(c.doneCh) })
+	}
+	c.syncMetrics()
+	return c, nil
+}
+
+// ServeHTTP implements http.Handler (useful under httptest).
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+// Start binds addr (host:port; :0 picks a free port) and serves in a
+// background goroutine until Shutdown.
+func (c *Coordinator) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: listen %s: %w", addr, err)
+	}
+	c.ln = ln
+	c.srv = &http.Server{Handler: c, ReadHeaderTimeout: 5 * time.Second}
+	go c.srv.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound address (after Start).
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Done is closed once every shard has been merged.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Wait blocks until the campaign completes or ctx is cancelled. While
+// waiting it sweeps the lease table periodically so crashed workers'
+// shards requeue even when no healthy worker is currently talking to us.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	tick := time.NewTicker(c.cfg.LeaseTTL / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.doneCh:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			c.table.sweep()
+			c.syncMetrics()
+		}
+	}
+}
+
+// Result assembles the merged campaign result. It errors until the
+// campaign is complete; completeness plus per-index determinism make the
+// result bit-identical to a single-process run of the same plan.
+func (c *Coordinator) Result() (*campaign.Result, error) {
+	if !c.table.done() {
+		return nil, fmt.Errorf("dist: campaign %s incomplete", c.cfg.Plan.ID)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return campaign.Assemble(c.cfg.Plan, c.records, c.cfg.GoldenDyn), nil
+}
+
+// Shutdown drains the HTTP server and closes the durable log.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	var err error
+	if c.srv != nil {
+		err = c.srv.Shutdown(ctx)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.log != nil && !c.closed {
+		c.closed = true
+		if cerr := c.log.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Status snapshots the fleet state.
+func (c *Coordinator) Status() Status {
+	pending, leased, done, requeued, _ := c.table.counts()
+	byWorker := c.table.workerLeases()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Status{
+		Plan:           c.cfg.Plan,
+		NumShards:      c.cfg.Plan.NumShards(),
+		ShardsPending:  pending,
+		ShardsLeased:   leased,
+		ShardsDone:     done,
+		ShardsRequeued: requeued,
+		RunsMerged:     int64(len(c.records)),
+		DupDeliveries:  c.dups,
+		Done:           pending == 0 && leased == 0,
+	}
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ws := byWorker[name]
+		ws.Name = name
+		ws.ShardsDone = c.workers[name]
+		s.Workers = append(s.Workers, ws)
+	}
+	return s
+}
+
+// syncMetrics publishes the fleet state into the obs registry.
+func (c *Coordinator) syncMetrics() {
+	reg := c.cfg.Registry
+	if reg == nil {
+		return
+	}
+	id := c.cfg.Plan.ID
+	pending, leased, done, requeued, oldestBeat := c.table.counts()
+	reg.Gauge("epvf_dist_shards_pending", "id", id).Set(float64(pending))
+	reg.Gauge("epvf_dist_leases_active", "id", id).Set(float64(leased))
+	reg.Gauge("epvf_dist_shards_done", "id", id).Set(float64(done))
+	reg.Gauge("epvf_dist_shards_requeued", "id", id).Set(float64(requeued))
+	reg.Gauge("epvf_dist_heartbeat_age_seconds", "id", id).Set(oldestBeat.Seconds())
+	c.mu.Lock()
+	workers, runs, dups := len(c.workers), int64(len(c.records)), c.dups
+	c.mu.Unlock()
+	reg.Gauge("epvf_dist_workers", "id", id).Set(float64(workers))
+	reg.Gauge("epvf_dist_runs_merged", "id", id).Set(float64(runs))
+	reg.Gauge("epvf_dist_duplicate_deliveries", "id", id).Set(float64(dups))
+}
+
+func (c *Coordinator) handlePlan(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.cfg.Plan)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.PlanID != c.cfg.Plan.ID {
+		http.Error(w, fmt.Sprintf("plan mismatch: coordinator serves %s, worker %q computed %s (module, binary or config skew)",
+			c.cfg.Plan.ID, req.Worker, req.PlanID), http.StatusConflict)
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.workers[req.Worker]; !ok {
+		c.workers[req.Worker] = 0
+	}
+	c.mu.Unlock()
+	c.syncMetrics()
+	writeJSON(w, RegisterResponse{OK: true, LeaseTTLMillis: c.cfg.LeaseTTL.Milliseconds()})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.PlanID != c.cfg.Plan.ID {
+		http.Error(w, fmt.Sprintf("plan mismatch: coordinator serves %s, got %s", c.cfg.Plan.ID, req.PlanID), http.StatusConflict)
+		return
+	}
+	l, done := c.table.acquire(req.Worker)
+	defer c.syncMetrics()
+	if done {
+		writeJSON(w, LeaseResponse{Done: true})
+		return
+	}
+	if l == nil {
+		writeJSON(w, LeaseResponse{WaitMillis: defaultPollWait.Milliseconds()})
+		return
+	}
+	lo, hi := c.cfg.Plan.ShardRange(l.shard)
+	writeJSON(w, LeaseResponse{
+		Shard: l.shard, Lo: lo, Hi: hi,
+		Lease: l.id, TTLMillis: c.cfg.LeaseTTL.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := c.table.heartbeat(req.Lease); err != nil {
+		http.Error(w, err.Error(), http.StatusGone)
+		return
+	}
+	c.syncMetrics()
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if got := q.Get("plan"); got != c.cfg.Plan.ID {
+		http.Error(w, fmt.Sprintf("plan mismatch: coordinator serves %s, got %q", c.cfg.Plan.ID, got), http.StatusConflict)
+		return
+	}
+	shard, err := strconv.Atoi(q.Get("shard"))
+	if err != nil || shard < 0 || shard >= c.cfg.Plan.NumShards() {
+		http.Error(w, fmt.Sprintf("bad shard %q", q.Get("shard")), http.StatusBadRequest)
+		return
+	}
+	worker, claimed := q.Get("worker"), q.Get("hash")
+	lo, hi := c.cfg.Plan.ShardRange(shard)
+
+	// The body is JSONL: one RunRec per line, exactly the shard's indices.
+	dec := json.NewDecoder(r.Body)
+	recs := make([]campaign.RunRec, 0, hi-lo)
+	seen := make(map[int64]bool, hi-lo)
+	for dec.More() {
+		var rec campaign.RunRec
+		if err := dec.Decode(&rec); err != nil {
+			http.Error(w, fmt.Sprintf("malformed result stream: %v", err), http.StatusBadRequest)
+			return
+		}
+		if rec.Index < lo || rec.Index >= hi {
+			http.Error(w, fmt.Sprintf("run %d outside shard %d range [%d, %d)", rec.Index, shard, lo, hi), http.StatusBadRequest)
+			return
+		}
+		if seen[rec.Index] {
+			http.Error(w, fmt.Sprintf("run %d delivered twice in one shard", rec.Index), http.StatusBadRequest)
+			return
+		}
+		seen[rec.Index] = true
+		recs = append(recs, rec)
+	}
+	if int64(len(recs)) != hi-lo {
+		http.Error(w, fmt.Sprintf("shard %d delivered %d/%d runs", shard, len(recs), hi-lo), http.StatusBadRequest)
+		return
+	}
+	// The content hash is the idempotency token and the stale-worker gate:
+	// it binds the records to *our* plan ID, so a worker computing against
+	// any other plan cannot produce a matching claim.
+	hash := campaign.ShardHash(c.cfg.Plan.ID, shard, recs)
+	if claimed != hash {
+		http.Error(w, fmt.Sprintf("shard %d content hash %s does not match claimed %q", shard, hash, claimed), http.StatusConflict)
+		return
+	}
+
+	dup, err := c.table.complete(shard, hash)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	defer c.syncMetrics()
+	if dup {
+		c.mu.Lock()
+		c.dups++
+		c.mu.Unlock()
+		writeJSON(w, ResultResponse{Merged: false, Duplicate: true, Done: c.table.done()})
+		return
+	}
+	c.mu.Lock()
+	for _, rec := range recs {
+		c.records[rec.Index] = rec.Record()
+	}
+	c.workers[worker]++
+	var logErr error
+	if c.log != nil && !c.closed {
+		logErr = c.log.AppendShard(shard, recs)
+	}
+	c.mu.Unlock()
+	if logErr != nil {
+		http.Error(w, fmt.Sprintf("durable log: %v", logErr), http.StatusInternalServerError)
+		return
+	}
+	if reg := c.cfg.Registry; reg != nil {
+		reg.Counter("epvf_dist_shards_merged_total", "id", c.cfg.Plan.ID).Inc()
+		reg.Counter("epvf_dist_runs_merged_total", "id", c.cfg.Plan.ID).Add(int64(len(recs)))
+	}
+	done := c.table.done()
+	if done {
+		c.doneOnce.Do(func() { close(c.doneCh) })
+	}
+	writeJSON(w, ResultResponse{Merged: true, Done: done})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.Status())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,543 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/fi"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/mem"
+	"repro/internal/obs"
+)
+
+const kernelSrc = `
+void main() {
+  long *a = malloc(40 * 8);
+  int i;
+  for (i = 0; i < 40; i = i + 1) { a[i] = i * 5; }
+  long s = 0;
+  for (i = 0; i < 40; i = i + 1) { s = s + a[i]; }
+  output(s);
+  free(a);
+}
+`
+
+func golden(t *testing.T, src string) *interp.Result {
+	t.Helper()
+	m, err := lang.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := interp.Run(m, interp.Config{Record: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func testPlan(t *testing.T, g *interp.Result, runs, shard int) *campaign.Plan {
+	t.Helper()
+	p, err := campaign.NewPlan(g.Trace.Module, g, campaign.PlanConfig{
+		Benchmark: "kernel",
+		Runs:      runs,
+		ShardSize: shard,
+		FI:        fi.Config{Seed: 41, JitterWindow: 16 * mem.PageSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// crashWorker registers, leases one shard over raw HTTP and then
+// vanishes without heartbeats or results — the wire-level shape of a
+// worker killed mid-shard.
+func crashWorker(t *testing.T, base string, planID string) int {
+	t.Helper()
+	post := func(path string, in, out any) {
+		body, _ := json.Marshal(in)
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("crash worker POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("crash worker POST %s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("crash worker decode %s: %v", path, err)
+		}
+	}
+	var reg RegisterResponse
+	post(PathRegister, RegisterRequest{Worker: "doomed", PlanID: planID}, &reg)
+	var lease LeaseResponse
+	post(PathLease, LeaseRequest{Worker: "doomed", PlanID: planID}, &lease)
+	if lease.Lease == "" {
+		t.Fatal("crash worker got no lease")
+	}
+	return lease.Shard
+}
+
+func TestDistributedCampaignSurvivesWorkerCrash(t *testing.T) {
+	// Acceptance criterion: a coordinator with two workers completes the
+	// plan while a third worker is killed mid-shard; the crashed shard is
+	// requeued, nothing is double-merged, and the merged result is
+	// bit-identical to a single-process run.
+	g := golden(t, kernelSrc)
+	plan := testPlan(t, g, 200, 25)
+
+	baseline, err := campaign.Run(context.Background(), g.Trace.Module, g, plan, campaign.RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	logPath := filepath.Join(t.TempDir(), "merged.jsonl")
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Plan:      plan,
+		GoldenDyn: g.DynInstrs,
+		LogPath:   logPath,
+		LeaseTTL:  300 * time.Millisecond,
+		Registry:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + coord.Addr()
+	defer coord.Shutdown(context.Background())
+
+	// A worker leases shard 0 and dies without reporting.
+	crashed := crashWorker(t, base, plan.ID)
+
+	// Two healthy workers finish the campaign, including the requeued
+	// shard once its lease expires.
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 2)
+	for i := range workerErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w, err := NewWorker(WorkerConfig{
+				Coordinator: base,
+				Name:        fmt.Sprintf("w%d", i),
+				Module:      g.Trace.Module,
+				Golden:      g,
+				Workers:     2,
+				Registry:    reg,
+				RetryBase:   10 * time.Millisecond,
+			})
+			if err != nil {
+				workerErrs[i] = err
+				return
+			}
+			workerErrs[i] = w.Run(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatalf("coordinator did not complete: %v", err)
+	}
+
+	st := coord.Status()
+	if st.ShardsRequeued < 1 {
+		t.Errorf("crashed shard %d was never requeued (requeued=%d)", crashed, st.ShardsRequeued)
+	}
+	if st.ShardsDone != plan.NumShards() {
+		t.Errorf("shards done = %d, want %d", st.ShardsDone, plan.NumShards())
+	}
+	if st.RunsMerged != plan.Runs {
+		t.Errorf("runs merged = %d, want %d — at-least-once delivery double-merged", st.RunsMerged, plan.Runs)
+	}
+
+	res, err := coord.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != len(baseline.Records) {
+		t.Fatalf("record counts differ: dist %d vs single-process %d", len(res.Records), len(baseline.Records))
+	}
+	for i := range baseline.Records {
+		if res.Records[i] != baseline.Records[i] {
+			t.Fatalf("record %d differs between distributed and single-process runs", i)
+		}
+	}
+	for o, c := range baseline.Counts {
+		if res.Counts[o] != c {
+			t.Errorf("outcome %v: dist count %d != single-process %d", o, res.Counts[o], c)
+		}
+	}
+
+	// The durable log is a standard campaign log: status and merge work.
+	logStatus, err := campaign.ReadStatus(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logStatus.Done != plan.Runs || logStatus.ShardsComplete != plan.NumShards() {
+		t.Errorf("durable log incomplete: %d runs, %d shards", logStatus.Done, logStatus.ShardsComplete)
+	}
+
+	// Fleet metrics made it into the registry.
+	snap := reg.Snapshot()
+	if got := snap.Counter("epvf_dist_runs_merged_total", "id", plan.ID); got != plan.Runs {
+		t.Errorf("epvf_dist_runs_merged_total = %d, want %d", got, plan.Runs)
+	}
+	if snap.Gauge("epvf_dist_shards_requeued", "id", plan.ID) < 1 {
+		t.Error("requeue gauge never observed the crash")
+	}
+}
+
+func TestCoordinatorRestartResumesFromDurableLog(t *testing.T) {
+	// Crash-stop the coordinator after a partial merge; a new coordinator
+	// on the same log must resume with those shards done and finish with
+	// a bit-identical result.
+	g := golden(t, kernelSrc)
+	plan := testPlan(t, g, 120, 30)
+	logPath := filepath.Join(t.TempDir(), "merged.jsonl")
+
+	first, err := NewCoordinator(CoordinatorConfig{Plan: plan, GoldenDyn: g.DynInstrs, LogPath: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	// Deliver exactly two shards, then stop the coordinator.
+	runner, err := fi.NewRunner(g.Trace.Module, g, plan.FIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliver := func(base string, shard int) {
+		t.Helper()
+		lo, hi := plan.ShardRange(shard)
+		records := runner.RunRange(lo, hi, 2)
+		recs := make([]campaign.RunRec, len(records))
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for i, rec := range records {
+			recs[i] = campaign.NewRunRec(lo+int64(i), rec)
+			enc.Encode(recs[i])
+		}
+		url := fmt.Sprintf("%s%s?plan=%s&shard=%d&worker=manual&hash=%s",
+			base, PathResults, plan.ID, shard, campaign.ShardHash(plan.ID, shard, recs))
+		resp, err := http.Post(url, "application/jsonl", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("deliver shard %d: status %d", shard, resp.StatusCode)
+		}
+	}
+	// Leases are not required for delivery (the work is valid regardless);
+	// deliver two shards cold.
+	deliver("http://"+first.Addr(), 0)
+	deliver("http://"+first.Addr(), 2)
+	if err := first.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := NewCoordinator(CoordinatorConfig{Plan: plan, GoldenDyn: g.DynInstrs, LogPath: logPath, LeaseTTL: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer second.Shutdown(context.Background())
+	st := second.Status()
+	if st.ShardsDone != 2 {
+		t.Fatalf("restarted coordinator sees %d shards done, want 2", st.ShardsDone)
+	}
+	w, err := NewWorker(WorkerConfig{
+		Coordinator: "http://" + second.Addr(),
+		Name:        "finisher",
+		Module:      g.Trace.Module,
+		Golden:      g,
+		RetryBase:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := second.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := campaign.Run(context.Background(), g.Trace.Module, g, plan, campaign.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mono.Records {
+		if res.Records[i] != mono.Records[i] {
+			t.Fatalf("record %d differs after coordinator restart", i)
+		}
+	}
+}
+
+func TestStaleWorkerRejected(t *testing.T) {
+	// A worker holding a different module must fail the capability
+	// handshake before contributing anything.
+	g := golden(t, kernelSrc)
+	plan := testPlan(t, g, 50, 25)
+	coord, err := NewCoordinator(CoordinatorConfig{Plan: plan, GoldenDyn: g.DynInstrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Shutdown(context.Background())
+
+	stale := golden(t, `void main() { int x = 3; output(x * x); }`)
+	w, err := NewWorker(WorkerConfig{
+		Coordinator: "http://" + coord.Addr(),
+		Name:        "stale",
+		Module:      stale.Trace.Module,
+		Golden:      stale,
+		RetryBase:   time.Millisecond,
+		Retries:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "handshake") && !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("stale worker ran with error %v, want handshake rejection", err)
+	}
+	if coord.Status().RunsMerged != 0 {
+		t.Error("stale worker contributed results")
+	}
+
+	// Wire-level stale register is rejected with 409 too.
+	body, _ := json.Marshal(RegisterRequest{Worker: "stale2", PlanID: "bogus"})
+	resp, err := http.Post("http://"+coord.Addr()+PathRegister, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale register: status %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestWorkerDrainFinishesInFlightShard(t *testing.T) {
+	// Cancelling a worker's context mid-campaign must deliver the shard
+	// it is holding (no lost work) and then stop leasing.
+	g := golden(t, kernelSrc)
+	plan := testPlan(t, g, 100, 20)
+	coord, err := NewCoordinator(CoordinatorConfig{Plan: plan, GoldenDyn: g.DynInstrs, LeaseTTL: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Shutdown(context.Background())
+
+	// Cancel the worker's context the instant its first lease is granted:
+	// the drain signal then lands while the shard is in flight.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	client := &http.Client{Transport: &cancelAfterLease{rt: http.DefaultTransport, cancel: cancel}}
+	w, err := NewWorker(WorkerConfig{
+		Coordinator: "http://" + coord.Addr(),
+		Name:        "drainer",
+		Module:      g.Trace.Module,
+		Golden:      g,
+		Client:      client,
+		RetryBase:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(ctx); err != nil {
+		t.Fatalf("drain returned error: %v", err)
+	}
+	st := coord.Status()
+	if st.ShardsDone == 0 {
+		t.Error("drained worker delivered nothing — in-flight shard was dropped")
+	}
+	if st.ShardsDone == plan.NumShards() {
+		t.Error("drained worker finished the whole campaign — drain did not stop leasing")
+	}
+}
+
+// cancelAfterLease buffers each response body and fires cancel once the
+// first granted lease passes through, so the caller's context is
+// cancelled while that shard executes.
+type cancelAfterLease struct {
+	rt     http.RoundTripper
+	cancel func()
+	once   sync.Once
+}
+
+func (c *cancelAfterLease) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := c.rt.RoundTrip(req)
+	if err != nil || !strings.HasSuffix(req.URL.Path, PathLease) {
+		return resp, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	var lease LeaseResponse
+	if json.Unmarshal(body, &lease) == nil && lease.Lease != "" {
+		c.once.Do(c.cancel)
+	}
+	return resp, nil
+}
+
+// TestWorkerExitsCleanlyWhenCoordinatorGone covers the fleet wind-down
+// path: `campaign serve` exits as soon as the last shard merges, so a
+// worker left polling for more work (its shards were taken by others)
+// must treat the vanished coordinator as a clean exit, not an error.
+func TestWorkerExitsCleanlyWhenCoordinatorGone(t *testing.T) {
+	g := golden(t, kernelSrc)
+	plan := testPlan(t, g, 20, 20)
+	coord, err := NewCoordinator(CoordinatorConfig{Plan: plan, GoldenDyn: g.DynInstrs, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Another worker holds the only shard, so the real worker polls.
+	crashWorker(t, "http://"+coord.Addr(), plan.ID)
+
+	// shutdownAfterWait kills the coordinator once the worker has been
+	// told to poll — from then on every lease request gets connection
+	// refused.
+	var once sync.Once
+	client := &http.Client{Transport: roundTripperFunc(func(req *http.Request) (*http.Response, error) {
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil || !strings.HasSuffix(req.URL.Path, PathLease) {
+			return resp, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		var lease LeaseResponse
+		if json.Unmarshal(body, &lease) == nil && lease.Lease == "" && !lease.Done {
+			once.Do(func() { coord.Shutdown(context.Background()) })
+		}
+		return resp, nil
+	})}
+	w, err := NewWorker(WorkerConfig{
+		Coordinator: "http://" + coord.Addr(),
+		Name:        "poller",
+		Module:      g.Trace.Module,
+		Golden:      g,
+		Client:      client,
+		RetryBase:   time.Millisecond,
+		Retries:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatalf("polling worker errored on vanished coordinator: %v", err)
+	}
+}
+
+type roundTripperFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripperFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }
+
+func TestDuplicateDeliveryDedupes(t *testing.T) {
+	g := golden(t, kernelSrc)
+	plan := testPlan(t, g, 40, 20)
+	reg := obs.NewRegistry()
+	coord, err := NewCoordinator(CoordinatorConfig{Plan: plan, GoldenDyn: g.DynInstrs, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Shutdown(context.Background())
+
+	runner, err := fi.NewRunner(g.Trace.Module, g, plan.FIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := plan.ShardRange(0)
+	records := runner.RunRange(lo, hi, 1)
+	recs := make([]campaign.RunRec, len(records))
+	for i, rec := range records {
+		recs[i] = campaign.NewRunRec(lo+int64(i), rec)
+	}
+	hash := campaign.ShardHash(plan.ID, 0, recs)
+	post := func(h string) (*http.Response, error) {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for _, r := range recs {
+			enc.Encode(r)
+		}
+		url := fmt.Sprintf("http://%s%s?plan=%s&shard=0&worker=dup&hash=%s", coord.Addr(), PathResults, plan.ID, h)
+		return http.Post(url, "application/jsonl", &buf)
+	}
+	resp, err := post(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr ResultResponse
+	json.NewDecoder(resp.Body).Decode(&rr)
+	resp.Body.Close()
+	if !rr.Merged || rr.Duplicate {
+		t.Fatalf("first delivery: %+v", rr)
+	}
+	// Exact redelivery: deduped, not double-merged.
+	resp, err = post(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&rr)
+	resp.Body.Close()
+	if rr.Merged || !rr.Duplicate {
+		t.Fatalf("redelivery: %+v", rr)
+	}
+	if got := coord.Status().RunsMerged; got != hi-lo {
+		t.Fatalf("runs merged = %d after redelivery, want %d", got, hi-lo)
+	}
+	// Divergent redelivery (claimed hash matches its own content but not
+	// the merged shard): rejected with 409.
+	recs[0].Mask ^= 1
+	resp, err = post(campaign.ShardHash(plan.ID, 0, recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("divergent redelivery: status %d, want 409", resp.StatusCode)
+	}
+}

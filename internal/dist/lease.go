@@ -1,0 +1,246 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// shardState is the per-shard slot of the lease table's state machine:
+//
+//	pending ──acquire──▶ leased ──complete──▶ done
+//	   ▲                    │
+//	   └────TTL expiry──────┘  (requeue; counted)
+//
+// done is absorbing. A completion for a pending or re-leased shard (the
+// at-least-once tail of a lease that expired mid-flight) is still
+// accepted: the work is correct by determinism, and any later delivery
+// for the same shard dedupes against the stored content hash.
+type shardState int
+
+const (
+	shardPending shardState = iota
+	shardLeased
+	shardDone
+)
+
+// lease is one live claim on a shard.
+type lease struct {
+	id       string
+	shard    int
+	worker   string
+	expires  time.Time
+	lastBeat time.Time
+}
+
+// errLeaseGone is returned on heartbeats for leases that expired (and
+// were requeued) or never existed; the HTTP layer maps it to 410 Gone.
+var errLeaseGone = fmt.Errorf("dist: lease expired or unknown")
+
+// table is the coordinator's lease table. All methods are safe for
+// concurrent use; time flows through the injected clock so tests can
+// drive expiry deterministically.
+type table struct {
+	mu  sync.Mutex
+	ttl time.Duration
+	now func() time.Time
+
+	plan      *campaign.Plan
+	state     []shardState
+	byShard   []*lease          // active lease per shard (nil unless leased)
+	leases    map[string]*lease // by lease ID
+	shardHash map[int]string    // content hash of each merged shard
+	seq       int               // lease ID sequence
+	requeued  int64
+}
+
+func newTable(plan *campaign.Plan, ttl time.Duration, now func() time.Time) *table {
+	if now == nil {
+		now = time.Now
+	}
+	return &table{
+		ttl:       ttl,
+		now:       now,
+		plan:      plan,
+		state:     make([]shardState, plan.NumShards()),
+		byShard:   make([]*lease, plan.NumShards()),
+		leases:    make(map[string]*lease),
+		shardHash: make(map[int]string),
+	}
+}
+
+// markDone seeds a shard as already merged (coordinator restart from a
+// durable log).
+func (t *table) markDone(shard int, hash string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.state[shard] = shardDone
+	t.shardHash[shard] = hash
+}
+
+// sweepLocked requeues every expired lease. t.mu must be held.
+func (t *table) sweepLocked() int {
+	n := 0
+	now := t.now()
+	for id, l := range t.leases {
+		if now.After(l.expires) {
+			delete(t.leases, id)
+			t.byShard[l.shard] = nil
+			if t.state[l.shard] == shardLeased {
+				t.state[l.shard] = shardPending
+				t.requeued++
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// sweep requeues expired leases and returns how many shards went back to
+// pending.
+func (t *table) sweep() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sweepLocked()
+}
+
+// acquire leases the lowest pending shard to worker. It returns the
+// lease, or done=true when every shard is merged, or (nil, false) when
+// all remaining shards are currently leased (the caller should retry
+// after a delay).
+func (t *table) acquire(worker string) (l *lease, done bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepLocked()
+	pending := -1
+	for s, st := range t.state {
+		if st == shardPending {
+			pending = s
+			break
+		}
+	}
+	if pending < 0 {
+		return nil, t.doneLocked()
+	}
+	t.seq++
+	now := t.now()
+	nl := &lease{
+		id:       fmt.Sprintf("L%d-s%d", t.seq, pending),
+		shard:    pending,
+		worker:   worker,
+		expires:  now.Add(t.ttl),
+		lastBeat: now,
+	}
+	t.state[pending] = shardLeased
+	t.byShard[pending] = nl
+	t.leases[nl.id] = nl
+	return nl, false
+}
+
+// heartbeat extends a lease's TTL; errLeaseGone means the lease expired
+// and its shard was requeued (or the ID is unknown).
+func (t *table) heartbeat(id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepLocked()
+	l, ok := t.leases[id]
+	if !ok {
+		return errLeaseGone
+	}
+	now := t.now()
+	l.expires = now.Add(t.ttl)
+	l.lastBeat = now
+	return nil
+}
+
+// complete records a shard delivery with the given content hash.
+// Idempotency contract: the first delivery merges (dup=false); an exact
+// redelivery is dropped (dup=true, nil error); a redelivery with a
+// different hash is an error — same-plan workers cannot legitimately
+// disagree, so the caller must reject the delivery.
+func (t *table) complete(shard int, hash string) (dup bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if shard < 0 || shard >= len(t.state) {
+		return false, fmt.Errorf("dist: shard %d out of range [0, %d)", shard, len(t.state))
+	}
+	if t.state[shard] == shardDone {
+		if t.shardHash[shard] != hash {
+			return false, fmt.Errorf("dist: shard %d redelivered with content %s, already merged as %s — divergent worker",
+				shard, hash, t.shardHash[shard])
+		}
+		return true, nil
+	}
+	// Accept from the lease holder, from a worker whose lease expired
+	// (requeued shard, work still valid), or racing a re-lease.
+	if l := t.byShard[shard]; l != nil {
+		delete(t.leases, l.id)
+		t.byShard[shard] = nil
+	}
+	t.state[shard] = shardDone
+	t.shardHash[shard] = hash
+	return false, nil
+}
+
+// doneLocked reports whether every shard is merged. t.mu must be held.
+func (t *table) doneLocked() bool {
+	for _, st := range t.state {
+		if st != shardDone {
+			return false
+		}
+	}
+	return true
+}
+
+// done reports whether every shard is merged.
+func (t *table) done() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.doneLocked()
+}
+
+// counts snapshots the per-state shard tallies, the requeue total, and
+// the age of the oldest active heartbeat.
+func (t *table) counts() (pending, leased, done int, requeued int64, oldestBeat time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepLocked()
+	for _, st := range t.state {
+		switch st {
+		case shardPending:
+			pending++
+		case shardLeased:
+			leased++
+		case shardDone:
+			done++
+		}
+	}
+	now := t.now()
+	for _, l := range t.leases {
+		if age := now.Sub(l.lastBeat); age > oldestBeat {
+			oldestBeat = age
+		}
+	}
+	return pending, leased, done, t.requeued, oldestBeat
+}
+
+// workerLeases snapshots each worker's active lease count and oldest
+// heartbeat age.
+func (t *table) workerLeases() map[string]WorkerStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepLocked()
+	out := make(map[string]WorkerStatus)
+	now := t.now()
+	for _, l := range t.leases {
+		ws := out[l.worker]
+		ws.ActiveLeases++
+		if age := now.Sub(l.lastBeat).Seconds(); age > ws.LeaseAgeSeconds {
+			ws.LeaseAgeSeconds = age
+		}
+		out[l.worker] = ws
+	}
+	return out
+}

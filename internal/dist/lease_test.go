@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func leasePlan(shards int) *campaign.Plan {
+	return &campaign.Plan{ID: "testplan", Runs: int64(shards) * 10, ShardSize: 10}
+}
+func mustLease(t *testing.T, tb *table, w string) *lease {
+	t.Helper()
+	l, done := tb.acquire(w)
+	if done || l == nil {
+		t.Fatalf("acquire(%s): lease=%v done=%v", w, l, done)
+	}
+	return l
+}
+
+func TestLeaseExpiryRequeues(t *testing.T) {
+	clk := newFakeClock()
+	tb := newTable(leasePlan(2), 10*time.Second, clk.now)
+
+	l0 := mustLease(t, tb, "a")
+	if l0.shard != 0 {
+		t.Fatalf("first lease got shard %d, want 0", l0.shard)
+	}
+	// Within TTL the shard stays leased: the next acquire gets shard 1,
+	// then nothing.
+	l1 := mustLease(t, tb, "b")
+	if l1.shard != 1 {
+		t.Fatalf("second lease got shard %d, want 1", l1.shard)
+	}
+	if l, done := tb.acquire("c"); l != nil || done {
+		t.Fatalf("all-leased acquire: lease=%v done=%v, want wait", l, done)
+	}
+
+	// Heartbeats hold the lease across the nominal expiry.
+	clk.advance(8 * time.Second)
+	if err := tb.heartbeat(l0.id); err != nil {
+		t.Fatalf("heartbeat before expiry: %v", err)
+	}
+	clk.advance(8 * time.Second) // l0 now at 8s since beat, l1 at 16s > TTL
+	if n := tb.sweep(); n != 1 {
+		t.Fatalf("sweep requeued %d shards, want 1 (only the silent lease)", n)
+	}
+	if err := tb.heartbeat(l1.id); err != errLeaseGone {
+		t.Fatalf("heartbeat on requeued lease: %v, want errLeaseGone", err)
+	}
+	if err := tb.heartbeat(l0.id); err != nil {
+		t.Fatalf("heartbeat on live lease after sweep: %v", err)
+	}
+
+	// The requeued shard is leasable again — by a different worker.
+	l1b := mustLease(t, tb, "c")
+	if l1b.shard != 1 {
+		t.Fatalf("requeued shard not re-leased: got %d, want 1", l1b.shard)
+	}
+	_, _, _, requeued, _ := tb.counts()
+	if requeued != 1 {
+		t.Fatalf("requeue counter = %d, want 1", requeued)
+	}
+}
+
+func TestLeaseExpiryDuringAcquireSweep(t *testing.T) {
+	// acquire itself must sweep: with no background sweeper, a dead
+	// worker's shard still requeues as soon as anyone asks for work.
+	clk := newFakeClock()
+	tb := newTable(leasePlan(1), 5*time.Second, clk.now)
+	dead := mustLease(t, tb, "dead")
+	clk.advance(6 * time.Second)
+	alive := mustLease(t, tb, "alive")
+	if alive.shard != dead.shard {
+		t.Fatalf("expired shard not handed over: got %d, want %d", alive.shard, dead.shard)
+	}
+}
+
+func TestCompleteIdempotency(t *testing.T) {
+	clk := newFakeClock()
+	tb := newTable(leasePlan(2), 10*time.Second, clk.now)
+	l := mustLease(t, tb, "a")
+
+	dup, err := tb.complete(l.shard, "h1")
+	if err != nil || dup {
+		t.Fatalf("first completion: dup=%v err=%v", dup, err)
+	}
+	// Exact redelivery dedupes silently.
+	dup, err = tb.complete(l.shard, "h1")
+	if err != nil || !dup {
+		t.Fatalf("redelivery: dup=%v err=%v, want dup", dup, err)
+	}
+	// Divergent redelivery is rejected.
+	if _, err := tb.complete(l.shard, "h2"); err == nil {
+		t.Fatal("divergent redelivery accepted")
+	}
+	// A done shard never goes back to pending, even after its old lease
+	// would have expired.
+	clk.advance(time.Minute)
+	if n := tb.sweep(); n != 0 {
+		t.Fatalf("sweep requeued %d done shards", n)
+	}
+}
+
+func TestCompleteAfterExpiryStillAccepted(t *testing.T) {
+	// A worker that stalls past its TTL (GC pause, partition) and then
+	// delivers must not lose the work: the shard may even have been
+	// re-leased, and the eventual second delivery dedupes by hash.
+	clk := newFakeClock()
+	tb := newTable(leasePlan(1), 5*time.Second, clk.now)
+	l := mustLease(t, tb, "slow")
+	clk.advance(10 * time.Second)
+	tb.sweep()
+	release := mustLease(t, tb, "fast")
+	if release.shard != l.shard {
+		t.Fatalf("requeued shard went to %d, want %d", release.shard, l.shard)
+	}
+	// Slow worker delivers first despite the lost lease.
+	dup, err := tb.complete(l.shard, "content")
+	if err != nil || dup {
+		t.Fatalf("post-expiry delivery: dup=%v err=%v", dup, err)
+	}
+	// Fast worker's identical delivery dedupes.
+	dup, err = tb.complete(release.shard, "content")
+	if err != nil || !dup {
+		t.Fatalf("second delivery: dup=%v err=%v, want dup", dup, err)
+	}
+	if !tb.done() {
+		t.Fatal("single-shard plan not done after completion")
+	}
+}

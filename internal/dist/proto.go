@@ -1,0 +1,133 @@
+// Package dist is the fault-tolerant distributed campaign fabric: a
+// coordinator that owns a campaign shard plan and a durable lease table,
+// and workers that lease shards over stdlib HTTP, execute them with the
+// deterministic per-index RNG streams of internal/fi, and stream JSONL
+// results back.
+//
+// The design leans on two invariants the lower layers already provide:
+//
+//   - Determinism: a run's record depends only on (plan, run index), so
+//     any worker holding the right module computes bit-identical results
+//     for any shard — redundant execution is wasteful but never wrong.
+//   - Content addressing: the plan ID hashes the module IR and every
+//     injection parameter, and ShardHash digests a shard's records. Both
+//     are cheap idempotency tokens: a stale worker cannot register (plan
+//     hash mismatch), and a redelivered shard either matches the stored
+//     hash (dropped as duplicate) or is rejected (divergent content).
+//
+// Delivery is therefore at-least-once with merge-time dedup, and the
+// coordinator's merged result is bit-identical to a single-process
+// campaign run. The wire protocol is documented in DESIGN.md §9.
+package dist
+
+import (
+	"repro/internal/campaign"
+)
+
+// Protocol endpoints. All bodies are JSON except results, which are
+// streamed as JSONL (one campaign.RunRec per line).
+const (
+	// PathPlan (GET) serves the coordinator's campaign.Plan.
+	PathPlan = "/v1/plan"
+	// PathRegister (POST RegisterRequest) performs the capability
+	// handshake: the worker submits the plan ID it computed from its own
+	// module and the fetched parameters; a mismatch is rejected with 409.
+	PathRegister = "/v1/register"
+	// PathLease (POST LeaseRequest) acquires the next pending shard under
+	// a TTL lease.
+	PathLease = "/v1/lease"
+	// PathHeartbeat (POST HeartbeatRequest) extends a lease's TTL. A 410
+	// response means the lease expired and was requeued: the worker must
+	// abandon the shard (its eventual result is still accepted or deduped,
+	// never double-merged).
+	PathHeartbeat = "/v1/heartbeat"
+	// PathResults (POST, JSONL body) delivers a completed shard. Lease,
+	// shard, worker and shard-hash metadata travel in query parameters so
+	// the body stays a pure record stream.
+	PathResults = "/v1/results"
+	// PathStatus (GET) serves the fleet Status as JSON.
+	PathStatus = "/v1/status"
+)
+
+// RegisterRequest is the capability handshake: PlanID must equal the
+// coordinator's plan ID, which content-hashes the module IR and every
+// injection parameter — a worker holding a stale binary or module cannot
+// pass it.
+type RegisterRequest struct {
+	Worker string `json:"worker"`
+	PlanID string `json:"plan_id"`
+}
+
+// RegisterResponse acknowledges a successful handshake.
+type RegisterResponse struct {
+	OK bool `json:"ok"`
+	// LeaseTTLMillis tells the worker how often to heartbeat.
+	LeaseTTLMillis int64 `json:"lease_ttl_ms"`
+}
+
+// LeaseRequest asks for the next pending shard.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	PlanID string `json:"plan_id"`
+}
+
+// LeaseResponse carries a granted lease, a backoff hint, or completion.
+type LeaseResponse struct {
+	// Done: every shard is merged; the worker should exit.
+	Done bool `json:"done,omitempty"`
+	// WaitMillis: nothing pending right now (all leased); poll again.
+	WaitMillis int64 `json:"wait_ms,omitempty"`
+	// Granted lease.
+	Shard     int    `json:"shard"`
+	Lo        int64  `json:"lo"`
+	Hi        int64  `json:"hi"`
+	Lease     string `json:"lease,omitempty"`
+	TTLMillis int64  `json:"ttl_ms,omitempty"`
+}
+
+// HeartbeatRequest keeps a lease alive while its shard executes.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+	Lease  string `json:"lease"`
+}
+
+// ResultResponse acknowledges a shard delivery.
+type ResultResponse struct {
+	// Merged: the shard's records entered the merge (first delivery).
+	Merged bool `json:"merged"`
+	// Duplicate: the shard was already merged with identical content; the
+	// delivery was dropped harmlessly.
+	Duplicate bool `json:"duplicate,omitempty"`
+	// Done: this delivery completed the campaign. Piggybacked here so the
+	// worker that lands the final shard exits without another lease
+	// round-trip — the coordinator may well shut down before one could be
+	// answered.
+	Done bool `json:"done,omitempty"`
+}
+
+// Status is the fleet snapshot served on /v1/status and, via
+// obs.Server.HandleJSON, on the coordinator CLI's /fleet view.
+type Status struct {
+	Plan           *campaign.Plan `json:"plan"`
+	NumShards      int            `json:"num_shards"`
+	ShardsPending  int            `json:"shards_pending"`
+	ShardsLeased   int            `json:"shards_leased"`
+	ShardsDone     int            `json:"shards_done"`
+	ShardsRequeued int64          `json:"shards_requeued"`
+	RunsMerged     int64          `json:"runs_merged"`
+	DupDeliveries  int64          `json:"duplicate_deliveries"`
+	Workers        []WorkerStatus `json:"workers"`
+	Done           bool           `json:"done"`
+}
+
+// WorkerStatus is one registered worker's view in the fleet snapshot.
+type WorkerStatus struct {
+	Name string `json:"name"`
+	// ShardsDone counts shards this worker delivered first.
+	ShardsDone int64 `json:"shards_done"`
+	// LeaseAgeSeconds is the age of the worker's oldest active lease
+	// heartbeat (0 when it holds none).
+	LeaseAgeSeconds float64 `json:"lease_age_seconds"`
+	// ActiveLeases counts leases the worker currently holds.
+	ActiveLeases int `json:"active_leases"`
+}

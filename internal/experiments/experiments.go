@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"runtime"
@@ -156,7 +157,7 @@ func (s *Suite) runCampaign(name string, m *ir.Module, golden *interp.Result) (*
 	if s.Cfg.CampaignDir != "" {
 		opts.LogPath = filepath.Join(s.Cfg.CampaignDir, fmt.Sprintf("%s-%s.jsonl", name, plan.ID))
 	}
-	res, err := campaign.Run(m, golden, plan, opts)
+	res, err := campaign.Run(context.Background(), m, golden, plan, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -70,13 +71,21 @@ func (s *Server) HandleJSON(path string, fn func() (any, error)) {
 	})
 }
 
-// Start serves in a background goroutine until Close.
+// Start serves in a background goroutine until Close or Shutdown.
 func (s *Server) Start() {
 	go s.srv.Serve(s.ln)
 }
 
-// Close shuts the listener down.
+// Close shuts the listener down immediately, aborting in-flight requests.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown drains gracefully: the listener stops accepting, in-flight
+// requests (a /metrics scrape, a pprof profile) run to completion, and
+// only then does the server stop — or ctx expires, whichever is first.
+// CLIs use it so a drain never truncates a scrape mid-body.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
 
 func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	if req.URL.Query().Get("format") == "json" {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -97,6 +98,56 @@ func TestHandleJSONError(t *testing.T) {
 	code, body := get(t, "http://"+srv.Addr()+"/broken")
 	if code != http.StatusInternalServerError || !strings.Contains(body, "no campaign running") {
 		t.Errorf("error view: code %d body %q", code, body)
+	}
+}
+
+func TestShutdownDrainsInFlightRequests(t *testing.T) {
+	// A scrape that is mid-handler when Shutdown starts must complete with
+	// a full body; Shutdown must then return without error.
+	srv := startTestServer(t, NewRegistry())
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv.HandleJSON("/slow", func() (any, error) {
+		close(entered)
+		<-release
+		return map[string]string{"state": "drained"}, nil
+	})
+	srv.Start()
+
+	type scrape struct {
+		code int
+		body string
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		code, body := get(t, "http://"+srv.Addr()+"/slow")
+		got <- scrape{code, body}
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Graceful shutdown must wait for the in-flight handler.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a request was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	s := <-got
+	if s.code != http.StatusOK || !strings.Contains(s.body, "drained") {
+		t.Errorf("in-flight scrape truncated by shutdown: code %d body %q", s.code, s.body)
+	}
+	// After the drain, new connections are refused.
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("server still accepting connections after Shutdown")
 	}
 }
 

@@ -22,7 +22,7 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (obs + campaign)"
-go test -race ./internal/obs/... ./internal/campaign/...
+echo "== go test -race (obs + campaign + dist)"
+go test -race ./internal/obs/... ./internal/campaign/... ./internal/dist/...
 
 echo "check: OK"
