@@ -1,6 +1,6 @@
 # Tier-1 verification gate and convenience targets.
 
-.PHONY: check build test fmt vet bench-obs dist-demo
+.PHONY: check build test fmt vet bench-obs bench-snapshot dist-demo
 
 check:
 	./scripts/check.sh
@@ -17,6 +17,13 @@ dist-demo:
 bench-obs:
 	go test ./internal/obs/ -run TestDisabledOverheadUnderNoise -v
 	go test ./internal/obs/ -run '^$$' -bench 'Disabled|Enabled' -benchtime 0.2s
+
+# bench-snapshot runs the same campaign from scratch and with COW
+# snapshot restore, verifies the records are bit-identical, and refreshes
+# the committed comparison (wall times are machine-dependent; the event
+# counters are deterministic).
+bench-snapshot:
+	go run ./cmd/snapbench -out BENCH_snapshot.json
 
 build:
 	go build ./...

@@ -135,6 +135,8 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 	shardsFlag := fs.String("shards", "", "comma-separated shard subset to execute (default: all)")
 	quiet := fs.Bool("q", false, "suppress progress output")
 	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/pprof and /campaign on this address while running")
+	snap := fs.Bool("snapshot", true, "restore COW execution snapshots instead of replaying each run from scratch (auto-off under -jitter)")
+	snapStride := fs.Int64("snapshot-stride", 0, "events between snapshots (0 = auto, ~sqrt(trace length))")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -191,12 +193,13 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 		}
 	}
 	opts := campaign.RunOptions{
-		LogPath: *logPath,
-		Workers: *workers,
-		Epsilon: *epsilon,
-		MinRuns: *minRuns,
-		Budget:  *budget,
-		Shards:  shards,
+		LogPath:  *logPath,
+		Workers:  *workers,
+		Epsilon:  *epsilon,
+		MinRuns:  *minRuns,
+		Budget:   *budget,
+		Shards:   shards,
+		Snapshot: campaign.SnapshotOptions{Disabled: !*snap, Stride: *snapStride},
 	}
 	if !*quiet {
 		opts.Progress = out
@@ -417,6 +420,8 @@ func runWork(args []string, out io.Writer) error {
 	name := fs.String("name", "", "worker name in leases and fleet status (default: host-pid)")
 	obsAddr := fs.String("obs-addr", "", "serve /metrics and /debug/pprof on this address while running")
 	quiet := fs.Bool("q", false, "suppress progress output")
+	snap := fs.Bool("snapshot", true, "restore COW execution snapshots instead of replaying each run from scratch (auto-off under jittered plans)")
+	snapStride := fs.Int64("snapshot-stride", 0, "events between snapshots (0 = auto, ~sqrt(trace length))")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -433,11 +438,13 @@ func runWork(args []string, out io.Writer) error {
 		return fmt.Errorf("golden run: %w", err)
 	}
 	cfg := dist.WorkerConfig{
-		Coordinator: strings.TrimRight(*coordURL, "/"),
-		Name:        *name,
-		Module:      m,
-		Golden:      golden,
-		Workers:     *workers,
+		Coordinator:      strings.TrimRight(*coordURL, "/"),
+		Name:             *name,
+		Module:           m,
+		Golden:           golden,
+		Workers:          *workers,
+		DisableSnapshots: !*snap,
+		SnapshotStride:   *snapStride,
 	}
 	if !*quiet {
 		cfg.Progress = out

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fi"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 )
 
@@ -45,6 +46,20 @@ type RunOptions struct {
 	// and the /campaign status view can never disagree. Nil allocates a
 	// private monitor.
 	Monitor *Monitor
+	// Snapshot tunes copy-on-write execution snapshots; the zero value
+	// enables them with automatic stride. Snapshots cannot change
+	// results — only their cost — so they are not part of plan identity.
+	Snapshot SnapshotOptions
+}
+
+// SnapshotOptions controls snapshot-accelerated execution.
+type SnapshotOptions struct {
+	// Disabled forces every run to execute from scratch (the escape
+	// hatch; also what the bench harness compares against).
+	Disabled bool
+	// Stride overrides the automatic snapshot spacing (~sqrt(trace
+	// length)); zero keeps the default.
+	Stride int64
 }
 
 // Result aggregates one engine invocation.
@@ -108,6 +123,13 @@ func Run(ctx context.Context, m *ir.Module, golden *interp.Result, plan *Plan, o
 	if n := golden.Trace.NumEvents(); n != plan.TraceEvents {
 		return nil, fmt.Errorf("campaign: golden trace has %d events, plan %s expects %d", n, plan.ID, plan.TraceEvents)
 	}
+	if !opts.Snapshot.Disabled {
+		// Refused silently under layout jitter; results are identical
+		// either way, so this never needs to be fatal or plan-visible.
+		if _, err := runner.EnableSnapshots(snapshot.Config{Stride: opts.Snapshot.Stride}); err != nil {
+			return nil, err
+		}
+	}
 
 	st := &state{
 		plan:    plan,
@@ -150,6 +172,9 @@ func Run(ctx context.Context, m *ir.Module, golden *interp.Result, plan *Plan, o
 	mon := opts.Monitor
 	if mon == nil {
 		mon = NewMonitor(nil)
+	}
+	if runner.SnapshotsEnabled() {
+		mon.setSnapshotSource(runner.SnapshotView)
 	}
 	replayedCounts := make(map[fi.Outcome]int)
 	for _, rec := range st.records {
@@ -300,6 +325,7 @@ type indexed struct {
 // Cancelling ctx stops new runs from being issued; in-flight runs finish
 // and are recorded, so the log never holds a torn batch.
 func (st *state) runIndices(ctx context.Context, idxs []int64, workers int, w *logWriter, mon *Monitor) (int, error) {
+	idxs = st.runner.OrderByEvent(idxs)
 	if workers > len(idxs) {
 		workers = len(idxs)
 	}

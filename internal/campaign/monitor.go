@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fi"
 	"repro/internal/obs"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 )
 
@@ -36,6 +37,9 @@ type Monitor struct {
 	start     time.Time
 	lastPrint time.Time
 	reason    string
+	// snapSrc, when non-nil, supplies the runner's live snapshot stats
+	// for the status views; nil (snapshots off) omits the section.
+	snapSrc func() *snapshot.View
 }
 
 // NewMonitor returns a monitor writing into reg; nil reg allocates a
@@ -58,6 +62,14 @@ func (m *Monitor) SetClock(now func() time.Time) {
 // Registry returns the registry the monitor writes into (for serving
 // /metrics alongside /campaign).
 func (m *Monitor) Registry() *obs.Registry { return m.reg }
+
+// setSnapshotSource binds the live snapshot-stats source for status
+// rendering; the engine calls it with the runner's SnapshotView.
+func (m *Monitor) setSnapshotSource(src func() *snapshot.View) {
+	m.mu.Lock()
+	m.snapSrc = src
+	m.mu.Unlock()
+}
 
 // begin binds the monitor to an invocation: it zeroes this plan's series
 // (a rerun in the same process must not double-count) and seeds the
@@ -182,6 +194,9 @@ func (m *Monitor) statusLocked(now time.Time) *StatusJSON {
 			Outcome: o.String(), Count: c, Rate: p.Rate(), CIHalfWidth: p.HalfWidth(),
 		})
 	}
+	if m.snapSrc != nil {
+		s.Snapshot = m.snapSrc()
+	}
 	// elapsed can be zero (coarse clocks, fake clocks): never divide by it.
 	s.ElapsedSeconds = now.Sub(m.start).Seconds()
 	if s.ElapsedSeconds > 0 {
@@ -250,6 +265,9 @@ type StatusJSON struct {
 	Stopped        bool    `json:"stopped"`
 	Saved          int64   `json:"saved"`
 	Reason         string  `json:"reason,omitempty"`
+	// Snapshot reports copy-on-write snapshot activity; absent when
+	// snapshots are disabled (or ruled out by layout jitter).
+	Snapshot *snapshot.View `json:"snapshot,omitempty"`
 }
 
 // OutcomeJSON is one outcome tally with its Wilson 95% CI half-width.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/snapshot"
 )
 
 // WorkerConfig describes one worker process.
@@ -46,6 +47,14 @@ type WorkerConfig struct {
 	Retries   int
 	// Progress, when non-nil, receives per-shard progress lines.
 	Progress io.Writer
+	// DisableSnapshots forces shard runs to execute from scratch instead
+	// of restoring copy-on-write golden-path snapshots. Results are
+	// bit-identical either way (the coordinator's shard hashes agree
+	// regardless), so this is purely a cost knob.
+	DisableSnapshots bool
+	// SnapshotStride overrides the automatic snapshot spacing; zero
+	// keeps ~sqrt(trace length).
+	SnapshotStride int64
 }
 
 // Worker leases shards from a coordinator and executes them. Drain
@@ -190,6 +199,13 @@ func (w *Worker) handshake(ctx context.Context) error {
 	w.runner, err = fi.NewRunner(w.cfg.Module, w.cfg.Golden, local.FIConfig())
 	if err != nil {
 		return err
+	}
+	if !w.cfg.DisableSnapshots {
+		// The chain is shared across every shard this worker leases, so
+		// later shards replay even less of the golden prefix.
+		if _, err := w.runner.EnableSnapshots(snapshot.Config{Stride: w.cfg.SnapshotStride}); err != nil {
+			return err
+		}
 	}
 	var reg RegisterResponse
 	if err := w.postJSON(ctx, PathRegister, RegisterRequest{Worker: w.cfg.Name, PlanID: local.ID}, &reg); err != nil {

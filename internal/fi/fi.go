@@ -22,6 +22,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/mem"
 	"repro/internal/rangeprop"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
 
@@ -92,6 +93,16 @@ type Config struct {
 	// Align is the alignment-trap policy; zero means the interpreter
 	// default.
 	Align interp.AlignPolicy
+	// DisableSnapshots forces every RunCampaign run to execute from
+	// scratch instead of restoring the nearest golden-path snapshot.
+	// Results are bit-identical either way; the flag exists as an escape
+	// hatch and for benchmarking the speedup. It does not affect target
+	// sampling and is not part of campaign plan identity.
+	DisableSnapshots bool
+	// SnapshotStride overrides the automatic snapshot spacing
+	// (~sqrt(trace length)); zero keeps the default. Like
+	// DisableSnapshots it cannot change results, only their cost.
+	SnapshotStride int64
 }
 
 // Result aggregates a campaign.
@@ -258,6 +269,12 @@ type Runner struct {
 	golden  *interp.Result
 	sampler *Sampler
 	cfg     Config
+	// chain, when non-nil, supplies golden-path snapshots: runs restore
+	// the nearest snapshot at-or-below their injection event and execute
+	// only the delta. Enabled explicitly via EnableSnapshots — never by
+	// NewRunner, which is also called on the planning path where no runs
+	// execute.
+	chain *snapshot.Chain
 }
 
 // NewRunner validates the golden run and indexes its trace for sampling.
@@ -274,6 +291,51 @@ func NewRunner(m *ir.Module, golden *interp.Result, cfg Config) (*Runner, error)
 
 // Sampler exposes the bit-population index (e.g. for TotalBits).
 func (r *Runner) Sampler() *Sampler { return r.sampler }
+
+// EnableSnapshots builds the golden-path snapshot chain so subsequent
+// RunIndex calls restore-and-replay instead of executing from scratch.
+// It reports false without error when the configuration rules snapshots
+// out: layout jitter draws a fresh address-space layout per run, so a
+// shared golden-layout snapshot cannot seed those runs.
+//
+// The chain's interpreter configuration matches the scratch path exactly
+// (default layout, hang budget, alignment policy), which is what makes
+// resumed runs bit-identical to from-scratch runs.
+func (r *Runner) EnableSnapshots(scfg snapshot.Config) (bool, error) {
+	if r.cfg.JitterWindow != 0 {
+		return false, nil
+	}
+	if r.chain != nil {
+		return true, nil
+	}
+	hangFactor := r.cfg.HangFactor
+	if hangFactor == 0 {
+		hangFactor = 10
+	}
+	ch, err := snapshot.NewChain(r.m, interp.Config{
+		Layout:       mem.DefaultLayout(),
+		MaxDynInstrs: int64(hangFactor * float64(r.golden.DynInstrs)),
+		Align:        r.cfg.Align,
+	}, r.golden.DynInstrs, scfg)
+	if err != nil {
+		return false, err
+	}
+	r.chain = ch
+	return true, nil
+}
+
+// SnapshotsEnabled reports whether the runner restores snapshots.
+func (r *Runner) SnapshotsEnabled() bool { return r.chain != nil }
+
+// SnapshotView returns the chain's live stats, or nil when snapshots are
+// disabled. The pointer shape feeds straight into status JSON.
+func (r *Runner) SnapshotView() *snapshot.View {
+	if r.chain == nil {
+		return nil
+	}
+	v := r.chain.View()
+	return &v
+}
 
 // Golden returns the recorded golden run.
 func (r *Runner) Golden() *interp.Result { return r.golden }
@@ -294,7 +356,27 @@ func (r *Runner) Draw(index int64) (Target, mem.Layout) {
 // index).
 func (r *Runner) RunIndex(index int64) Record {
 	tgt, layout := r.Draw(index)
+	if r.chain != nil {
+		return r.runSnapshot(tgt)
+	}
 	return runWithLayout(r.m, r.golden, tgt, layout, r.cfg)
+}
+
+// runSnapshot executes one injection by restoring the nearest snapshot
+// at-or-below the target event and running only the delta, with
+// convergence fast-forward against later snapshots. Classification is
+// identical to the scratch path because the resumed run is.
+func (r *Runner) runSnapshot(tgt Target) Record {
+	st := r.chain.Nearest(tgt.Event)
+	res, err := interp.Resume(st, interp.ResumeOptions{
+		Injection:   &interp.Injection{Event: tgt.Event, Bit: tgt.Bit, Mask: tgt.Mask},
+		Convergence: &interp.Convergence{Golden: r.golden, Next: r.chain.Next},
+	})
+	if err != nil {
+		return Record{Target: tgt, Outcome: OutcomeCrash, Exc: interp.ExcAbort}
+	}
+	r.chain.NoteRestore(res)
+	return classify(r.golden, res, tgt)
 }
 
 // RunRange executes runs [lo, hi) across the given number of workers and
@@ -305,12 +387,13 @@ func (r *Runner) RunRange(lo, hi int64, workers int) []Record {
 		return nil
 	}
 	out := make([]Record, hi-lo)
+	order := r.dispatchOrder(lo, hi)
 	if workers > len(out) {
 		workers = len(out)
 	}
 	if workers <= 1 {
-		for i := range out {
-			out[i] = r.RunIndex(lo + int64(i))
+		for _, i := range order {
+			out[i-lo] = r.RunIndex(i)
 		}
 		return out
 	}
@@ -325,12 +408,46 @@ func (r *Runner) RunRange(lo, hi int64, workers int) []Record {
 			}
 		}()
 	}
-	for i := lo; i < hi; i++ {
+	for _, i := range order {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
 	return out
+}
+
+// dispatchOrder returns the run indices of [lo, hi) in execution order.
+func (r *Runner) dispatchOrder(lo, hi int64) []int64 {
+	order := make([]int64, hi-lo)
+	for i := range order {
+		order[i] = lo + int64(i)
+	}
+	return r.OrderByEvent(order)
+}
+
+// OrderByEvent sorts run indices by their (deterministically drawn)
+// injection event, in place, returning the slice. With snapshots enabled
+// this makes the lazily-extended chain grow monotonically — early runs
+// hit snapshots that already exist instead of serializing behind one
+// long extension. Without snapshots it is the identity: scratch runs
+// gain nothing from event locality. Results are keyed by index, so
+// dispatch order never affects them.
+func (r *Runner) OrderByEvent(idxs []int64) []int64 {
+	if r.chain == nil {
+		return idxs
+	}
+	events := make(map[int64]int64, len(idxs))
+	for _, idx := range idxs {
+		tgt, _ := r.Draw(idx)
+		events[idx] = tgt.Event
+	}
+	sort.Slice(idxs, func(a, b int) bool {
+		if events[idxs[a]] != events[idxs[b]] {
+			return events[idxs[a]] < events[idxs[b]]
+		}
+		return idxs[a] < idxs[b]
+	})
+	return idxs
 }
 
 // Aggregate tallies records into a campaign Result.
@@ -359,6 +476,11 @@ func RunCampaign(m *ir.Module, golden *interp.Result, cfg Config) (*Result, erro
 	r, err := NewRunner(m, golden, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if !cfg.DisableSnapshots {
+		if _, err := r.EnableSnapshots(snapshot.Config{Stride: cfg.SnapshotStride}); err != nil {
+			return nil, err
+		}
 	}
 	workers := cfg.Parallel
 	if workers < 1 {

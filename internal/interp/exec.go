@@ -1,0 +1,271 @@
+// Execution snapshots: a paused machine can be captured into an immutable
+// State — frames, program counter, and a copy-on-write fork of the address
+// space — and any number of runs can later resume from it, each on its own
+// fork. A resumed run is bit-identical to a from-scratch run of the same
+// configuration: the machine is deterministic, so replaying the prefix and
+// restoring it are indistinguishable.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Exec is a stepwise execution handle: it advances a machine to chosen
+// dynamic-event boundaries and captures snapshots there. Record mode is not
+// supported (snapshots exist to avoid re-executing work; a recording run
+// needs every event anyway), and injection happens at Resume, not here.
+type Exec struct {
+	vm *machine
+}
+
+// NewExec prepares a machine for stepwise execution. The entry frame is
+// pushed; no instructions have executed yet (event 0).
+func NewExec(m *ir.Module, cfg Config) (*Exec, error) {
+	if cfg.Record {
+		return nil, fmt.Errorf("interp: Exec does not support Record mode")
+	}
+	if cfg.Injection != nil {
+		return nil, fmt.Errorf("interp: Exec does not support injection; inject via Resume")
+	}
+	vm, err := newMachine(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	vm.pushFrame(vm.entryFn, nil, nil)
+	return &Exec{vm: vm}, nil
+}
+
+// Advance executes until the next unit would retire an event past stopAt,
+// pausing at an event <= stopAt (phi groups retire atomically, so the pause
+// point may undershoot). It returns true while the program is still live;
+// false once it terminated (return, exception, hang, or fatal error).
+func (e *Exec) Advance(stopAt int64) bool {
+	e.vm.paused = false
+	e.vm.run(stopAt)
+	return e.vm.paused
+}
+
+// Event returns the machine's current dynamic-event position.
+func (e *Exec) Event() int64 { return e.vm.dyn }
+
+// Err returns the harness-level fatal error, if any.
+func (e *Exec) Err() error { return e.vm.fatal }
+
+// DirtyPages returns the cumulative count of pages the execution has
+// privately materialized or copy-on-write faulted; the delta between two
+// captures is the page cost of the second snapshot.
+func (e *Exec) DirtyPages() int64 { return e.vm.as.DirtyPages() }
+
+// Capture snapshots the paused machine. The returned State is immutable
+// and safe for concurrent Resume calls; the capture costs O(frames +
+// mapped-page pointers) — page data is shared copy-on-write.
+func (e *Exec) Capture() *State {
+	vm := e.vm
+	return &State{
+		event:   vm.dyn,
+		frames:  copyFrames(vm.stack),
+		as:      vm.as.Fork(),
+		outputs: append([]trace.Output(nil), vm.outputs...),
+		globals: vm.globals,
+		mod:     vm.mod,
+		cfg:     vm.cfg,
+	}
+}
+
+// State is a captured point of one execution: everything a machine needs
+// to continue — SSA value environment and dynamic defs per frame, the call
+// stack with block/instruction cursors, emitted outputs, and a frozen COW
+// fork of the simulated address space (stack pointer, heap break, VMA-table
+// version history included). States are immutable; Resume forks them.
+type State struct {
+	event   int64
+	frames  []*frame
+	as      *mem.AddressSpace
+	outputs []trace.Output
+	globals map[*ir.Global]uint64
+	mod     *ir.Module
+	cfg     Config
+}
+
+// Event returns the dynamic-event index the state was captured at: the
+// number of events retired before the pause.
+func (st *State) Event() int64 { return st.event }
+
+// ResumeOptions controls one resumed run.
+type ResumeOptions struct {
+	// Injection, when non-nil, corrupts one register definition; its Event
+	// must be at or after the state's capture event (earlier events already
+	// executed, uncorrupted, inside the snapshot).
+	Injection *Injection
+	// MaxDynInstrs overrides the hang budget (absolute, counted from event
+	// zero like a scratch run); zero keeps the capture-time budget.
+	MaxDynInstrs int64
+	// Convergence, when non-nil, allows the run to fast-forward to the
+	// golden result once its machine state is bit-identical to a golden
+	// checkpoint.
+	Convergence *Convergence
+}
+
+// Convergence lets a resumed faulty run stop early: after the injection
+// applies, whenever execution reaches the event index of a golden
+// checkpoint, the machine compares its complete state (frames, registers,
+// memory) against that checkpoint. Equality means the fault's effects are
+// gone — a deterministic machine in an identical state produces an
+// identical future — so the run splices the golden tail (remaining
+// outputs, exception, final event count) instead of executing it. COW page
+// sharing makes the comparison cost proportional to the pages that
+// diverged, not to total memory.
+type Convergence struct {
+	// Golden is the fault-free run of the same configuration.
+	Golden *Result
+	// Next returns the first golden checkpoint with Event > after, or nil
+	// when no further checkpoint exists.
+	Next func(after int64) *State
+}
+
+// convState is the machine-side cursor over golden checkpoints.
+type convState struct {
+	golden  *Result
+	next    func(after int64) *State
+	pending *State
+}
+
+// Resume continues execution from a captured state on a fresh COW fork.
+// The run inherits the capture-time configuration (layout, alignment,
+// entry) and is bit-identical to a from-scratch run with the same
+// injection: same outputs, exception, hang flag, and final event position.
+func Resume(st *State, opts ResumeOptions) (*Result, error) {
+	if opts.Injection != nil && opts.Injection.Event < st.event {
+		return nil, fmt.Errorf("interp: injection event %d precedes snapshot event %d",
+			opts.Injection.Event, st.event)
+	}
+	cfg := st.cfg
+	cfg.Injection = opts.Injection
+	if opts.MaxDynInstrs > 0 {
+		cfg.MaxDynInstrs = opts.MaxDynInstrs
+	}
+	vm := &machine{
+		cfg:     cfg,
+		mod:     st.mod,
+		as:      st.as.Fork(),
+		globals: st.globals,
+		layouts: make(map[*ir.Function]*frameLayout),
+		stack:   copyFrames(st.frames),
+		dyn:     st.event,
+		outputs: append([]trace.Output(nil), st.outputs...),
+	}
+	if c := opts.Convergence; c != nil && c.Golden != nil && c.Next != nil && !c.Golden.Hang {
+		// A hung golden run has no final state to converge to: the faulty
+		// run's larger budget would run past the golden horizon.
+		vm.conv = &convState{golden: c.Golden, next: c.Next}
+	}
+	vm.run(-1)
+	return vm.finish()
+}
+
+// tryConverge is called between units: when the machine sits exactly on a
+// golden checkpoint event and its state equals that checkpoint, it splices
+// the golden tail and halts. Returns true when the run converged.
+func (vm *machine) tryConverge() bool {
+	if inj := vm.cfg.Injection; inj != nil && !inj.Applied {
+		// Before the fault applies the run IS the golden prefix; comparing
+		// now would trivially "converge" and skip the injection.
+		return false
+	}
+	c := vm.conv
+	for {
+		if c.pending == nil {
+			c.pending = c.next(vm.dyn - 1)
+			if c.pending == nil {
+				vm.conv = nil // no further checkpoints will ever exist
+				return false
+			}
+		}
+		if c.pending.event >= vm.dyn {
+			break
+		}
+		// A multi-event unit jumped over the checkpoint; fetch the next one.
+		c.pending = nil
+	}
+	if c.pending.event > vm.dyn {
+		return false
+	}
+	st := c.pending
+	c.pending = nil
+	if !vm.stateEqual(st) {
+		return false
+	}
+	vm.outputs = append(vm.outputs, c.golden.Outputs[len(st.outputs):]...)
+	vm.dyn = c.golden.DynInstrs
+	vm.exc = c.golden.Exception
+	vm.converged = true
+	vm.stack = vm.stack[:0]
+	return true
+}
+
+// stateEqual reports whether the live machine is bit-identical to a
+// captured state: same call stack (functions, cursors, registers, dynamic
+// defs, pending call sites) and same address space. Top frames compare
+// first — they diverge soonest in a faulty run.
+func (vm *machine) stateEqual(st *State) bool {
+	if len(vm.stack) != len(st.frames) {
+		return false
+	}
+	for i := len(vm.stack) - 1; i >= 0; i-- {
+		if !frameEqual(vm.stack[i], st.frames[i]) {
+			return false
+		}
+	}
+	return vm.as.Equal(st.as)
+}
+
+func frameEqual(a, b *frame) bool {
+	if a.fn != b.fn || a.blk != b.blk || a.prev != b.prev || a.ii != b.ii ||
+		a.base != b.base || a.savedSP != b.savedSP ||
+		a.callInstr != b.callInstr || a.callIdx != b.callIdx {
+		return false
+	}
+	if len(a.regs) != len(b.regs) || len(a.params) != len(b.params) {
+		return false
+	}
+	for i := range a.regs {
+		if a.regs[i] != b.regs[i] {
+			return false
+		}
+	}
+	for i := range a.defs {
+		if a.defs[i] != b.defs[i] {
+			return false
+		}
+	}
+	for i := range a.params {
+		if a.params[i] != b.params[i] {
+			return false
+		}
+	}
+	for i := range a.paramDefs {
+		if a.paramDefs[i] != b.paramDefs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// copyFrames deep-copies a frame stack; layouts are shared (immutable) and
+// block/instr pointers are into the immutable module.
+func copyFrames(stack []*frame) []*frame {
+	out := make([]*frame, len(stack))
+	for i, fr := range stack {
+		cp := *fr
+		cp.regs = append([]uint64(nil), fr.regs...)
+		cp.defs = append([]int64(nil), fr.defs...)
+		cp.params = append([]uint64(nil), fr.params...)
+		cp.paramDefs = append([]int64(nil), fr.paramDefs...)
+		out[i] = &cp
+	}
+	return out
+}

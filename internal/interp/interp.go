@@ -155,8 +155,18 @@ type Result struct {
 	Exception *Exception
 	// Hang reports that the dynamic-instruction budget was exhausted.
 	Hang bool
-	// DynInstrs is the number of dynamic instructions retired.
+	// DynInstrs is the dynamic-instruction position the run ended at. For a
+	// from-scratch run this equals the instructions executed; for a
+	// snapshot-resumed run it is the absolute event index (prefix included),
+	// so it is comparable across the two.
 	DynInstrs int64
+	// Executed counts the instructions this run actually executed: excludes
+	// both a resumed snapshot's prefix and any converged (spliced) tail.
+	Executed int64
+	// Converged reports that the run was fast-forwarded to the golden
+	// result after its machine state became identical to a golden
+	// checkpoint (see Convergence).
+	Converged bool
 }
 
 // Crashed reports whether the run ended in a hardware exception (Detected
@@ -183,6 +193,18 @@ func (r *Result) OutputBits() []uint64 {
 // reports harness-level problems (missing entry, malformed IR); program
 // crashes and hangs are reported in the Result.
 func Run(m *ir.Module, cfg Config) (*Result, error) {
+	vm, err := newMachine(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	vm.pushFrame(vm.entryFn, nil, nil)
+	vm.run(-1)
+	return vm.finish()
+}
+
+// newMachine normalizes cfg, builds the address space, and loads globals.
+// It does not push the entry frame.
+func newMachine(m *ir.Module, cfg Config) (*machine, error) {
 	if cfg.Layout == (mem.Layout{}) {
 		cfg.Layout = mem.DefaultLayout()
 	}
@@ -192,18 +214,17 @@ func Run(m *ir.Module, cfg Config) (*Result, error) {
 	if cfg.Align == 0 {
 		cfg.Align = AlignFourByte
 	}
-	entry := cfg.Entry
-	if entry == "" {
-		entry = "main"
+	if cfg.Entry == "" {
+		cfg.Entry = "main"
 	}
-	fn := m.Func(entry)
+	fn := m.Func(cfg.Entry)
 	if fn == nil {
-		return nil, fmt.Errorf("interp: module %q has no function %q", m.Name, entry)
+		return nil, fmt.Errorf("interp: module %q has no function %q", m.Name, cfg.Entry)
 	}
 	if len(fn.Params) != 0 {
-		return nil, fmt.Errorf("interp: entry %q must take no parameters", entry)
+		return nil, fmt.Errorf("interp: entry %q must take no parameters", cfg.Entry)
 	}
-	vm := &machine{cfg: cfg, mod: m, as: mem.New(cfg.Layout)}
+	vm := &machine{cfg: cfg, mod: m, as: mem.New(cfg.Layout), entryFn: fn}
 	if cfg.Record {
 		vm.memDef = make(map[uint64]int64)
 		vm.events = make([]trace.Event, 0, 1<<16)
@@ -211,21 +232,26 @@ func Run(m *ir.Module, cfg Config) (*Result, error) {
 	if err := vm.loadGlobals(); err != nil {
 		return nil, fmt.Errorf("interp: loading globals: %w", err)
 	}
-	vm.call(fn, nil, nil)
+	return vm, nil
+}
 
+// finish assembles the Result and publishes run tallies.
+func (vm *machine) finish() (*Result, error) {
 	res := &Result{
 		Outputs:   vm.outputs,
 		Exception: vm.exc,
 		Hang:      vm.hang,
 		DynInstrs: vm.dyn,
+		Executed:  vm.executed,
+		Converged: vm.converged,
 	}
-	if cfg.Record {
+	if vm.cfg.Record {
 		res.Trace = &trace.Trace{
-			Module:    m,
+			Module:    vm.mod,
 			Events:    vm.events,
 			Outputs:   vm.outputs,
 			Snapshots: vm.as.Snapshots(),
-			Layout:    cfg.Layout,
+			Layout:    vm.cfg.Layout,
 		}
 	}
 	vm.flushObs()
@@ -242,7 +268,7 @@ func (vm *machine) flushObs() {
 		return
 	}
 	r.Counter("epvf_interp_runs_total").Inc()
-	r.Counter("epvf_interp_instructions_total").Add(vm.dyn)
+	r.Counter("epvf_interp_instructions_total").Add(vm.executed)
 	r.Counter("epvf_interp_loads_total").Add(vm.loads)
 	r.Counter("epvf_interp_stores_total").Add(vm.stores)
 	if vm.exc != nil {
@@ -259,24 +285,33 @@ type frameLayout struct {
 }
 
 type machine struct {
-	cfg Config
-	mod *ir.Module
-	as  *mem.AddressSpace
+	cfg     Config
+	mod     *ir.Module
+	as      *mem.AddressSpace
+	entryFn *ir.Function
 
 	globals map[*ir.Global]uint64
 	layouts map[*ir.Function]*frameLayout
 
-	dyn     int64
-	loads   int64
-	stores  int64
-	events  []trace.Event
-	outputs []trace.Output
-	memDef  map[uint64]int64
+	// stack is the explicit call stack; the machine executes the top frame.
+	// Keeping the stack as data (rather than Go recursion) is what lets a
+	// paused machine be captured into a State and resumed elsewhere.
+	stack []*frame
 
-	exc   *Exception
-	hang  bool
-	fatal error
-	depth int
+	dyn      int64
+	executed int64
+	loads    int64
+	stores   int64
+	events   []trace.Event
+	outputs  []trace.Output
+	memDef   map[uint64]int64
+
+	exc       *Exception
+	hang      bool
+	fatal     error
+	paused    bool
+	converged bool
+	conv      *convState
 }
 
 // done reports whether execution must unwind.
@@ -336,6 +371,10 @@ func (vm *machine) frameLayout(fn *ir.Function) *frameLayout {
 	return fl
 }
 
+// frame is one activation record. Besides the register file it carries the
+// full continuation — current block, instruction cursor, predecessor block
+// for phi resolution, and the pending call site — so a frame stack is a
+// complete, copyable program counter.
 type frame struct {
 	fn        *ir.Function
 	regs      []uint64
@@ -343,7 +382,19 @@ type frame struct {
 	params    []uint64
 	paramDefs []int64
 	base      uint64
+	savedSP   uint64
 	layout    *frameLayout
+
+	blk  *ir.Block
+	prev *ir.Block
+	ii   int
+
+	// callInstr/callIdx identify the in-flight call instruction while a
+	// callee frame is above this one; the callee's return deposits its
+	// value here. callIdx is the call's own dynamic event — the injection
+	// identity of the call result.
+	callInstr *ir.Instr
+	callIdx   int64
 }
 
 func (vm *machine) raise(kind ExcKind, in *ir.Instr, addr uint64, reason string) {
@@ -375,21 +426,18 @@ func (vm *machine) operand(fr *frame, v ir.Value) (uint64, int64) {
 	}
 }
 
-// call executes fn with the given raw argument values; it returns the
-// return value bits and the defining event of the return value.
-func (vm *machine) call(fn *ir.Function, args []uint64, argDefs []int64) (uint64, int64) {
-	vm.depth++
-	defer func() { vm.depth-- }()
+// pushFrame enters fn with the given raw argument values: it reserves the
+// stack frame and pushes the activation record. Stack exhaustion raises
+// SIGSEGV (as on Linux) without pushing.
+func (vm *machine) pushFrame(fn *ir.Function, args []uint64, argDefs []int64) {
 	fl := vm.frameLayout(fn)
 	savedSP := vm.as.SP()
 	base, err := vm.as.PushFrame(fl.size)
 	if err != nil {
 		// Stack exhaustion delivers SIGSEGV on Linux.
 		vm.raise(ExcSegFault, fn.Entry().Instrs[0], vm.as.SP()-fl.size, "stack overflow")
-		return 0, trace.NoDef
+		return
 	}
-	defer vm.as.PopFrame(savedSP)
-
 	fr := &frame{
 		fn:        fn,
 		regs:      make([]uint64, fn.NumLocals()),
@@ -397,24 +445,83 @@ func (vm *machine) call(fn *ir.Function, args []uint64, argDefs []int64) (uint64
 		params:    args,
 		paramDefs: argDefs,
 		base:      base,
+		savedSP:   savedSP,
 		layout:    fl,
+		blk:       fn.Entry(),
 	}
 	for i := range fr.defs {
 		fr.defs[i] = trace.NoDef
 	}
+	vm.stack = append(vm.stack, fr)
+}
 
-	blk := fn.Entry()
-	var prev *ir.Block
-	for {
-		next, retVal, retDef, returned := vm.execBlock(fr, blk, prev)
-		if vm.done() {
-			return 0, trace.NoDef
-		}
-		if returned {
-			return retVal, retDef
-		}
-		prev, blk = blk, next
+// popFrame returns from the top frame, restoring the stack pointer and
+// depositing the return value into the caller's pending call register. The
+// call result's injection identity is the call site's own event (callIdx);
+// its dataflow definition is the callee's producing event when there is
+// one.
+func (vm *machine) popFrame(retVal uint64, retDef int64) {
+	child := vm.stack[len(vm.stack)-1]
+	vm.stack = vm.stack[:len(vm.stack)-1]
+	vm.as.PopFrame(child.savedSP)
+	if len(vm.stack) == 0 {
+		return // entry function returned; the machine halts
 	}
+	fr := vm.stack[len(vm.stack)-1]
+	in := fr.callInstr
+	fr.callInstr = nil
+	if in == nil || in.Ty.IsVoid() {
+		fr.callIdx = 0
+		return
+	}
+	if retDef == trace.NoDef {
+		// The call's result register is defined by the callee's producing
+		// event; fall back to the call site itself.
+		retDef = fr.callIdx
+	}
+	vm.setResultWithDef(fr, in, fr.callIdx, retDef, retVal)
+	if ev := vm.event(fr.callIdx); ev != nil {
+		ev.Result = fr.regs[in.LocalID]
+	}
+	fr.callIdx = 0
+}
+
+// run drives the machine until it halts (empty stack, exception, hang, or
+// fatal error) or, when stopAt >= 0, pauses just before the first unit
+// that would retire an event past stopAt. A "unit" is one instruction,
+// except that a block's phi group retires atomically (its members evaluate
+// in parallel), so a pause never lands inside a phi group and the paused
+// event is always <= stopAt.
+func (vm *machine) run(stopAt int64) {
+	for {
+		if vm.exc != nil || vm.hang || vm.fatal != nil || len(vm.stack) == 0 {
+			return
+		}
+		if stopAt >= 0 && vm.dyn+vm.nextUnitCost() > stopAt {
+			vm.paused = true
+			return
+		}
+		if vm.conv != nil && vm.tryConverge() {
+			return
+		}
+		vm.step()
+	}
+}
+
+// nextUnitCost returns how many events the next unit will retire.
+func (vm *machine) nextUnitCost() int64 {
+	fr := vm.stack[len(vm.stack)-1]
+	if fr.ii != 0 || fr.ii >= len(fr.blk.Instrs) || fr.blk.Instrs[0].Op != ir.OpPhi {
+		return 1
+	}
+	n := int64(0)
+	for _, in := range fr.blk.Instrs {
+		if in.Op != ir.OpPhi {
+			break
+		}
+		n++
+	}
+	return n
 }
 
 // retire assigns the next dynamic index and appends a trace event when
@@ -422,6 +529,7 @@ func (vm *machine) call(fn *ir.Function, args []uint64, argDefs []int64) (uint64
 func (vm *machine) retire(in *ir.Instr, ops []uint64, opDefs []int64) int64 {
 	idx := vm.dyn
 	vm.dyn++
+	vm.executed++
 	if vm.dyn > vm.cfg.MaxDynInstrs {
 		vm.hang = true
 	}
@@ -481,10 +589,11 @@ func (vm *machine) setResult(fr *frame, in *ir.Instr, idx int64, bits uint64) {
 	}
 }
 
-// execBlock runs blk to its terminator. It returns the successor block, or
-// (returned=true) the function return value.
-func (vm *machine) execBlock(fr *frame, blk *ir.Block, prev *ir.Block) (next *ir.Block, retVal uint64, retDef int64, returned bool) {
-	// Phase 1: evaluate all phis against the incoming edge in parallel.
+// stepPhis executes the block's leading phi group as one atomic unit: all
+// phis evaluate against the incoming edge in parallel, then all results
+// are assigned.
+func (vm *machine) stepPhis(fr *frame) {
+	blk := fr.blk
 	nPhis := 0
 	for _, in := range blk.Instrs {
 		if in.Op != ir.OpPhi {
@@ -492,153 +601,147 @@ func (vm *machine) execBlock(fr *frame, blk *ir.Block, prev *ir.Block) (next *ir
 		}
 		nPhis++
 	}
-	if nPhis > 0 {
-		type phiVal struct {
-			bits uint64
-			idx  int64
-		}
-		vals := make([]phiVal, nPhis)
-		for i := 0; i < nPhis; i++ {
-			in := blk.Instrs[i]
-			found := false
-			for ei, from := range in.PhiIn {
-				if from == prev {
-					bits, def := vm.operand(fr, in.Args[ei])
-					ops := []uint64{bits}
-					defs := []int64{def}
-					idx := vm.retire(in, ops, defs)
-					vals[i] = phiVal{bits: ops[0], idx: idx}
-					found = true
-					break
-				}
-			}
-			if !found {
-				vm.raiseFatal(in, "phi has no incoming edge from %s", prev.Ident())
-				return nil, 0, trace.NoDef, false
-			}
-			if vm.done() {
-				return nil, 0, trace.NoDef, false
-			}
-		}
-		for i := 0; i < nPhis; i++ {
-			vm.setResult(fr, blk.Instrs[i], vals[i].idx, vals[i].bits)
-		}
+	type phiVal struct {
+		bits uint64
+		idx  int64
 	}
-
-	for ii := nPhis; ii < len(blk.Instrs); ii++ {
-		in := blk.Instrs[ii]
-		ops := make([]uint64, len(in.Args))
-		defs := make([]int64, len(in.Args))
-		for ai, a := range in.Args {
-			ops[ai], defs[ai] = vm.operand(fr, a)
+	vals := make([]phiVal, nPhis)
+	for i := 0; i < nPhis; i++ {
+		in := blk.Instrs[i]
+		found := false
+		for ei, from := range in.PhiIn {
+			if from == fr.prev {
+				bits, def := vm.operand(fr, in.Args[ei])
+				ops := []uint64{bits}
+				defs := []int64{def}
+				idx := vm.retire(in, ops, defs)
+				vals[i] = phiVal{bits: ops[0], idx: idx}
+				found = true
+				break
+			}
 		}
-		idx := vm.retire(in, ops, defs)
-		if vm.hang {
-			return nil, 0, trace.NoDef, false
-		}
-
-		switch {
-		case in.Op.IsIntArith():
-			res, ok := vm.intArith(in, ops[0], ops[1])
-			if !ok {
-				return nil, 0, trace.NoDef, false
-			}
-			vm.setResult(fr, in, idx, res)
-		case in.Op.IsFloatArith():
-			vm.setResult(fr, in, idx, floatArith(in, ops[0], ops[1]))
-		case in.Op == ir.OpICmp:
-			vm.setResult(fr, in, idx, icmp(in, ops[0], ops[1]))
-		case in.Op == ir.OpFCmp:
-			vm.setResult(fr, in, idx, fcmp(in, ops[0], ops[1]))
-		case in.Op.IsConversion():
-			vm.setResult(fr, in, idx, convert(in, ops[0]))
-		case in.Op == ir.OpAlloca:
-			vm.setResult(fr, in, idx, fr.base+fr.layout.offsets[in])
-		case in.Op == ir.OpLoad:
-			res, ok := vm.load(in, idx, ops[0])
-			if !ok {
-				return nil, 0, trace.NoDef, false
-			}
-			vm.setResult(fr, in, idx, res)
-		case in.Op == ir.OpStore:
-			if !vm.store(in, idx, ops[0], ops[1]) {
-				return nil, 0, trace.NoDef, false
-			}
-		case in.Op == ir.OpGEP:
-			stride := uint64(in.Elem.Size())
-			off := uint64(ir.SignExtend(ops[1], in.Args[1].Type().BitWidth()))
-			vm.setResult(fr, in, idx, ops[0]+stride*off)
-		case in.Op == ir.OpSelect:
-			if ops[0]&1 != 0 {
-				vm.setResult(fr, in, idx, ops[1])
-			} else {
-				vm.setResult(fr, in, idx, ops[2])
-			}
-		case in.Op == ir.OpBr:
-			return in.Blocks[0], 0, trace.NoDef, false
-		case in.Op == ir.OpCondBr:
-			if ops[0]&1 != 0 {
-				return in.Blocks[0], 0, trace.NoDef, false
-			}
-			return in.Blocks[1], 0, trace.NoDef, false
-		case in.Op == ir.OpRet:
-			if len(ops) == 1 {
-				return nil, ops[0], defs[0], true
-			}
-			return nil, 0, trace.NoDef, true
-		case in.Op == ir.OpCall:
-			rv, rd := vm.call(in.Callee, ops, defs)
-			if vm.done() {
-				return nil, 0, trace.NoDef, false
-			}
-			if !in.Ty.IsVoid() {
-				// The call's result register is defined by the callee's
-				// producing event; fall back to the call site itself.
-				if rd == trace.NoDef {
-					rd = idx
-				}
-				vm.setResultWithDef(fr, in, idx, rd, rv)
-				if ev := vm.event(idx); ev != nil {
-					ev.Result = fr.regs[in.LocalID]
-				}
-			}
-		case in.Op == ir.OpMalloc:
-			vm.setResult(fr, in, idx, vm.malloc(ops[0]))
-		case in.Op == ir.OpFree:
-			if err := vm.as.Free(ops[0]); err != nil {
-				vm.raise(ExcAbort, in, ops[0], err.Error())
-				return nil, 0, trace.NoDef, false
-			}
-		case in.Op == ir.OpOutput:
-			vm.outputs = append(vm.outputs, trace.Output{
-				EventIdx: idx,
-				Def:      defs[0],
-				Bits:     ops[0],
-				Width:    in.Args[0].Type().BitWidth(),
-			})
-		case in.Op == ir.OpAbort:
-			vm.raise(ExcAbort, in, 0, "abort() called")
-			return nil, 0, trace.NoDef, false
-		case in.Op == ir.OpDetect:
-			vm.raise(ExcDetected, in, 0, "duplication check mismatch")
-			return nil, 0, trace.NoDef, false
-		case in.Op.IsMathUnary():
-			vm.setResult(fr, in, idx, mathUnary(in, ops[0]))
-		case in.Op.IsMathBinary():
-			vm.setResult(fr, in, idx, mathBinary(in, ops[0], ops[1]))
-		case in.Op == ir.OpPhi:
-			vm.raiseFatal(in, "phi after non-phi instruction")
-			return nil, 0, trace.NoDef, false
-		default:
-			vm.raiseFatal(in, "unimplemented opcode")
-			return nil, 0, trace.NoDef, false
+		if !found {
+			vm.raiseFatal(in, "phi has no incoming edge from %s", fr.prev.Ident())
+			return
 		}
 		if vm.done() {
-			return nil, 0, trace.NoDef, false
+			return
 		}
 	}
-	vm.raiseFatal(blk.Instrs[len(blk.Instrs)-1], "block fell through without terminator")
-	return nil, 0, trace.NoDef, false
+	for i := 0; i < nPhis; i++ {
+		vm.setResult(fr, blk.Instrs[i], vals[i].idx, vals[i].bits)
+	}
+	fr.ii = nPhis
+}
+
+// step executes one unit on the top frame.
+func (vm *machine) step() {
+	fr := vm.stack[len(vm.stack)-1]
+	blk := fr.blk
+	if fr.ii >= len(blk.Instrs) {
+		vm.raiseFatal(blk.Instrs[len(blk.Instrs)-1], "block fell through without terminator")
+		return
+	}
+	in := blk.Instrs[fr.ii]
+	if in.Op == ir.OpPhi {
+		if fr.ii == 0 {
+			vm.stepPhis(fr)
+		} else {
+			vm.raiseFatal(in, "phi after non-phi instruction")
+		}
+		return
+	}
+
+	ops := make([]uint64, len(in.Args))
+	defs := make([]int64, len(in.Args))
+	for ai, a := range in.Args {
+		ops[ai], defs[ai] = vm.operand(fr, a)
+	}
+	idx := vm.retire(in, ops, defs)
+	if vm.hang {
+		return
+	}
+	fr.ii++ // control-flow cases below override the cursor
+
+	switch {
+	case in.Op.IsIntArith():
+		res, ok := vm.intArith(in, ops[0], ops[1])
+		if !ok {
+			return
+		}
+		vm.setResult(fr, in, idx, res)
+	case in.Op.IsFloatArith():
+		vm.setResult(fr, in, idx, floatArith(in, ops[0], ops[1]))
+	case in.Op == ir.OpICmp:
+		vm.setResult(fr, in, idx, icmp(in, ops[0], ops[1]))
+	case in.Op == ir.OpFCmp:
+		vm.setResult(fr, in, idx, fcmp(in, ops[0], ops[1]))
+	case in.Op.IsConversion():
+		vm.setResult(fr, in, idx, convert(in, ops[0]))
+	case in.Op == ir.OpAlloca:
+		vm.setResult(fr, in, idx, fr.base+fr.layout.offsets[in])
+	case in.Op == ir.OpLoad:
+		res, ok := vm.load(in, idx, ops[0])
+		if !ok {
+			return
+		}
+		vm.setResult(fr, in, idx, res)
+	case in.Op == ir.OpStore:
+		if !vm.store(in, idx, ops[0], ops[1]) {
+			return
+		}
+	case in.Op == ir.OpGEP:
+		stride := uint64(in.Elem.Size())
+		off := uint64(ir.SignExtend(ops[1], in.Args[1].Type().BitWidth()))
+		vm.setResult(fr, in, idx, ops[0]+stride*off)
+	case in.Op == ir.OpSelect:
+		if ops[0]&1 != 0 {
+			vm.setResult(fr, in, idx, ops[1])
+		} else {
+			vm.setResult(fr, in, idx, ops[2])
+		}
+	case in.Op == ir.OpBr:
+		fr.prev, fr.blk, fr.ii = blk, in.Blocks[0], 0
+	case in.Op == ir.OpCondBr:
+		next := in.Blocks[1]
+		if ops[0]&1 != 0 {
+			next = in.Blocks[0]
+		}
+		fr.prev, fr.blk, fr.ii = blk, next, 0
+	case in.Op == ir.OpRet:
+		if len(ops) == 1 {
+			vm.popFrame(ops[0], defs[0])
+		} else {
+			vm.popFrame(0, trace.NoDef)
+		}
+	case in.Op == ir.OpCall:
+		fr.callInstr, fr.callIdx = in, idx
+		vm.pushFrame(in.Callee, ops, defs)
+	case in.Op == ir.OpMalloc:
+		vm.setResult(fr, in, idx, vm.malloc(ops[0]))
+	case in.Op == ir.OpFree:
+		if err := vm.as.Free(ops[0]); err != nil {
+			vm.raise(ExcAbort, in, ops[0], err.Error())
+			return
+		}
+	case in.Op == ir.OpOutput:
+		vm.outputs = append(vm.outputs, trace.Output{
+			EventIdx: idx,
+			Def:      defs[0],
+			Bits:     ops[0],
+			Width:    in.Args[0].Type().BitWidth(),
+		})
+	case in.Op == ir.OpAbort:
+		vm.raise(ExcAbort, in, 0, "abort() called")
+	case in.Op == ir.OpDetect:
+		vm.raise(ExcDetected, in, 0, "duplication check mismatch")
+	case in.Op.IsMathUnary():
+		vm.setResult(fr, in, idx, mathUnary(in, ops[0]))
+	case in.Op.IsMathBinary():
+		vm.setResult(fr, in, idx, mathBinary(in, ops[0], ops[1]))
+	default:
+		vm.raiseFatal(in, "unimplemented opcode")
+	}
 }
 
 // setResultWithDef is setResult with an explicit defining event (used for

@@ -1,0 +1,209 @@
+package mem
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestForkIsolation(t *testing.T) {
+	as := New(DefaultLayout())
+	base := DefaultLayout().DataBase
+	as.WriteBytes(base, []byte("parent"))
+
+	fork := as.Fork()
+	if got := fork.ReadBytes(base, 6); string(got) != "parent" {
+		t.Fatalf("fork read = %q, want %q", got, "parent")
+	}
+
+	// Writes on either side must not be visible on the other.
+	fork.WriteBytes(base, []byte("child!"))
+	if got := as.ReadBytes(base, 6); string(got) != "parent" {
+		t.Fatalf("parent sees child write: %q", got)
+	}
+	as.WriteBytes(base, []byte("PARENT"))
+	if got := fork.ReadBytes(base, 6); string(got) != "child!" {
+		t.Fatalf("child sees parent write: %q", got)
+	}
+}
+
+func TestForkSharesUntouchedPages(t *testing.T) {
+	as := New(DefaultLayout())
+	base := DefaultLayout().DataBase
+	for i := 0; i < 8; i++ {
+		as.WriteBytes(base+uint64(i)*PageSize, []byte{byte(i + 1)})
+	}
+	fork := as.Fork()
+	if fork.DirtyPages() != 0 {
+		t.Fatalf("fresh fork has %d dirty pages, want 0", fork.DirtyPages())
+	}
+	// Touch one page: exactly one COW copy.
+	fork.WriteBytes(base, []byte{0xff})
+	if fork.DirtyPages() != 1 {
+		t.Fatalf("after one write fork has %d dirty pages, want 1", fork.DirtyPages())
+	}
+	// The other seven pages are still physically shared.
+	shared := 0
+	for k, p := range as.pages {
+		if fork.pages[k] == p {
+			shared++
+		}
+	}
+	if shared < 7 {
+		t.Fatalf("only %d pages shared after single-page write", shared)
+	}
+}
+
+func TestForkPreservesAllocatorState(t *testing.T) {
+	as := New(DefaultLayout())
+	small, err := as.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := as.Malloc(MmapThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.PushFrame(256); err != nil {
+		t.Fatal(err)
+	}
+
+	fork := as.Fork()
+	if fork.SP() != as.SP() || fork.Version() != as.Version() {
+		t.Fatalf("fork sp/version mismatch: sp %#x vs %#x, ver %d vs %d",
+			fork.SP(), as.SP(), fork.Version(), as.Version())
+	}
+	if !fork.Equal(as) {
+		t.Fatal("fresh fork not Equal to source")
+	}
+	// Allocation metadata must be deep-copied: freeing in the fork must not
+	// free in the parent.
+	if err := fork.Free(small); err != nil {
+		t.Fatalf("fork free: %v", err)
+	}
+	if _, ok := as.AllocSize(small); !ok {
+		t.Fatal("fork Free leaked into parent allocs")
+	}
+	if _, ok := fork.AllocSize(big); !ok {
+		t.Fatal("fork lost mmap allocation metadata")
+	}
+	// VMA history is shared but complete.
+	if got := fork.SnapshotAt(as.Version()); len(got) != len(as.SnapshotAt(as.Version())) {
+		t.Fatal("fork missing VMA history")
+	}
+}
+
+func TestEqualZeroPageSemantics(t *testing.T) {
+	a := New(DefaultLayout())
+	b := New(DefaultLayout())
+	base := DefaultLayout().DataBase
+	if !a.Equal(b) {
+		t.Fatal("two fresh address spaces not Equal")
+	}
+	// Materializing an all-zero page must not break equality: an absent
+	// page and a zero page are the same memory.
+	a.WriteBytes(base, []byte{0})
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("zero page broke equality")
+	}
+	a.WriteBytes(base, []byte{7})
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("differing byte not detected")
+	}
+	a.WriteBytes(base, []byte{0})
+	if !a.Equal(b) {
+		t.Fatal("zeroed-back page not Equal again")
+	}
+}
+
+func TestEqualDetectsStructuralDrift(t *testing.T) {
+	a := New(DefaultLayout())
+	b := a.Fork()
+	if _, err := b.Malloc(32); err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(b) {
+		t.Fatal("Malloc drift (brk/allocs) not detected")
+	}
+	c := a.Fork()
+	c.SetSP(c.SP() - 16)
+	if a.Equal(c) {
+		t.Fatal("SP drift not detected")
+	}
+}
+
+func TestReadDoesNotMaterializePages(t *testing.T) {
+	as := New(DefaultLayout())
+	before := len(as.pages)
+	_ = as.ReadBytes(DefaultLayout().DataBase, 3*PageSize)
+	if len(as.pages) != before {
+		t.Fatalf("read materialized %d pages", len(as.pages)-before)
+	}
+	if as.ReadUint(DefaultLayout().DataBase, 8) != 0 {
+		t.Fatal("unwritten memory not zero")
+	}
+}
+
+func TestWriteSpanningPages(t *testing.T) {
+	as := New(DefaultLayout())
+	addr := DefaultLayout().DataBase + PageSize - 3
+	payload := []byte{1, 2, 3, 4, 5, 6}
+	as.WriteBytes(addr, payload)
+	fork := as.Fork()
+	if got := fork.ReadBytes(addr, int64(len(payload))); !bytes.Equal(got, payload) {
+		t.Fatalf("cross-page read = %v, want %v", got, payload)
+	}
+	fork.WriteBytes(addr, []byte{9, 9, 9, 9, 9, 9})
+	if got := as.ReadBytes(addr, int64(len(payload))); !bytes.Equal(got, payload) {
+		t.Fatalf("cross-page COW leaked into parent: %v", got)
+	}
+}
+
+// TestConcurrentForkWriters exercises the refcount protocol under the race
+// detector: a frozen snapshot space is forked by many goroutines that each
+// write their own clone while the others do the same on shared pages.
+func TestConcurrentForkWriters(t *testing.T) {
+	frozen := New(DefaultLayout())
+	base := DefaultLayout().DataBase
+	for i := 0; i < 16; i++ {
+		frozen.WriteBytes(base+uint64(i)*PageSize, []byte{byte(i)})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			clone := frozen.Fork()
+			for i := 0; i < 16; i++ {
+				addr := base + uint64(i)*PageSize
+				clone.WriteBytes(addr, []byte{byte(g + 100)})
+				if got := clone.ReadBytes(addr, 1)[0]; got != byte(g+100) {
+					panic(fmt.Sprintf("goroutine %d read back %d", g, got))
+				}
+			}
+			if !clone.ReadBytesEqualsFrozenTail(frozen, base, 16) {
+				panic("clone lost untouched tail bytes")
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The frozen source must be untouched.
+	for i := 0; i < 16; i++ {
+		if got := frozen.ReadBytes(base+uint64(i)*PageSize, 1)[0]; got != byte(i) {
+			t.Fatalf("frozen page %d corrupted: %d", i, got)
+		}
+	}
+}
+
+// ReadBytesEqualsFrozenTail checks bytes 1.. of each page still match the
+// frozen source (offset 0 was overwritten by the test). Test helper.
+func (as *AddressSpace) ReadBytesEqualsFrozenTail(frozen *AddressSpace, base uint64, n int) bool {
+	for i := 0; i < n; i++ {
+		addr := base + uint64(i)*PageSize + 1
+		if !bytes.Equal(as.ReadBytes(addr, 16), frozen.ReadBytes(addr, 16)) {
+			return false
+		}
+	}
+	return true
+}

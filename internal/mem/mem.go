@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 )
 
 // PageSize is the simulated page size in bytes.
@@ -164,11 +165,27 @@ func (e *AccessError) Error() string {
 	return fmt.Sprintf("segmentation fault: %s of %d bytes at %#x (%s)", op, e.Size, e.Addr, e.Reason)
 }
 
+// page is one refcounted copy-on-write page. refs counts the address
+// spaces referencing it; a write through an address space that is not the
+// sole owner first copies the page (write-fault semantics). An absent page
+// reads as zeroes, so an all-zero page and a missing page are
+// indistinguishable to programs.
+type page struct {
+	refs atomic.Int32
+	data [PageSize]byte
+}
+
+func newPage() *page {
+	p := &page{}
+	p.refs.Store(1)
+	return p
+}
+
 // AddressSpace is a simulated process address space.
 type AddressSpace struct {
 	layout Layout
 	vmas   []VMA // sorted by Start, non-overlapping
-	pages  map[uint64]*[PageSize]byte
+	pages  map[uint64]*page
 
 	sp       uint64 // current stack pointer
 	brk      uint64 // current heap break (end of heap VMA)
@@ -181,6 +198,12 @@ type AddressSpace struct {
 	// each access.
 	version   int
 	snapshots map[int][]VMA
+
+	// dirtied counts pages made privately writable in this address space:
+	// fresh page materializations plus copy-on-write faults. Forks start
+	// at zero, so the delta between two points is the snapshot "dirty
+	// page" cost.
+	dirtied int64
 }
 
 // New creates an address space with the given layout and reserves the text,
@@ -189,7 +212,7 @@ type AddressSpace struct {
 func New(l Layout) *AddressSpace {
 	as := &AddressSpace{
 		layout:    l,
-		pages:     make(map[uint64]*[PageSize]byte),
+		pages:     make(map[uint64]*page),
 		allocs:    make(map[uint64]uint64),
 		mmapNext:  l.MmapBase,
 		snapshots: make(map[int][]VMA),
@@ -388,12 +411,32 @@ func (as *AddressSpace) checkOne(addr uint64, size int64, write bool) error {
 	return &AccessError{Addr: addr, Size: size, Write: write, Reason: "unmapped"}
 }
 
-func (as *AddressSpace) page(addr uint64) *[PageSize]byte {
+// writablePage returns a page for addr that this address space owns
+// exclusively, materializing a zero page or performing the copy-on-write
+// fault as needed.
+//
+// The refcount protocol makes concurrent forks and writes safe without a
+// lock: every address space holds one reference per page it maps, a page
+// is only ever forked from a frozen (never-written) address space, and
+// that space keeps its own reference for as long as it lives. A load of 1
+// therefore proves sole ownership — no frozen space references the page,
+// so no concurrent Fork can be incrementing it.
+func (as *AddressSpace) writablePage(addr uint64) *page {
 	key := addr / PageSize
 	p := as.pages[key]
 	if p == nil {
-		p = new([PageSize]byte)
+		p = newPage()
 		as.pages[key] = p
+		as.dirtied++
+		return p
+	}
+	if p.refs.Load() > 1 {
+		cp := newPage()
+		cp.data = p.data
+		p.refs.Add(-1)
+		as.pages[key] = cp
+		as.dirtied++
+		return cp
 	}
 	return p
 }
@@ -402,27 +445,127 @@ func (as *AddressSpace) page(addr uint64) *[PageSize]byte {
 // the access.
 func (as *AddressSpace) WriteBytes(addr uint64, b []byte) {
 	for len(b) > 0 {
-		p := as.page(addr)
+		p := as.writablePage(addr)
 		off := addr % PageSize
-		n := copy(p[off:], b)
+		n := copy(p.data[off:], b)
 		b = b[n:]
 		addr += uint64(n)
 	}
 }
 
-// ReadBytes copies n bytes at addr into a fresh slice. Unwritten bytes in
-// mapped pages read as zero.
+// ReadBytes copies n bytes at addr into a fresh slice. Unwritten bytes
+// read as zero; reads never materialize pages, so forked address spaces
+// stay sparse.
 func (as *AddressSpace) ReadBytes(addr uint64, n int64) []byte {
 	out := make([]byte, n)
 	dst := out
 	for len(dst) > 0 {
-		p := as.page(addr)
 		off := addr % PageSize
-		c := copy(dst, p[off:])
+		c := uint64(PageSize - off)
+		if c > uint64(len(dst)) {
+			c = uint64(len(dst))
+		}
+		if p := as.pages[addr/PageSize]; p != nil {
+			copy(dst[:c], p.data[off:off+c])
+		}
 		dst = dst[c:]
-		addr += uint64(c)
+		addr += c
 	}
 	return out
+}
+
+// Fork returns a copy-on-write clone of the address space: VMA table,
+// registers of the allocator (sp, brk, mmap cursor), allocation metadata
+// and the VMA version history are copied; data pages are shared with their
+// refcounts incremented, so the fork costs O(mapped pages) pointer copies
+// and no page data moves until one side writes.
+//
+// Fork must only be called on an address space that is no longer written
+// (a frozen snapshot) or from the goroutine that owns it; the returned
+// clone is independently writable.
+func (as *AddressSpace) Fork() *AddressSpace {
+	cp := &AddressSpace{
+		layout:    as.layout,
+		vmas:      append([]VMA(nil), as.vmas...),
+		pages:     make(map[uint64]*page, len(as.pages)),
+		sp:        as.sp,
+		brk:       as.brk,
+		mmapNext:  as.mmapNext,
+		allocs:    make(map[uint64]uint64, len(as.allocs)),
+		version:   as.version,
+		snapshots: make(map[int][]VMA, len(as.snapshots)),
+	}
+	for k, p := range as.pages {
+		p.refs.Add(1)
+		cp.pages[k] = p
+	}
+	for k, v := range as.allocs {
+		cp.allocs[k] = v
+	}
+	for k, v := range as.snapshots {
+		cp.snapshots[k] = v // VMA history slices are immutable once recorded
+	}
+	return cp
+}
+
+// DirtyPages returns the number of pages privately materialized or
+// copy-on-write faulted in this address space since it was created (or
+// forked). Observability for the snapshot subsystem.
+func (as *AddressSpace) DirtyPages() int64 { return as.dirtied }
+
+var zeroPageData [PageSize]byte
+
+func pageEqual(a, b *page) bool {
+	switch {
+	case a == b:
+		return true
+	case a == nil:
+		return b.data == zeroPageData
+	case b == nil:
+		return a.data == zeroPageData
+	default:
+		return a.data == b.data
+	}
+}
+
+// Equal reports whether two address spaces are observably identical: same
+// layout, VMA table, stack pointer, heap state, allocation metadata,
+// version history position, and byte-for-byte page contents (an absent
+// page equals an all-zero page). Shared COW pages compare by pointer, so
+// comparing a run against a snapshot it was forked from costs O(pages
+// diverged), not O(memory).
+func (as *AddressSpace) Equal(other *AddressSpace) bool {
+	if as.layout != other.layout || as.sp != other.sp || as.brk != other.brk ||
+		as.mmapNext != other.mmapNext || as.version != other.version {
+		return false
+	}
+	if len(as.vmas) != len(other.vmas) {
+		return false
+	}
+	for i := range as.vmas {
+		if as.vmas[i] != other.vmas[i] {
+			return false
+		}
+	}
+	if len(as.allocs) != len(other.allocs) {
+		return false
+	}
+	for k, v := range as.allocs {
+		if ov, ok := other.allocs[k]; !ok || ov != v {
+			return false
+		}
+	}
+	for k, p := range as.pages {
+		if !pageEqual(p, other.pages[k]) {
+			return false
+		}
+	}
+	for k, p := range other.pages {
+		if _, ok := as.pages[k]; !ok && !pageEqual(nil, p) {
+			return false
+		}
+	}
+	return true
 }
 
 // WriteUint stores the low size bytes of v at addr, little-endian.

@@ -22,7 +22,8 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (obs + campaign + dist)"
-go test -race ./internal/obs/... ./internal/campaign/... ./internal/dist/...
+echo "== go test -race (obs + campaign + dist + snapshot + mem + fi)"
+go test -race ./internal/obs/... ./internal/campaign/... ./internal/dist/... \
+    ./internal/snapshot/... ./internal/mem/... ./internal/fi/...
 
 echo "check: OK"
