@@ -1,6 +1,6 @@
 # Tier-1 verification gate and convenience targets.
 
-.PHONY: check build test fmt vet bench-obs bench-snapshot dist-demo
+.PHONY: check build test fmt vet bench-obs bench-snapshot dist-demo attr-demo
 
 check:
 	./scripts/check.sh
@@ -10,6 +10,12 @@ check:
 # printed at the end.
 dist-demo:
 	./scripts/dist_demo.sh
+
+# attr-demo runs a small campaign and renders the prediction-vs-ground-
+# truth attribution ledger: the ranked text report plus the standalone
+# HTML heatmap report (./attr.html), asserting the HTML is well-formed.
+attr-demo:
+	./scripts/attr_demo.sh
 
 # bench-obs asserts the disabled observability path stays under the noise
 # floor (TestDisabledOverheadUnderNoise) and prints the nil-handle

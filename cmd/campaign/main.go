@@ -11,6 +11,7 @@
 //	campaign merge  -out merged.jsonl shard-a.jsonl shard-b.jsonl
 //	campaign serve  -bench mm -runs 3000 -log merged.jsonl -addr :8766 [-lease-ttl 30s]
 //	campaign work   -bench mm -coordinator http://host:8766 [-workers W]
+//	campaign attr   -log mm.jsonl [-bench mm] [-top 20] [-json] [-html attr.html]
 //
 // `run` is restartable: interrupting it (ctrl-C included — SIGINT
 // checkpoints the log and exits cleanly) and re-invoking `run` (or
@@ -28,9 +29,19 @@
 // join, leave, or crash mid-shard. SIGINT on a worker drains: the
 // in-flight shard is finished and delivered before exit.
 //
+// Attribution: `run`, `resume`, `serve` and `work` feed a
+// prediction-vs-ground-truth ledger by default (disable with -attr=false)
+// joining each injection's observed outcome with the ePVF model's per-bit
+// prediction. `campaign attr` renders it from a finished log — ranked
+// mispredicted instructions, Figure-7-style validation tables, JSON, or a
+// self-contained HTML heatmap report via -html. With -bench/-src the
+// ledger is recomputed exactly from the log's records; without a module
+// the snapshot cached in the log is used.
+//
 // `-obs-addr host:port` serves live introspection while the campaign
-// executes: /metrics (Prometheus text), /debug/pprof/*, /debug/vars and
-// /campaign (JSON status, the same schema as `campaign status -json`);
+// executes: /metrics (Prometheus text), /debug/pprof/*, /debug/vars,
+// /campaign (JSON status, the same schema as `campaign status -json`) and
+// /attr (attribution drill-down: ?func=, ?instr=, ?format=text);
 // `serve` adds /fleet (coordinator status: leases, requeues, workers).
 package main
 
@@ -48,9 +59,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/attr"
 	"repro/internal/bench"
 	"repro/internal/campaign"
 	"repro/internal/dist"
+	"repro/internal/epvf"
 	"repro/internal/fi"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -69,7 +82,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: campaign <plan|run|resume|status|merge|serve|work> [flags]")
+		return fmt.Errorf("usage: campaign <plan|run|resume|status|merge|serve|work|attr> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -83,8 +96,10 @@ func run(args []string, out io.Writer) error {
 		return runServe(rest, out)
 	case "work":
 		return runWork(rest, out)
+	case "attr":
+		return runAttr(rest, out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want plan, run, resume, status, merge, serve or work)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want plan, run, resume, status, merge, serve, work or attr)", cmd)
 	}
 }
 
@@ -137,6 +152,7 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/pprof and /campaign on this address while running")
 	snap := fs.Bool("snapshot", true, "restore COW execution snapshots instead of replaying each run from scratch (auto-off under -jitter)")
 	snapStride := fs.Int64("snapshot-stride", 0, "events between snapshots (0 = auto, ~sqrt(trace length))")
+	attrOn := fs.Bool("attr", true, "feed the prediction-vs-ground-truth attribution ledger (see `campaign attr`)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -204,14 +220,20 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 	if !*quiet {
 		opts.Progress = out
 	}
+	var meta *attr.Meta
+	if *attrOn {
+		opts.Ledger, meta = buildLedger(golden)
+	}
 	if *obsAddr != "" {
 		reg := obs.NewRegistry()
 		obs.SetDefault(reg)
 		defer obs.SetDefault(nil)
 		mon := campaign.NewMonitor(reg)
 		opts.Monitor = mon
+		ledger := opts.Ledger
 		stop, err := startObs(*obsAddr, reg, out, func(srv *obs.Server) {
 			srv.HandleJSON("/campaign", func() (any, error) { return mon.Status() })
+			srv.Handle("/attr", attr.Handler(ledger.Snapshot, meta))
 		})
 		if err != nil {
 			return err
@@ -309,6 +331,7 @@ func runServe(args []string, out io.Writer) error {
 	leaseTTL := fs.Duration("lease-ttl", dist.DefaultLeaseTTL, "shard lease TTL (crashed workers' shards requeue after this)")
 	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/pprof and /fleet on this address while running")
 	quiet := fs.Bool("q", false, "suppress progress output")
+	attrOn := fs.Bool("attr", true, "aggregate the attribution ledger across the fleet (see `campaign attr`)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -346,12 +369,18 @@ func runServe(args []string, out io.Writer) error {
 	if *obsAddr != "" {
 		reg = obs.NewRegistry()
 	}
+	var ledger *attr.Ledger
+	var meta *attr.Meta
+	if *attrOn {
+		ledger, meta = buildLedger(golden)
+	}
 	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
 		Plan:      plan,
 		GoldenDyn: golden.DynInstrs,
 		LogPath:   *logPath,
 		LeaseTTL:  *leaseTTL,
 		Registry:  reg,
+		Ledger:    ledger,
 	})
 	if err != nil {
 		return err
@@ -362,6 +391,7 @@ func runServe(args []string, out io.Writer) error {
 	if *obsAddr != "" {
 		stop, err := startObs(*obsAddr, reg, out, func(srv *obs.Server) {
 			srv.HandleJSON("/fleet", func() (any, error) { return coord.Status(), nil })
+			srv.Handle("/attr", attr.Handler(ledger.Snapshot, meta))
 		})
 		if err != nil {
 			coord.Shutdown(context.Background())
@@ -422,6 +452,7 @@ func runWork(args []string, out io.Writer) error {
 	quiet := fs.Bool("q", false, "suppress progress output")
 	snap := fs.Bool("snapshot", true, "restore COW execution snapshots instead of replaying each run from scratch (auto-off under jittered plans)")
 	snapStride := fs.Int64("snapshot-stride", 0, "events between snapshots (0 = auto, ~sqrt(trace length))")
+	attrOn := fs.Bool("attr", true, "send per-shard attribution-ledger hashes with deliveries (cross-checks classifier skew)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -446,6 +477,10 @@ func runWork(args []string, out io.Writer) error {
 		DisableSnapshots: !*snap,
 		SnapshotStride:   *snapStride,
 	}
+	if *attrOn {
+		ledger, _ := buildLedger(golden)
+		cfg.Classifier = ledger.Classifier()
+	}
 	if !*quiet {
 		cfg.Progress = out
 	}
@@ -465,6 +500,92 @@ func runWork(args []string, out io.Writer) error {
 	ctx, cancel := interruptContext()
 	defer cancel()
 	return w.Run(ctx)
+}
+
+// buildLedger runs the ePVF analysis over the golden trace and returns
+// the attribution ledger plus the instruction metadata reports join in.
+func buildLedger(golden *interp.Result) (*attr.Ledger, *attr.Meta) {
+	a := epvf.AnalyzeTrace(golden.Trace, epvf.Config{})
+	return attr.NewLedger(attr.NewClassifier(a)), attr.NewMeta(golden.Trace)
+}
+
+// runAttr renders the attribution ledger of a finished (or merged) log:
+// text tables, JSON, or a self-contained HTML report. With -bench/-src the
+// ledger is recomputed exactly from the log's run records (so merged
+// distributed logs render identically to single-process ones); without a
+// module it falls back to the snapshot cached in the log.
+func runAttr(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("campaign attr", flag.ContinueOnError)
+	logPath := fs.String("log", "", "JSONL result log (required)")
+	benchName := fs.String("bench", "", "built-in benchmark name (recomputes the ledger from the log's records)")
+	srcPath := fs.String("src", "", "path to a MiniC source file (or .ll textual IR) instead")
+	scale := fs.Int("scale", 1, "benchmark input scale")
+	topN := fs.Int("top", 20, "instructions to list in the misprediction ranking")
+	asJSON := fs.Bool("json", false, "emit the full report as JSON")
+	htmlPath := fs.String("html", "", "write a self-contained HTML report to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" {
+		return fmt.Errorf("attr requires -log <path>")
+	}
+	d, err := campaign.ReadLogData(*logPath)
+	if err != nil {
+		return err
+	}
+	snap := d.Attr
+	var meta *attr.Meta
+	if *benchName != "" || *srcPath != "" {
+		m, err := loadModule(*benchName, *srcPath, *scale)
+		if err != nil {
+			return err
+		}
+		golden, err := interp.Run(m, interp.Config{Record: true})
+		if err != nil {
+			return fmt.Errorf("golden run: %w", err)
+		}
+		if n := golden.Trace.NumEvents(); n != d.Plan.TraceEvents {
+			return fmt.Errorf("attr: golden trace has %d events, log plan %s expects %d — wrong module or scale",
+				n, d.Plan.ID, d.Plan.TraceEvents)
+		}
+		ledger, lmeta := buildLedger(golden)
+		meta = lmeta
+		snap = attr.Collect(ledger.Classifier(), d.SortedRecords())
+	}
+	if snap == nil {
+		return fmt.Errorf("log %s carries no attribution snapshot (campaign ran with -attr=false?); pass -bench/-src to recompute it from the records", *logPath)
+	}
+	title := fmt.Sprintf("%s plan %s", d.Plan.Benchmark, d.Plan.ID)
+	if *htmlPath != "" {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			return err
+		}
+		if err := attr.WriteHTML(f, title, snap, meta); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "attr: wrote %s\n", *htmlPath)
+	}
+	r := attr.BuildReport(snap, meta)
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Hash    string           `json:"hash"`
+			Summary attr.SummaryJSON `json:"summary"`
+			Classes []attr.ClassJSON `json:"classes"`
+			Funcs   []attr.FuncJSON  `json:"funcs"`
+			Instrs  []attr.InstrJSON `json:"instrs"`
+		}{snap.Hash(), r.Summary, r.Classes, r.PerFunction(), r.Instrs})
+	}
+	if *htmlPath == "" {
+		fmt.Fprint(out, r.Text(*topN))
+	}
+	return nil
 }
 
 func loadModule(benchName, srcPath string, scale int) (*ir.Module, error) {

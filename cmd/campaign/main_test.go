@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -205,6 +206,109 @@ func TestServeWorkEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "60/60") {
 		t.Errorf("merged log incomplete:\n%s", out.String())
+	}
+}
+
+// TestAttrJSONByteIdenticalAcrossDistribution is the attribution
+// acceptance criterion at the CLI layer: `campaign attr -json` over a
+// merged multi-process log is byte-identical to the same command over a
+// single-process log of the plan.
+func TestAttrJSONByteIdenticalAcrossDistribution(t *testing.T) {
+	dir := t.TempDir()
+	common := []string{"-bench", "mm", "-runs", "60", "-shard-size", "20", "-jitter", "0", "-q"}
+
+	mono := filepath.Join(dir, "mono.jsonl")
+	var out strings.Builder
+	if err := run(append([]string{"run", "-log", mono}, common...), &out); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	// The "distributed" log: two independent sharded processes, merged —
+	// the same record-merge machinery the dist coordinator feeds.
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	if err := run(append([]string{"run", "-log", a, "-shards", "0,2"}, common...), &out); err != nil {
+		t.Fatalf("shard run a: %v", err)
+	}
+	if err := run(append([]string{"run", "-log", b, "-shards", "1"}, common...), &out); err != nil {
+		t.Fatalf("shard run b: %v", err)
+	}
+	merged := filepath.Join(dir, "merged.jsonl")
+	if err := run([]string{"merge", "-out", merged, a, b}, &out); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+
+	attrJSON := func(logPath string, extra ...string) string {
+		t.Helper()
+		var o strings.Builder
+		args := append([]string{"attr", "-json", "-log", logPath, "-bench", "mm"}, extra...)
+		if err := run(args, &o); err != nil {
+			t.Fatalf("attr -json %s: %v", logPath, err)
+		}
+		return o.String()
+	}
+	monoJSON := attrJSON(mono)
+	mergedJSON := attrJSON(merged)
+	if monoJSON != mergedJSON {
+		t.Errorf("attr -json diverges between single-process and merged logs\nmono:   %s\nmerged: %s",
+			monoJSON, mergedJSON)
+	}
+	var view struct {
+		Hash    string `json:"hash"`
+		Summary struct {
+			Runs int64 `json:"runs"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(monoJSON), &view); err != nil {
+		t.Fatalf("attr -json output is not JSON: %v\n%s", err, monoJSON)
+	}
+	if view.Hash == "" || view.Summary.Runs != 60 {
+		t.Errorf("attr -json hash=%q runs=%d, want non-empty hash and 60 runs", view.Hash, view.Summary.Runs)
+	}
+
+	// The single-process log carries a cached snapshot, so -bench is
+	// optional there — and the cached and recomputed hashes agree.
+	var cached strings.Builder
+	if err := run([]string{"attr", "-json", "-log", mono}, &cached); err != nil {
+		t.Fatalf("attr -json cached: %v", err)
+	}
+	var cview struct {
+		Hash string `json:"hash"`
+	}
+	if err := json.Unmarshal([]byte(cached.String()), &cview); err != nil {
+		t.Fatal(err)
+	}
+	if cview.Hash != view.Hash {
+		t.Errorf("cached snapshot hash %s != recomputed %s", cview.Hash, view.Hash)
+	}
+
+	// The merged log dropped the cached snapshots; without a module to
+	// recompute from, attr must explain itself.
+	if err := run([]string{"attr", "-log", merged}, &out); err == nil ||
+		!strings.Contains(err.Error(), "no attribution snapshot") {
+		t.Errorf("attr on merged log without -bench: err=%v, want no-snapshot explanation", err)
+	}
+
+	// Text and HTML renderings of the same ledger.
+	out.Reset()
+	if err := run([]string{"attr", "-log", mono, "-bench", "mm", "-top", "5"}, &out); err != nil {
+		t.Fatalf("attr text: %v", err)
+	}
+	if !strings.Contains(out.String(), "Attribution summary") ||
+		!strings.Contains(out.String(), "Outcomes by predicted bit-class") {
+		t.Errorf("attr text output missing tables:\n%s", out.String())
+	}
+	htmlPath := filepath.Join(dir, "attr.html")
+	out.Reset()
+	if err := run([]string{"attr", "-log", mono, "-bench", "mm", "-html", htmlPath}, &out); err != nil {
+		t.Fatalf("attr -html: %v", err)
+	}
+	html, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(html), "<!DOCTYPE html>") || !strings.Contains(string(html), "</html>") {
+		t.Errorf("attr.html is not a well-formed document (%d bytes)", len(html))
 	}
 }
 

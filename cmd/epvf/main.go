@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	epvf -bench mm [-scale 1] [-sample 0.1] [-per-instr 10]
+//	epvf -bench mm [-scale 1] [-sample 0.1] [-per-instr 10] [-classes]
 //	epvf -src kernel.c
 //
 // `-obs-addr host:port` serves /metrics and /debug/pprof while the
@@ -16,6 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/bits"
 	"os"
 	"sort"
 	"strings"
@@ -48,6 +49,7 @@ func run(args []string) error {
 	sample := fs.Float64("sample", 0, "also estimate ePVF from this fraction of the ACE graph (e.g. 0.1)")
 	perInstr := fs.Int("per-instr", 0, "print the N most SDC-prone static instructions by ePVF")
 	perFunc := fs.Bool("per-func", false, "print the per-function vulnerability breakdown")
+	classes := fs.Bool("classes", false, "print the bit-class census (crash-predicted / ACE / unACE bits per dynamic definition)")
 	printIR := fs.Bool("print-ir", false, "dump the compiled IR before analyzing")
 	saveTrace := fs.String("save-trace", "", "save the recorded golden trace to this file")
 	loadTrace := fs.String("load-trace", "", "analyze a previously saved trace instead of re-profiling")
@@ -175,6 +177,29 @@ func run(args []string) error {
 			*sample*100, est, a.EPVF())
 	}
 
+	if *classes {
+		// The census behind internal/attr's classifier: every dynamic
+		// definition's bits split into the paper's three ranges.
+		var crashBits, aceBits, unaceBits int64
+		for _, d := range a.DefClasses() {
+			nc := int64(bits.OnesCount64(d.CrashMask))
+			crashBits += nc
+			if d.ACE {
+				aceBits += int64(d.Width) - nc
+			} else {
+				unaceBits += int64(d.Width) - nc
+			}
+		}
+		total := crashBits + aceBits + unaceBits
+		ct := report.NewTable("\nBit-class census (dynamic definitions)",
+			"Class", "Bits", "Share")
+		ct.AddRow("crash-predicted", crashBits, report.Percent(share(crashBits, total)))
+		ct.AddRow("ACE (SDC-predicted)", aceBits, report.Percent(share(aceBits, total)))
+		ct.AddRow("unACE (benign-predicted)", unaceBits, report.Percent(share(unaceBits, total)))
+		ct.AddRow("total", total, report.Percent(1))
+		fmt.Print(ct.String())
+	}
+
 	if *perFunc {
 		ft := report.NewTable("\nPer-function vulnerability",
 			"Function", "Dyn instrs", "PVF", "ePVF")
@@ -215,6 +240,13 @@ func run(args []string) error {
 		fmt.Print("\n" + tracer.Summary())
 	}
 	return nil
+}
+
+func share(n, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
 }
 
 func loadModule(benchName, srcPath string, scale int) (*ir.Module, error) {

@@ -15,20 +15,28 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/attr"
 	"repro/internal/bench"
 	"repro/internal/epvf"
+	"repro/internal/fi"
+	"repro/internal/interp"
 	"repro/internal/obs"
 )
 
 // benchBaseline is one benchmark's traced analysis.
 type benchBaseline struct {
-	Benchmark string          `json:"benchmark"`
-	Domain    string          `json:"domain"`
-	DynInstrs int64           `json:"dyn_instrs"`
-	PVF       float64         `json:"pvf"`
-	EPVF      float64         `json:"epvf"`
-	Phases    []obs.PhaseStat `json:"phases"`
+	Benchmark string  `json:"benchmark"`
+	Domain    string  `json:"domain"`
+	DynInstrs int64   `json:"dyn_instrs"`
+	PVF       float64 `json:"pvf"`
+	EPVF      float64 `json:"epvf"`
+	// AttrNsPerRecord is the attribution-ledger ingest cost: nanoseconds
+	// per Observe over records synthesized from this benchmark's own
+	// definition events (machine-dependent, like the phase wall times).
+	AttrNsPerRecord float64         `json:"attr_ns_per_record"`
+	Phases          []obs.PhaseStat `json:"phases"`
 }
 
 type baseline struct {
@@ -44,6 +52,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "obsbench:", err)
 		os.Exit(1)
 	}
+}
+
+// measureAttrIngest times attribution-ledger ingestion for one analysis:
+// records are synthesized round-robin over the benchmark's definition
+// events and a spread of bits and outcomes, so the measurement exercises
+// the same classify-and-tally path a campaign does.
+func measureAttrIngest(a *epvf.Analysis) float64 {
+	defs := a.DefClasses()
+	if len(defs) == 0 {
+		return 0
+	}
+	l := attr.NewLedger(attr.NewClassifier(a))
+	outcomes := []fi.Outcome{fi.OutcomeBenign, fi.OutcomeCrash, fi.OutcomeSDC, fi.OutcomeHang}
+	recs := make([]fi.Record, 0, 4096)
+	for i := 0; len(recs) < cap(recs); i++ {
+		d := defs[i%len(defs)]
+		w := d.Width
+		if w <= 0 {
+			w = 1
+		}
+		rec := fi.Record{
+			Target:  fi.Target{Event: d.Event, Bit: i % w},
+			Outcome: outcomes[i%len(outcomes)],
+		}
+		if rec.Outcome == fi.OutcomeCrash {
+			rec.Exc = interp.ExcSegFault
+		}
+		recs = append(recs, rec)
+	}
+	const rounds = 100_000
+	n := 0
+	t0 := time.Now()
+	for n < rounds {
+		for _, r := range recs {
+			l.Observe(r)
+			n++
+		}
+	}
+	return float64(time.Since(t0).Nanoseconds()) / float64(n)
 }
 
 func run(args []string, out io.Writer) error {
@@ -84,12 +131,13 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("%s: %w", b.Name, err)
 		}
 		base.Benchmarks = append(base.Benchmarks, benchBaseline{
-			Benchmark: b.Name,
-			Domain:    b.Domain,
-			DynInstrs: golden.DynInstrs,
-			PVF:       a.PVF(),
-			EPVF:      a.EPVF(),
-			Phases:    tracer.Aggregate(),
+			Benchmark:       b.Name,
+			Domain:          b.Domain,
+			DynInstrs:       golden.DynInstrs,
+			PVF:             a.PVF(),
+			EPVF:            a.EPVF(),
+			AttrNsPerRecord: measureAttrIngest(a),
+			Phases:          tracer.Aggregate(),
 		})
 	}
 

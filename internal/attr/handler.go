@@ -1,0 +1,170 @@
+package attr
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/report"
+)
+
+// BitDetailJSON is one bit position of the ?instr= drill-down, with the
+// per-class split recovered from the snapshot cells.
+type BitDetailJSON struct {
+	Bit   int    `json:"bit"`
+	Class string `json:"class"`
+	N     int64  `json:"n"`
+	Mis   int64  `json:"mis"`
+}
+
+// Handler serves the /attr drill-down endpoint:
+//
+//	GET /attr                  summary + per-function + top instructions
+//	GET /attr?func=NAME        per-instruction rows of one function
+//	GET /attr?instr=ID         per-bit detail of one instruction
+//	GET /attr?...&format=text  plain-text tables instead of JSON
+//
+// src is called per request for a fresh snapshot (the live ledger's
+// Snapshot method); meta may be nil. A nil snapshot answers 503 (ledger
+// not enabled yet).
+func Handler(src func() *Snapshot, meta *Meta) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := src()
+		if s == nil {
+			http.Error(w, "attribution ledger not enabled", http.StatusServiceUnavailable)
+			return
+		}
+		r := BuildReport(s, meta)
+		asText := req.URL.Query().Get("format") == "text"
+		switch {
+		case req.URL.Query().Get("instr") != "":
+			id, err := strconv.Atoi(req.URL.Query().Get("instr"))
+			if err != nil {
+				http.Error(w, "bad instr parameter", http.StatusBadRequest)
+				return
+			}
+			serveInstr(w, s, r, meta, id, asText)
+		case req.URL.Query().Get("func") != "":
+			serveFunc(w, r, req.URL.Query().Get("func"), asText)
+		default:
+			serveSummary(w, s, r, asText)
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeText(w http.ResponseWriter, text string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, text)
+}
+
+// serveSummary is the top drill-down level: validation summary, classes,
+// per-function rollup and the top mispredicted instructions.
+func serveSummary(w http.ResponseWriter, s *Snapshot, r *Report, asText bool) {
+	if asText {
+		writeText(w, r.Text(20))
+		return
+	}
+	writeJSON(w, struct {
+		Hash    string      `json:"hash"`
+		Summary SummaryJSON `json:"summary"`
+		Classes []ClassJSON `json:"classes"`
+		Funcs   []FuncJSON  `json:"funcs"`
+		Top     []InstrJSON `json:"top"`
+	}{
+		Hash:    s.Hash(),
+		Summary: r.Summary,
+		Classes: r.Classes,
+		Funcs:   r.PerFunction(),
+		Top:     topInstrs(r, 20),
+	})
+}
+
+// serveFunc is the middle level: every instruction of one function.
+func serveFunc(w http.ResponseWriter, r *Report, fn string, asText bool) {
+	var rows []InstrJSON
+	for _, in := range r.Instrs {
+		if in.Func == fn {
+			rows = append(rows, in)
+		}
+	}
+	if asText {
+		t := report.NewTable(fmt.Sprintf("Attribution for @%s", fn),
+			"ID", "Runs", "Mis", "MisRate", "FP", "FN", "Over", "Under", "IR")
+		for _, in := range rows {
+			t.AddRow(in.Instr, in.Runs, in.Mispredicted, in.MisRate, in.Verdicts.CrashFP,
+				in.Verdicts.CrashFN, in.Verdicts.Overshoot, in.Verdicts.Undershoot, in.Text)
+		}
+		writeText(w, t.String())
+		return
+	}
+	writeJSON(w, struct {
+		Func   string      `json:"func"`
+		Instrs []InstrJSON `json:"instrs"`
+	}{Func: fn, Instrs: rows})
+}
+
+// serveInstr is the bottom level: one instruction's cells and per-bit
+// tallies, split by predicted class.
+func serveInstr(w http.ResponseWriter, s *Snapshot, r *Report, meta *Meta, id int, asText bool) {
+	var cells []CellJSON
+	var bits []BitDetailJSON
+	for i := range s.Cells {
+		cj := &s.Cells[i]
+		if cj.Instr != id {
+			continue
+		}
+		cells = append(cells, *cj)
+		for _, b := range cj.Bits {
+			bits = append(bits, BitDetailJSON{Bit: b.Bit, Class: cj.Class, N: b.N, Mis: b.Mis})
+		}
+	}
+	sort.Slice(bits, func(i, j int) bool {
+		if bits[i].Bit != bits[j].Bit {
+			return bits[i].Bit < bits[j].Bit
+		}
+		return bits[i].Class < bits[j].Class
+	})
+	var row *InstrJSON
+	for i := range r.Instrs {
+		if r.Instrs[i].Instr == id {
+			row = &r.Instrs[i]
+			break
+		}
+	}
+	if asText {
+		title := fmt.Sprintf("Attribution for instruction %d", id)
+		if im := meta.Get(id); im != nil {
+			title += " — " + im.Text
+		}
+		t := report.NewTable(title, "Bit", "Class", "N", "Mispredicted")
+		for _, b := range bits {
+			t.AddRow(b.Bit, b.Class, b.N, b.Mis)
+		}
+		writeText(w, t.String())
+		return
+	}
+	writeJSON(w, struct {
+		Instr *InstrJSON      `json:"instr,omitempty"`
+		Meta  *InstrMeta      `json:"meta,omitempty"`
+		Cells []CellJSON      `json:"cells"`
+		Bits  []BitDetailJSON `json:"bits"`
+	}{Instr: row, Meta: meta.Get(id), Cells: cells, Bits: bits})
+}
+
+// topInstrs returns the first n instruction rows (already sorted
+// most-mispredicted first).
+func topInstrs(r *Report, n int) []InstrJSON {
+	if len(r.Instrs) > n {
+		return r.Instrs[:n]
+	}
+	return r.Instrs
+}

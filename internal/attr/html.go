@@ -1,0 +1,103 @@
+package attr
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+)
+
+// heatmapInstrs caps how many instruction rows the heatmap renders.
+const heatmapInstrs = 32
+
+// WriteHTML renders the self-contained attribution report: the summary,
+// Figure-7-style validation tables, the top mispredicted instructions
+// and the bit-position x instruction misprediction heatmap. title names
+// the campaign (e.g. "lulesh plan ab12…").
+func WriteHTML(w io.Writer, title string, s *Snapshot, meta *Meta) error {
+	r := BuildReport(s, meta)
+	doc := report.NewHTMLDoc("ePVF attribution — " + title)
+	doc.AddParagraph(fmt.Sprintf(
+		"%d fault-injection runs joined against the model's per-bit predictions: "+
+			"crash precision %.1f%%, crash recall %.1f%%, overall prediction agreement %.1f%%.",
+		r.Summary.Runs, 100*r.Summary.CrashPrecision, 100*r.Summary.CrashRecall,
+		100*r.Summary.Agreement))
+
+	doc.AddHeading("Model validation")
+	doc.AddTable(r.SummaryTable())
+	doc.AddTable(r.ClassTable())
+
+	doc.AddHeading("Misprediction by function")
+	doc.AddTable(r.FuncTable())
+
+	doc.AddHeading("Most mispredicted instructions")
+	doc.AddTable(r.InstrTable(heatmapInstrs))
+
+	doc.AddHeading("Bit-position x instruction heatmap")
+	doc.AddParagraph("Shade is the misprediction rate of injections into that bit of that " +
+		"instruction's defined register (white: all predictions agreed; red: all mispredicted; " +
+		"blank: never targeted). Hover a cell for counts.")
+	doc.AddHeatmap(buildHeatmap(r, s, meta))
+	return doc.Render(w)
+}
+
+// buildHeatmap aggregates the per-bit tallies of the top mispredicted
+// instructions across bit-classes into a report.Heatmap.
+func buildHeatmap(r *Report, s *Snapshot, meta *Meta) *report.Heatmap {
+	rows := r.Instrs
+	if len(rows) > heatmapInstrs {
+		rows = rows[:heatmapInstrs]
+	}
+	type bitAgg struct{ n, mis [64]int64 }
+	byInstr := make(map[int]*bitAgg, len(rows))
+	for _, in := range rows {
+		byInstr[in.Instr] = &bitAgg{}
+	}
+	maxBit := 0
+	for i := range s.Cells {
+		cj := &s.Cells[i]
+		agg := byInstr[cj.Instr]
+		if agg == nil {
+			continue
+		}
+		for _, b := range cj.Bits {
+			if b.Bit < 0 || b.Bit >= 64 {
+				continue
+			}
+			agg.n[b.Bit] += b.N
+			agg.mis[b.Bit] += b.Mis
+			if b.Bit > maxBit {
+				maxBit = b.Bit
+			}
+		}
+	}
+	hm := &report.Heatmap{Title: fmt.Sprintf("Misprediction rate, top %d instructions, bits 0–%d", len(rows), maxBit)}
+	for b := 0; b <= maxBit; b++ {
+		if b%8 == 0 {
+			hm.Cols = append(hm.Cols, fmt.Sprintf("%d", b))
+		} else {
+			hm.Cols = append(hm.Cols, "")
+		}
+	}
+	for _, in := range rows {
+		agg := byInstr[in.Instr]
+		label := fmt.Sprintf("#%d", in.Instr)
+		if in.Func != "" {
+			label = fmt.Sprintf("#%d @%s", in.Instr, in.Func)
+		}
+		row := report.HeatmapRow{Label: label}
+		for b := 0; b <= maxBit; b++ {
+			cell := report.HeatmapCell{}
+			if agg.n[b] > 0 {
+				cell.Filled = true
+				cell.Value = float64(agg.mis[b]) / float64(agg.n[b])
+				cell.Text = fmt.Sprintf("instr %d bit %d: %d/%d mispredicted", in.Instr, b, agg.mis[b], agg.n[b])
+			} else {
+				cell.Text = fmt.Sprintf("instr %d bit %d: no injections", in.Instr, b)
+			}
+			row.Cells = append(row.Cells, cell)
+		}
+		hm.Rows = append(hm.Rows, row)
+	}
+	return hm
+}

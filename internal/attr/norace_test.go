@@ -1,0 +1,5 @@
+//go:build !race
+
+package attr_test
+
+const raceEnabled = false

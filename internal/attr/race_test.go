@@ -1,0 +1,8 @@
+//go:build race
+
+package attr_test
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; the disabled-path overhead bound is about production cost, so
+// its test skips itself under instrumentation.
+const raceEnabled = true

@@ -1,0 +1,304 @@
+package attr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fi"
+	"repro/internal/report"
+)
+
+// VerdictJSON tallies verdicts.
+type VerdictJSON struct {
+	Agree      int64 `json:"agree"`
+	CrashFP    int64 `json:"crash_fp"`
+	CrashFN    int64 `json:"crash_fn"`
+	Overshoot  int64 `json:"overshoot"`
+	Undershoot int64 `json:"undershoot"`
+}
+
+// Mispredicted returns the non-agreement total.
+func (v VerdictJSON) Mispredicted() int64 {
+	return v.CrashFP + v.CrashFN + v.Overshoot + v.Undershoot
+}
+
+// add tallies a cell's outcomes under its class's verdict mapping.
+func (v *VerdictJSON) add(class BitClass, c *CellJSON) {
+	for _, o := range fi.FailureOutcomes {
+		n := c.Outcome(o)
+		if n == 0 {
+			continue
+		}
+		switch Judge(class, o) {
+		case VerdictAgree:
+			v.Agree += n
+		case VerdictCrashFP:
+			v.CrashFP += n
+		case VerdictCrashFN:
+			v.CrashFN += n
+		case VerdictOvershoot:
+			v.Overshoot += n
+		case VerdictUndershoot:
+			v.Undershoot += n
+		}
+	}
+}
+
+// ClassJSON is one predicted bit-class's aggregate row — the paper's
+// Figure-7 comparison restated: what the model called this bit range,
+// versus what injection into it actually did.
+type ClassJSON struct {
+	Class    string      `json:"class"`
+	Runs     int64       `json:"runs"`
+	Benign   int64       `json:"benign"`
+	Crash    int64       `json:"crash"`
+	SDC      int64       `json:"sdc"`
+	Hang     int64       `json:"hang"`
+	Detected int64       `json:"detected"`
+	Verdicts VerdictJSON `json:"verdicts"`
+}
+
+// InstrJSON is one static instruction's attribution row.
+type InstrJSON struct {
+	Instr   int     `json:"instr"`
+	Func    string  `json:"func,omitempty"`
+	Text    string  `json:"text,omitempty"`
+	Dynamic int64   `json:"dynamic,omitempty"`
+	FanOut  float64 `json:"fan_out,omitempty"`
+
+	Runs         int64       `json:"runs"`
+	Crash        int64       `json:"crash"`
+	SDC          int64       `json:"sdc"`
+	Verdicts     VerdictJSON `json:"verdicts"`
+	Mispredicted int64       `json:"mispredicted"`
+	// MisRate is Mispredicted/Runs.
+	MisRate float64 `json:"mis_rate"`
+}
+
+// SummaryJSON is the report's headline model-validation numbers (§IV-B
+// restated from FI ground truth instead of targeted probes).
+type SummaryJSON struct {
+	Runs    int64 `json:"runs"`
+	Unknown int64 `json:"unknown,omitempty"`
+	// CrashPrecision: of runs injected into crash-predicted bits, the
+	// fraction that crashed. CrashRecall: of runs that crashed, the
+	// fraction injected into crash-predicted bits.
+	CrashPrecision float64 `json:"crash_precision"`
+	CrashRecall    float64 `json:"crash_recall"`
+	// Observed campaign rates.
+	ObservedCrashRate float64 `json:"observed_crash_rate"`
+	ObservedSDCRate   float64 `json:"observed_sdc_rate"`
+	// Predicted bit-range shares among classified runs.
+	PredictedCrashShare float64 `json:"predicted_crash_share"`
+	PredictedACEShare   float64 `json:"predicted_ace_share"`
+	// Agreement is the fraction of classified runs whose verdict agreed.
+	Agreement float64 `json:"agreement"`
+}
+
+// FuncJSON aggregates the attribution per function (the top level of the
+// /attr drill-down).
+type FuncJSON struct {
+	Func         string  `json:"func"`
+	Instrs       int     `json:"instrs"`
+	Runs         int64   `json:"runs"`
+	Mispredicted int64   `json:"mispredicted"`
+	MisRate      float64 `json:"mis_rate"`
+}
+
+// Report is the finalize-time join of a ledger snapshot with static
+// instruction metadata, ready for the CLI, the /attr endpoint and the
+// HTML renderer.
+type Report struct {
+	Summary SummaryJSON `json:"summary"`
+	Classes []ClassJSON `json:"classes"`
+	// Instrs is sorted most-mispredicted first (ties: more runs, then
+	// lower ID).
+	Instrs []InstrJSON `json:"instrs"`
+}
+
+// BuildReport joins a snapshot with optional metadata (nil meta leaves
+// Func/Text/Dynamic/FanOut empty — the module wasn't available).
+func BuildReport(s *Snapshot, meta *Meta) *Report {
+	r := &Report{Summary: SummaryJSON{Runs: s.Runs, Unknown: s.Unknown}}
+	byClass := make(map[BitClass]*ClassJSON)
+	for _, cl := range Classes {
+		byClass[cl] = &ClassJSON{Class: cl.String()}
+	}
+	byInstr := make(map[int]*InstrJSON)
+	var classified, crashes, crashPredCrashes, agree int64
+	for i := range s.Cells {
+		cj := &s.Cells[i]
+		class, ok := ParseClass(cj.Class)
+		if !ok {
+			continue
+		}
+		runs := cj.Runs()
+		classified += runs
+		crashes += cj.Crash
+		cr := byClass[class]
+		cr.Runs += runs
+		cr.Benign += cj.Benign
+		cr.Crash += cj.Crash
+		cr.SDC += cj.SDC
+		cr.Hang += cj.Hang
+		cr.Detected += cj.Detected
+		cr.Verdicts.add(class, cj)
+
+		ir := byInstr[cj.Instr]
+		if ir == nil {
+			ir = &InstrJSON{Instr: cj.Instr}
+			if im := meta.Get(cj.Instr); im != nil {
+				ir.Func = im.Func
+				ir.Text = im.Text
+				ir.Dynamic = im.Dynamic
+				ir.FanOut = im.FanOut
+			}
+			byInstr[cj.Instr] = ir
+		}
+		ir.Runs += runs
+		ir.Crash += cj.Crash
+		ir.SDC += cj.SDC
+		ir.Verdicts.add(class, cj)
+	}
+	for _, cl := range Classes {
+		r.Classes = append(r.Classes, *byClass[cl])
+	}
+	cp := byClass[ClassCrash]
+	crashPredCrashes = cp.Crash
+	agree = cp.Verdicts.Agree + byClass[ClassACE].Verdicts.Agree + byClass[ClassUnACE].Verdicts.Agree
+
+	sum := &r.Summary
+	if cp.Runs > 0 {
+		sum.CrashPrecision = float64(crashPredCrashes) / float64(cp.Runs)
+	}
+	if crashes > 0 {
+		sum.CrashRecall = float64(crashPredCrashes) / float64(crashes)
+	}
+	if classified > 0 {
+		sum.ObservedCrashRate = float64(crashes) / float64(classified)
+		var sdc int64
+		for _, cl := range r.Classes {
+			sdc += cl.SDC
+		}
+		sum.ObservedSDCRate = float64(sdc) / float64(classified)
+		sum.PredictedCrashShare = float64(cp.Runs) / float64(classified)
+		sum.PredictedACEShare = float64(byClass[ClassACE].Runs) / float64(classified)
+		sum.Agreement = float64(agree) / float64(classified)
+	}
+
+	for _, ir := range byInstr {
+		ir.Mispredicted = ir.Verdicts.Mispredicted()
+		if ir.Runs > 0 {
+			ir.MisRate = float64(ir.Mispredicted) / float64(ir.Runs)
+		}
+		r.Instrs = append(r.Instrs, *ir)
+	}
+	sort.Slice(r.Instrs, func(i, j int) bool {
+		a, b := &r.Instrs[i], &r.Instrs[j]
+		if a.Mispredicted != b.Mispredicted {
+			return a.Mispredicted > b.Mispredicted
+		}
+		if a.Runs != b.Runs {
+			return a.Runs > b.Runs
+		}
+		return a.Instr < b.Instr
+	})
+	return r
+}
+
+// PerFunction rolls the instruction rows up by function name (empty name
+// groups instructions with no metadata), sorted most-mispredicted first.
+func (r *Report) PerFunction() []FuncJSON {
+	byFn := make(map[string]*FuncJSON)
+	for i := range r.Instrs {
+		in := &r.Instrs[i]
+		f := byFn[in.Func]
+		if f == nil {
+			f = &FuncJSON{Func: in.Func}
+			byFn[in.Func] = f
+		}
+		f.Instrs++
+		f.Runs += in.Runs
+		f.Mispredicted += in.Mispredicted
+	}
+	out := make([]FuncJSON, 0, len(byFn))
+	for _, f := range byFn {
+		if f.Runs > 0 {
+			f.MisRate = float64(f.Mispredicted) / float64(f.Runs)
+		}
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mispredicted != out[j].Mispredicted {
+			return out[i].Mispredicted > out[j].Mispredicted
+		}
+		return out[i].Func < out[j].Func
+	})
+	return out
+}
+
+// SummaryTable renders the headline numbers as a report table.
+func (r *Report) SummaryTable() *report.Table {
+	t := report.NewTable("Attribution summary", "Metric", "Value")
+	t.AddRow("runs", r.Summary.Runs)
+	if r.Summary.Unknown > 0 {
+		t.AddRow("unclassified runs", r.Summary.Unknown)
+	}
+	t.AddRow("crash precision", report.Percent(r.Summary.CrashPrecision))
+	t.AddRow("crash recall", report.Percent(r.Summary.CrashRecall))
+	t.AddRow("observed crash rate", report.Percent(r.Summary.ObservedCrashRate))
+	t.AddRow("observed SDC rate", report.Percent(r.Summary.ObservedSDCRate))
+	t.AddRow("predicted crash share", report.Percent(r.Summary.PredictedCrashShare))
+	t.AddRow("predicted ACE share", report.Percent(r.Summary.PredictedACEShare))
+	t.AddRow("prediction agreement", report.Percent(r.Summary.Agreement))
+	return t
+}
+
+// ClassTable renders the per-class validation rows (Figure-7 style).
+func (r *Report) ClassTable() *report.Table {
+	t := report.NewTable("Outcomes by predicted bit-class",
+		"Class", "Runs", "Benign", "Crash", "SDC", "Hang", "Detected", "Agree", "Mispredicted")
+	for _, c := range r.Classes {
+		t.AddRow(c.Class, c.Runs, c.Benign, c.Crash, c.SDC, c.Hang, c.Detected,
+			c.Verdicts.Agree, c.Verdicts.Mispredicted())
+	}
+	return t
+}
+
+// InstrTable renders the top-N mispredicted instructions, with IR text
+// and DDG fan-out when metadata is present.
+func (r *Report) InstrTable(topN int) *report.Table {
+	rows := r.Instrs
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	t := report.NewTable(fmt.Sprintf("Top %d mispredicted instructions", len(rows)),
+		"ID", "Func", "Runs", "Mis", "MisRate", "FP", "FN", "Over", "Under", "FanOut", "IR")
+	for _, in := range rows {
+		t.AddRow(in.Instr, in.Func, in.Runs, in.Mispredicted, in.MisRate,
+			in.Verdicts.CrashFP, in.Verdicts.CrashFN, in.Verdicts.Overshoot,
+			in.Verdicts.Undershoot, in.FanOut, in.Text)
+	}
+	return t
+}
+
+// FuncTable renders the per-function rollup.
+func (r *Report) FuncTable() *report.Table {
+	t := report.NewTable("Misprediction by function",
+		"Func", "Instrs", "Runs", "Mispredicted", "MisRate")
+	for _, f := range r.PerFunction() {
+		name := f.Func
+		if name == "" {
+			name = "(unknown)"
+		}
+		t.AddRow(name, f.Instrs, f.Runs, f.Mispredicted, f.MisRate)
+	}
+	return t
+}
+
+// Text renders the full plain-text report (summary, classes, functions,
+// top-N instructions).
+func (r *Report) Text(topN int) string {
+	return r.SummaryTable().String() + "\n" + r.ClassTable().String() + "\n" +
+		r.FuncTable().String() + "\n" + r.InstrTable(topN).String()
+}

@@ -1,0 +1,201 @@
+package attr
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/fi"
+	"repro/internal/interp"
+)
+
+// BitCellJSON is one bit position's tally inside a cell: N observations
+// whose fault flipped this bit, Mis of them mispredicted. Bits with N=0
+// are omitted (sparse).
+type BitCellJSON struct {
+	Bit int   `json:"bit"`
+	N   int64 `json:"n"`
+	Mis int64 `json:"mis,omitempty"`
+}
+
+// CellJSON is the canonical wire form of one (instruction, class) cell.
+// Every numeric field is a plain sum, so cells merge by field-wise
+// addition.
+type CellJSON struct {
+	Instr int    `json:"instr"`
+	Class string `json:"class"`
+	// Outcome tallies.
+	Benign   int64 `json:"benign,omitempty"`
+	Crash    int64 `json:"crash,omitempty"`
+	SDC      int64 `json:"sdc,omitempty"`
+	Hang     int64 `json:"hang,omitempty"`
+	Detected int64 `json:"detected,omitempty"`
+	// Crash exception kinds (Table I).
+	Segfault   int64 `json:"segfault,omitempty"`
+	Abort      int64 `json:"abort,omitempty"`
+	Misaligned int64 `json:"misaligned,omitempty"`
+	Arith      int64 `json:"arith,omitempty"`
+	// Bits is the per-bit drill-down, sorted by bit position.
+	Bits []BitCellJSON `json:"bits,omitempty"`
+}
+
+// Runs returns the cell's observation count.
+func (c *CellJSON) Runs() int64 {
+	return c.Benign + c.Crash + c.SDC + c.Hang + c.Detected
+}
+
+// Outcome returns the tally for one outcome kind.
+func (c *CellJSON) Outcome(o fi.Outcome) int64 {
+	switch o {
+	case fi.OutcomeBenign:
+		return c.Benign
+	case fi.OutcomeCrash:
+		return c.Crash
+	case fi.OutcomeSDC:
+		return c.SDC
+	case fi.OutcomeHang:
+		return c.Hang
+	case fi.OutcomeDetected:
+		return c.Detected
+	}
+	return 0
+}
+
+// Mispredicted returns how many of the cell's observations drew a
+// non-agreement verdict (a pure function of the class and outcome
+// tallies, so it survives merging exactly).
+func (c *CellJSON) Mispredicted() int64 {
+	class, ok := ParseClass(c.Class)
+	if !ok {
+		return 0
+	}
+	var n int64
+	for _, o := range fi.FailureOutcomes {
+		if Judge(class, o) != VerdictAgree {
+			n += c.Outcome(o)
+		}
+	}
+	return n
+}
+
+// Snapshot is a frozen, mergeable, canonically-ordered ledger: cells
+// sorted by (instruction, class), bit tallies sorted by position. Equal
+// record multisets produce byte-identical marshalled snapshots, which is
+// what the content hash and the distributed bit-identity tests rely on.
+type Snapshot struct {
+	// Runs counts every observed record, Unknown the subset whose target
+	// could not be classified (absent from the cells).
+	Runs    int64      `json:"runs"`
+	Unknown int64      `json:"unknown,omitempty"`
+	Cells   []CellJSON `json:"cells"`
+}
+
+// snapshotCells freezes a cell table into canonical order.
+func snapshotCells(cells map[Key]*cell, runs, unknown int64) *Snapshot {
+	keys := make([]Key, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Instr != keys[j].Instr {
+			return keys[i].Instr < keys[j].Instr
+		}
+		return keys[i].Class < keys[j].Class
+	})
+	s := &Snapshot{Runs: runs, Unknown: unknown, Cells: make([]CellJSON, 0, len(keys))}
+	for _, k := range keys {
+		c := cells[k]
+		cj := CellJSON{
+			Instr:      k.Instr,
+			Class:      k.Class.String(),
+			Benign:     c.outcomes[fi.OutcomeBenign],
+			Crash:      c.outcomes[fi.OutcomeCrash],
+			SDC:        c.outcomes[fi.OutcomeSDC],
+			Hang:       c.outcomes[fi.OutcomeHang],
+			Detected:   c.outcomes[fi.OutcomeDetected],
+			Segfault:   c.exc[interp.ExcSegFault],
+			Abort:      c.exc[interp.ExcAbort],
+			Misaligned: c.exc[interp.ExcMisaligned],
+			Arith:      c.exc[interp.ExcArith],
+		}
+		for b := 0; b < 64; b++ {
+			if c.bitN[b] != 0 {
+				cj.Bits = append(cj.Bits, BitCellJSON{Bit: b, N: c.bitN[b], Mis: c.bitMis[b]})
+			}
+		}
+		s.Cells = append(s.Cells, cj)
+	}
+	return s
+}
+
+// addJSON accumulates a wire cell into an in-memory cell.
+func (c *cell) addJSON(cj *CellJSON) {
+	c.outcomes[fi.OutcomeBenign] += cj.Benign
+	c.outcomes[fi.OutcomeCrash] += cj.Crash
+	c.outcomes[fi.OutcomeSDC] += cj.SDC
+	c.outcomes[fi.OutcomeHang] += cj.Hang
+	c.outcomes[fi.OutcomeDetected] += cj.Detected
+	c.exc[interp.ExcSegFault] += cj.Segfault
+	c.exc[interp.ExcAbort] += cj.Abort
+	c.exc[interp.ExcMisaligned] += cj.Misaligned
+	c.exc[interp.ExcArith] += cj.Arith
+	for _, b := range cj.Bits {
+		if b.Bit >= 0 && b.Bit < 64 {
+			c.bitN[b.Bit] += b.N
+			c.bitMis[b.Bit] += b.Mis
+		}
+	}
+}
+
+// Merge folds snapshots into one by field-wise integer addition. The
+// operation is associative and commutative — merge(a, merge(b, c)) equals
+// merge(merge(a, b), c) cell for cell — so any aggregation tree over the
+// same underlying records (per-shard, per-worker, or one streaming pass)
+// produces byte-identical results. Nil inputs are skipped; merging
+// nothing yields an empty snapshot.
+func Merge(snaps ...*Snapshot) *Snapshot {
+	cells := make(map[Key]*cell)
+	var runs, unknown int64
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		runs += s.Runs
+		unknown += s.Unknown
+		for i := range s.Cells {
+			cj := &s.Cells[i]
+			class, ok := ParseClass(cj.Class)
+			if !ok {
+				continue
+			}
+			c := cells[Key{Instr: cj.Instr, Class: class}]
+			if c == nil {
+				c = &cell{}
+				cells[Key{Instr: cj.Instr, Class: class}] = c
+			}
+			c.addJSON(cj)
+		}
+	}
+	return snapshotCells(cells, runs, unknown)
+}
+
+// Hash returns the snapshot's content hash: sha256 over a domain prefix
+// plus the canonical JSON encoding, truncated to 16 hex characters (the
+// same discipline as campaign.ShardHash). Equal tallies hash equal
+// regardless of how they were aggregated.
+func (s *Snapshot) Hash() string {
+	if s == nil {
+		return ""
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "epvf-attr-v1\n")
+	enc, err := json.Marshal(s)
+	if err != nil {
+		// Snapshot marshalling cannot fail (plain structs); keep the
+		// signature infallible.
+		panic(err)
+	}
+	h.Write(enc)
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/attr"
 	"repro/internal/fi"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -50,6 +51,11 @@ type RunOptions struct {
 	// enables them with automatic stride. Snapshots cannot change
 	// results — only their cost — so they are not part of plan identity.
 	Snapshot SnapshotOptions
+	// Ledger, when non-nil, receives every record (executed and replayed)
+	// for prediction-vs-ground-truth attribution; its snapshot is appended
+	// to the log at checkpoints so `campaign attr` and /attr work without
+	// re-analysing the module. Like snapshots, it cannot change results.
+	Ledger *attr.Ledger
 }
 
 // SnapshotOptions controls snapshot-accelerated execution.
@@ -130,6 +136,9 @@ func Run(ctx context.Context, m *ir.Module, golden *interp.Result, plan *Plan, o
 			return nil, err
 		}
 	}
+	if opts.Ledger != nil {
+		runner.SetObserver(opts.Ledger.Observe)
+	}
 
 	st := &state{
 		plan:    plan,
@@ -160,6 +169,14 @@ func Run(ctx context.Context, m *ir.Module, golden *interp.Result, plan *Plan, o
 		defer w.close()
 	}
 	replayed := int64(len(st.records))
+	if opts.Ledger != nil {
+		// Replayed records feed the ledger too, so resume/replay converges
+		// on the same tallies as an uninterrupted run (observation order is
+		// irrelevant: every cell field is a commutative sum).
+		for _, rec := range st.records {
+			opts.Ledger.Observe(rec)
+		}
+	}
 
 	minRuns := opts.MinRuns
 	if minRuns <= 0 {
@@ -275,6 +292,15 @@ func Run(ctx context.Context, m *ir.Module, golden *interp.Result, plan *Plan, o
 		// Make everything executed so far durable before handing back a
 		// resumable partial result.
 		if err := mon.timedCheckpoint(w); err != nil {
+			return nil, err
+		}
+	}
+
+	if w != nil && opts.Ledger != nil {
+		if err := w.append(logRecord{Kind: kindAttr, Attr: opts.Ledger.Snapshot()}); err != nil {
+			return nil, err
+		}
+		if err := w.checkpoint(); err != nil {
 			return nil, err
 		}
 	}

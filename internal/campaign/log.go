@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 
+	"repro/internal/attr"
 	"repro/internal/fi"
 	"repro/internal/interp"
 )
@@ -20,6 +22,11 @@ const (
 	kindRun       = "run"
 	kindShardDone = "shard_done"
 	kindStop      = "stop"
+	// kindAttr carries an attribution-ledger snapshot (appended at
+	// checkpoint/finish time; on replay the last one wins). It is a
+	// convenience cache: `campaign attr` can always recompute the ledger
+	// from the run records when the module is available.
+	kindAttr = "attr"
 )
 
 // logRecord is the envelope for every JSONL line.
@@ -40,6 +47,8 @@ type logRecord struct {
 	Done   int64  `json:"done,omitempty"`
 	Saved  int64  `json:"saved,omitempty"`
 	Reason string `json:"reason,omitempty"`
+	// attr
+	Attr *attr.Snapshot `json:"attr,omitempty"`
 }
 
 func runToLog(index int64, rec fi.Record) logRecord {
@@ -134,6 +143,8 @@ type replay struct {
 	Stopped bool
 	Saved   int64
 	Reason  string
+	// Attr is the last attribution snapshot in the log, if any.
+	Attr *attr.Snapshot
 }
 
 // readLog parses a campaign log. A trailing partial line (torn write from
@@ -181,6 +192,8 @@ func readLog(path string) (*replay, error) {
 			rp.Stopped = true
 			rp.Saved = rec.Saved
 			rp.Reason = rec.Reason
+		case kindAttr:
+			rp.Attr = rec.Attr
 		default:
 			return nil, fmt.Errorf("campaign: %s:%d: unknown record kind %q", path, line, rec.Kind)
 		}
@@ -192,6 +205,50 @@ func readLog(path string) (*replay, error) {
 		return nil, fmt.Errorf("campaign: log %s has no plan header", path)
 	}
 	return rp, nil
+}
+
+// LogData is the exported view of a parsed campaign log, for tools (like
+// `campaign attr`) that consume logs outside the engine.
+type LogData struct {
+	Plan *Plan
+	// Records maps run index to its result for every logged run.
+	Records map[int64]fi.Record
+	// Attr is the last persisted attribution snapshot, nil when the
+	// campaign ran without a ledger.
+	Attr    *attr.Snapshot
+	Stopped bool
+	Saved   int64
+	Reason  string
+}
+
+// ReadLogData parses a campaign log into its exported form.
+func ReadLogData(path string) (*LogData, error) {
+	rp, err := readLog(path)
+	if err != nil {
+		return nil, err
+	}
+	return &LogData{
+		Plan:    rp.Plan,
+		Records: rp.Records,
+		Attr:    rp.Attr,
+		Stopped: rp.Stopped,
+		Saved:   rp.Saved,
+		Reason:  rp.Reason,
+	}, nil
+}
+
+// SortedRecords returns the log's records in run-index order.
+func (d *LogData) SortedRecords() []fi.Record {
+	idxs := make([]int64, 0, len(d.Records))
+	for i := range d.Records {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	out := make([]fi.Record, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, d.Records[i])
+	}
+	return out
 }
 
 // moreData reports whether the scanner still has content after the current
@@ -222,6 +279,11 @@ func (rp *replay) shardComplete(p *Plan, i int) bool {
 // by index. A duplicate whose content *differs* is rejected loudly, since
 // identical plans must produce identical records; silent double-counting
 // is impossible either way. Returns the merged status.
+//
+// Attribution snapshots in the inputs are dropped rather than merged:
+// input logs may cover overlapping record sets, and a cached ledger says
+// nothing about which records produced it — `campaign attr` recomputes
+// the ledger from the merged run records, which is always exact.
 func MergeLogs(out string, inputs []string) (*Status, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("campaign: merge needs at least one input log")

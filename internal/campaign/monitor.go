@@ -189,10 +189,7 @@ func (m *Monitor) statusLocked(now time.Time) *StatusJSON {
 	n := int(s.Done)
 	for _, o := range fi.FailureOutcomes {
 		c := snap.Counter("epvf_campaign_runs_total", "id", id, "outcome", o.String())
-		p := stats.Proportion{Successes: int(c), N: n}
-		s.Outcomes = append(s.Outcomes, OutcomeJSON{
-			Outcome: o.String(), Count: c, Rate: p.Rate(), CIHalfWidth: p.HalfWidth(),
-		})
+		s.Outcomes = append(s.Outcomes, outcomeJSON(o, c, n))
 	}
 	if m.snapSrc != nil {
 		s.Snapshot = m.snapSrc()
@@ -276,6 +273,21 @@ type OutcomeJSON struct {
 	Count       int64   `json:"count"`
 	Rate        float64 `json:"rate"`
 	CIHalfWidth float64 `json:"ci_half_width"`
+}
+
+// outcomeJSON builds one tally row, guarding the n == 0 case: before any
+// run completes there is no rate to estimate, so both the rate and the CI
+// half-width render as 0 rather than the vacuous (0, 1) Wilson interval.
+// Both status paths (live Monitor, cold log) share it so they can never
+// disagree on the degenerate case.
+func outcomeJSON(o fi.Outcome, count int64, n int) OutcomeJSON {
+	out := OutcomeJSON{Outcome: o.String(), Count: count}
+	if n > 0 {
+		p := stats.Proportion{Successes: int(count), N: n}
+		out.Rate = p.Rate()
+		out.CIHalfWidth = p.HalfWidth()
+	}
+	return out
 }
 
 // progressLine renders the one-line periodic progress report.

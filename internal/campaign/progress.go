@@ -81,10 +81,7 @@ func (s *Status) JSON() *StatusJSON {
 	}
 	n := int(s.Done)
 	for _, o := range fi.FailureOutcomes {
-		p := stats.Proportion{Successes: s.Counts[o], N: n}
-		out.Outcomes = append(out.Outcomes, OutcomeJSON{
-			Outcome: o.String(), Count: int64(s.Counts[o]), Rate: p.Rate(), CIHalfWidth: p.HalfWidth(),
-		})
+		out.Outcomes = append(out.Outcomes, outcomeJSON(o, int64(s.Counts[o]), n))
 	}
 	return out
 }

@@ -7,6 +7,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/attr"
 	"repro/internal/fi"
 	"repro/internal/interp"
 )
@@ -120,6 +121,18 @@ func (l *DurableLog) AppendShard(shard int, recs []RunRec) error {
 		}
 	}
 	if err := l.w.append(logRecord{Kind: kindShardDone, Shard: shard}); err != nil {
+		return err
+	}
+	return l.w.checkpoint()
+}
+
+// AppendAttr durably records an attribution-ledger snapshot. The log may
+// carry several (one per checkpoint); replay keeps the last.
+func (l *DurableLog) AppendAttr(s *attr.Snapshot) error {
+	if s == nil {
+		return nil
+	}
+	if err := l.w.append(logRecord{Kind: kindAttr, Attr: s}); err != nil {
 		return err
 	}
 	return l.w.checkpoint()

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/attr"
 	"repro/internal/campaign"
 	"repro/internal/fi"
 	"repro/internal/obs"
@@ -45,6 +46,14 @@ type CoordinatorConfig struct {
 	// Registry receives fleet metrics (labeled id=<plan ID>); nil
 	// disables them.
 	Registry *obs.Registry
+	// Ledger, when non-nil, accumulates prediction-vs-ground-truth
+	// attribution: each merged shard's records are classified into a
+	// per-shard snapshot and absorbed exactly once (duplicate deliveries
+	// are dropped before absorption, so requeue/redelivery never
+	// double-counts). Workers carrying a classifier also send their own
+	// ledger hash, which must match ours — classifier skew is rejected as
+	// loudly as record skew.
+	Ledger *attr.Ledger
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
 }
@@ -102,6 +111,15 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 				recs = append(recs, campaign.NewRunRec(idx, rec))
 			}
 			c.table.markDone(shard, campaign.ShardHash(cfg.Plan.ID, shard, recs))
+		}
+		if cfg.Ledger != nil && len(c.records) > 0 {
+			// Seed the ledger from the replayed shards so a restarted
+			// coordinator's attribution matches an uninterrupted run.
+			recs := make([]fi.Record, 0, len(c.records))
+			for _, rec := range c.records {
+				recs = append(recs, rec)
+			}
+			cfg.Ledger.Absorb(attr.Collect(cfg.Ledger.Classifier(), recs))
 		}
 	}
 	c.mux = http.NewServeMux()
@@ -189,6 +207,10 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 	}
 	return err
 }
+
+// Ledger returns the attribution ledger the coordinator absorbs shard
+// snapshots into (nil when attribution is disabled).
+func (c *Coordinator) Ledger() *attr.Ledger { return c.cfg.Ledger }
 
 // Status snapshots the fleet state.
 func (c *Coordinator) Status() Status {
@@ -351,6 +373,24 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("shard %d content hash %s does not match claimed %q", shard, hash, claimed), http.StatusConflict)
 		return
 	}
+	// The attribution contribution is classified here, from the verified
+	// records, regardless of who computed it first: a worker that also
+	// carries the classifier sends its own ledger hash (lhash), and a
+	// mismatch means model/classifier skew — rejected before the shard can
+	// complete, like any other divergence.
+	var lsnap *attr.Snapshot
+	if c.cfg.Ledger != nil {
+		frecs := make([]fi.Record, len(recs))
+		for i, rr := range recs {
+			frecs[i] = rr.Record()
+		}
+		lsnap = attr.Collect(c.cfg.Ledger.Classifier(), frecs)
+		if claimedL := q.Get("lhash"); claimedL != "" && claimedL != lsnap.Hash() {
+			http.Error(w, fmt.Sprintf("shard %d ledger hash %s does not match claimed %q (classifier skew?)",
+				shard, lsnap.Hash(), claimedL), http.StatusConflict)
+			return
+		}
+	}
 
 	dup, err := c.table.complete(shard, hash)
 	if err != nil {
@@ -365,6 +405,9 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, ResultResponse{Merged: false, Duplicate: true, Done: c.table.done()})
 		return
 	}
+	// Absorb only on the non-duplicate path: a requeued shard redelivered
+	// by two workers contributes to the ledger exactly once.
+	c.cfg.Ledger.Absorb(lsnap)
 	c.mu.Lock()
 	for _, rec := range recs {
 		c.records[rec.Index] = rec.Record()
@@ -386,6 +429,21 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 	done := c.table.done()
 	if done {
 		c.doneOnce.Do(func() { close(c.doneCh) })
+		if c.cfg.Ledger != nil {
+			// Cache the final attribution snapshot in the durable log so
+			// `campaign attr` works on the merged log without the module.
+			c.mu.Lock()
+			if c.log != nil && !c.closed {
+				if err := c.log.AppendAttr(c.cfg.Ledger.Snapshot()); err != nil {
+					logErr = err
+				}
+			}
+			c.mu.Unlock()
+			if logErr != nil {
+				http.Error(w, fmt.Sprintf("durable log: %v", logErr), http.StatusInternalServerError)
+				return
+			}
+		}
 	}
 	writeJSON(w, ResultResponse{Merged: true, Done: done})
 }

@@ -13,7 +13,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/attr"
 	"repro/internal/campaign"
+	"repro/internal/epvf"
 	"repro/internal/fi"
 	"repro/internal/interp"
 	"repro/internal/lang"
@@ -539,5 +541,198 @@ func TestDuplicateDeliveryDedupes(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("divergent redelivery: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// testClassifier builds the attribution classifier for a golden run, the
+// same way buildLedger does in cmd/campaign.
+func testClassifier(t *testing.T, g *interp.Result) *attr.Classifier {
+	t.Helper()
+	return attr.NewClassifier(epvf.AnalyzeTrace(g.Trace, epvf.Config{}))
+}
+
+// TestLedgerBitIdenticalAcrossFabric is the distributed half of the
+// attribution acceptance criterion: a coordinator aggregating per-shard
+// ledger contributions — through a worker crash and shard requeue — ends
+// with a snapshot byte-identical to a single-process streaming run of
+// the same plan.
+func TestLedgerBitIdenticalAcrossFabric(t *testing.T) {
+	g := golden(t, kernelSrc)
+	plan := testPlan(t, g, 200, 25)
+	cls := testClassifier(t, g)
+
+	// Single-process baseline, streamed through the engine's observer.
+	streamLedger := attr.NewLedger(cls)
+	baseline, err := campaign.Run(context.Background(), g.Trace.Module, g, plan,
+		campaign.RunOptions{Workers: 4, Ledger: streamLedger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := streamLedger.Snapshot()
+	// The streaming snapshot is itself the batch collection of the
+	// result records — both feed the same cells.
+	if batch := attr.Collect(cls, baseline.Records); batch.Hash() != want.Hash() {
+		t.Fatalf("streaming snapshot %s != batch collection %s", want.Hash(), batch.Hash())
+	}
+
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Plan:      plan,
+		GoldenDyn: g.DynInstrs,
+		LeaseTTL:  300 * time.Millisecond,
+		Ledger:    attr.NewLedger(cls),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + coord.Addr()
+	defer coord.Shutdown(context.Background())
+
+	// One worker dies holding a lease; two classifier-carrying workers
+	// finish the campaign including the requeued shard.
+	crashWorker(t, base, plan.ID)
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 2)
+	for i := range workerErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w, err := NewWorker(WorkerConfig{
+				Coordinator: base,
+				Name:        fmt.Sprintf("lw%d", i),
+				Module:      g.Trace.Module,
+				Golden:      g,
+				Workers:     2,
+				Classifier:  cls,
+				RetryBase:   10 * time.Millisecond,
+			})
+			if err != nil {
+				workerErrs[i] = err
+				return
+			}
+			workerErrs[i] = w.Run(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatalf("coordinator did not complete: %v", err)
+	}
+
+	got := coord.Ledger().Snapshot()
+	if got.Runs != plan.Runs {
+		t.Fatalf("coordinator ledger observed %d runs, want %d — requeue double-counted or dropped a shard",
+			got.Runs, plan.Runs)
+	}
+	gotJSON, _ := json.Marshal(got)
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("distributed ledger diverges from single-process streaming\ngot:  %s\nwant: %s", gotJSON, wantJSON)
+	}
+	if got.Hash() != want.Hash() {
+		t.Errorf("ledger hash %s != single-process %s", got.Hash(), want.Hash())
+	}
+}
+
+// TestLedgerDedupeRejectAndRestart covers the remaining ledger fault
+// paths at the wire level: duplicate delivery never double-counts, an
+// lhash mismatch (classifier skew) is rejected with 409 before
+// absorption, and a restarted coordinator reseeds its ledger from the
+// durable log's replayed records.
+func TestLedgerDedupeRejectAndRestart(t *testing.T) {
+	g := golden(t, kernelSrc)
+	plan := testPlan(t, g, 40, 20)
+	cls := testClassifier(t, g)
+	logPath := filepath.Join(t.TempDir(), "merged.jsonl")
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Plan: plan, GoldenDyn: g.DynInstrs, LogPath: logPath, Ledger: attr.NewLedger(cls),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	runner, err := fi.NewRunner(g.Trace.Module, g, plan.FIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := plan.ShardRange(0)
+	records := runner.RunRange(lo, hi, 1)
+	recs := make([]campaign.RunRec, len(records))
+	for i, rec := range records {
+		recs[i] = campaign.NewRunRec(lo+int64(i), rec)
+	}
+	hash := campaign.ShardHash(plan.ID, 0, recs)
+	lhash := attr.Collect(cls, records).Hash()
+	post := func(lh string) *http.Response {
+		t.Helper()
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for _, r := range recs {
+			enc.Encode(r)
+		}
+		url := fmt.Sprintf("http://%s%s?plan=%s&shard=0&worker=dup&hash=%s&lhash=%s",
+			coord.Addr(), PathResults, plan.ID, hash, lh)
+		resp, err := http.Post(url, "application/jsonl", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Claimed ledger hash diverging from the verified records: rejected
+	// before anything is absorbed.
+	resp := post("deadbeefdeadbeef")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("lhash mismatch: status %d, want 409", resp.StatusCode)
+	}
+	if n := coord.Ledger().Runs(); n != 0 {
+		t.Fatalf("rejected delivery still fed the ledger: %d runs", n)
+	}
+
+	// First honest delivery absorbs exactly the shard's records.
+	resp = post(lhash)
+	resp.Body.Close()
+	if n := coord.Ledger().Runs(); n != hi-lo {
+		t.Fatalf("ledger runs = %d after first delivery, want %d", n, hi-lo)
+	}
+	afterFirst := coord.Ledger().Snapshot().Hash()
+
+	// Exact redelivery is deduped before absorption.
+	resp = post(lhash)
+	resp.Body.Close()
+	if n := coord.Ledger().Runs(); n != hi-lo {
+		t.Fatalf("ledger runs = %d after redelivery, want %d — duplicate was double-counted", n, hi-lo)
+	}
+	if h := coord.Ledger().Snapshot().Hash(); h != afterFirst {
+		t.Fatalf("ledger hash changed across redelivery: %s != %s", h, afterFirst)
+	}
+
+	// A restarted coordinator reseeds the ledger from the durable log.
+	if err := coord.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	second, err := NewCoordinator(CoordinatorConfig{
+		Plan: plan, GoldenDyn: g.DynInstrs, LogPath: logPath, Ledger: attr.NewLedger(cls),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := second.Ledger().Runs(); n != hi-lo {
+		t.Fatalf("restarted coordinator ledger has %d runs, want %d", n, hi-lo)
+	}
+	if h := second.Ledger().Snapshot().Hash(); h != afterFirst {
+		t.Fatalf("restarted ledger hash %s != pre-restart %s", h, afterFirst)
 	}
 }

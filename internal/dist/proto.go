@@ -43,7 +43,10 @@ const (
 	PathHeartbeat = "/v1/heartbeat"
 	// PathResults (POST, JSONL body) delivers a completed shard. Lease,
 	// shard, worker and shard-hash metadata travel in query parameters so
-	// the body stays a pure record stream.
+	// the body stays a pure record stream. A worker holding the attr
+	// classifier also sends lhash, its locally computed ledger-snapshot
+	// hash; a ledger-enabled coordinator recomputes it from the verified
+	// records and rejects a mismatch with 409 (classifier skew).
 	PathResults = "/v1/results"
 	// PathStatus (GET) serves the fleet Status as JSON.
 	PathStatus = "/v1/status"

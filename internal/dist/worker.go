@@ -11,6 +11,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/attr"
 	"repro/internal/campaign"
 	"repro/internal/fi"
 	"repro/internal/interp"
@@ -47,6 +48,12 @@ type WorkerConfig struct {
 	Retries   int
 	// Progress, when non-nil, receives per-shard progress lines.
 	Progress io.Writer
+	// Classifier, when non-nil, makes the worker compute each shard's
+	// attribution-ledger snapshot locally and send its content hash with
+	// the delivery (the lhash query parameter) — a cross-check that the
+	// worker and coordinator agree on the model's per-bit predictions,
+	// not just the raw records.
+	Classifier *attr.Classifier
 	// DisableSnapshots forces shard runs to execute from scratch instead
 	// of restoring copy-on-write golden-path snapshots. Results are
 	// bit-identical either way (the coordinator's shard hashes agree
@@ -249,6 +256,9 @@ func (w *Worker) executeShard(ctx context.Context, lease LeaseResponse) (bool, e
 	}
 	url := fmt.Sprintf("%s?plan=%s&shard=%d&worker=%s&hash=%s",
 		PathResults, w.plan.ID, lease.Shard, w.cfg.Name, hash)
+	if w.cfg.Classifier != nil {
+		url += "&lhash=" + attr.Collect(w.cfg.Classifier, records).Hash()
+	}
 	// Detached context: a drain must still deliver the finished shard.
 	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Minute)
 	defer cancel()

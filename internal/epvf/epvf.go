@@ -166,6 +166,50 @@ func defBits(tr *trace.Trace, aceMask []bool) (total, ace int64) {
 	return total, ace
 }
 
+// DefClass is the per-bit predicted classification of one register
+// definition event: which bits the crash model expects to crash
+// (CrashMask, the CRASHING_BIT_LIST restricted to this def) and whether
+// the defining event is on the ACE graph. Non-def events have no
+// DefClass. This is the prediction side of the FI attribution join.
+type DefClass struct {
+	// Event is the dynamic trace event index of the definition.
+	Event int64
+	// InstrID is the static instruction ID of the defining instruction.
+	InstrID int
+	// Width is the defined register's bit width.
+	Width int
+	// ACE reports whether the defining event is in the ACE graph.
+	ACE bool
+	// CrashMask is the predicted crash-bit mask for this definition
+	// (always a subset of the register's low Width bits; nonzero only for
+	// ACE defs, since the crash model walks the ACE graph).
+	CrashMask uint64
+}
+
+// DefClasses exports the per-bit predicted classification of every
+// register definition in the trace, in event order. A bit of a defined
+// register is crash-predicted if set in CrashMask, else ACE if the def is
+// ACE, else unACE — the three bit ranges the paper's validation (Fig. 7)
+// compares against fault-injection outcomes.
+func (a *Analysis) DefClasses() []DefClass {
+	tr := a.Trace
+	out := make([]DefClass, 0, len(tr.Events))
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if !trace.IsDef(e.Instr) {
+			continue
+		}
+		out = append(out, DefClass{
+			Event:     int64(i),
+			InstrID:   e.Instr.ID,
+			Width:     trace.DefWidth(e.Instr),
+			ACE:       a.ACEMask[i],
+			CrashMask: a.CrashResult.DefMask(int64(i)),
+		})
+	}
+	return out
+}
+
 // InstrVuln aggregates vulnerability per static instruction (Eq. 3).
 type InstrVuln struct {
 	Instr *ir.Instr

@@ -60,6 +60,16 @@ type Target struct {
 	Mask  uint64
 }
 
+// Bits returns the fault's flipped-bit mask regardless of encoding: the
+// multi-bit Mask when set, else the single-bit mask 1<<Bit. Attribution
+// tallies key on this, so single- and multi-bit records share one path.
+func (t Target) Bits() uint64 {
+	if t.Mask != 0 {
+		return t.Mask
+	}
+	return 1 << uint(t.Bit)
+}
+
 // Record is the result of one injection run.
 type Record struct {
 	Target  Target
@@ -116,12 +126,18 @@ type Result struct {
 	GoldenDyn int64
 }
 
-// Rate returns the fraction of runs with the given outcome.
+// N returns the number of runs in the result. Callers that need to
+// distinguish "no runs" from "rate zero" check N() > 0 before trusting
+// Rate.
+func (r *Result) N() int { return len(r.Records) }
+
+// Rate returns the fraction of runs with the given outcome (zero for an
+// empty result; use N to tell the two apart).
 func (r *Result) Rate(o Outcome) float64 {
-	if len(r.Records) == 0 {
+	if r.N() == 0 {
 		return 0
 	}
-	return float64(r.Counts[o]) / float64(len(r.Records))
+	return float64(r.Counts[o]) / float64(r.N())
 }
 
 // Sampler draws injection targets uniformly over the register-bit
@@ -275,7 +291,17 @@ type Runner struct {
 	// NewRunner, which is also called on the planning path where no runs
 	// execute.
 	chain *snapshot.Chain
+	// observer, when non-nil, receives every completed record (snapshot
+	// and scratch paths alike). It is invoked concurrently from RunRange
+	// workers and must be safe for concurrent use.
+	observer func(Record)
 }
+
+// SetObserver streams every subsequent record through fn — the hook the
+// attribution ledger uses to tally outcomes as runs complete. fn is
+// called from RunRange worker goroutines concurrently and must be safe
+// for that; set it before runs start. A nil fn disables streaming.
+func (r *Runner) SetObserver(fn func(Record)) { r.observer = fn }
 
 // NewRunner validates the golden run and indexes its trace for sampling.
 func NewRunner(m *ir.Module, golden *interp.Result, cfg Config) (*Runner, error) {
@@ -356,10 +382,16 @@ func (r *Runner) Draw(index int64) (Target, mem.Layout) {
 // index).
 func (r *Runner) RunIndex(index int64) Record {
 	tgt, layout := r.Draw(index)
+	var rec Record
 	if r.chain != nil {
-		return r.runSnapshot(tgt)
+		rec = r.runSnapshot(tgt)
+	} else {
+		rec = runWithLayout(r.m, r.golden, tgt, layout, r.cfg)
 	}
-	return runWithLayout(r.m, r.golden, tgt, layout, r.cfg)
+	if r.observer != nil {
+		r.observer(rec)
+	}
+	return rec
 }
 
 // runSnapshot executes one injection by restoring the nearest snapshot

@@ -253,18 +253,39 @@ func (r *Registry) Gauge(name string, kv ...string) *Gauge {
 
 // Histogram returns the histogram for name and label pairs. buckets are
 // ascending upper bounds; nil means LatencyBuckets. The bucket layout is
-// fixed by the first registration.
+// fixed by the first registration: a later caller requesting a different
+// explicit layout still gets the existing histogram, but the conflict is
+// recorded on the epvf_obs_schema_conflicts counter (labeled by metric
+// name) instead of being silently ignored.
 func (r *Registry) Histogram(name string, buckets []float64, kv ...string) *Histogram {
 	if r == nil {
 		return nil
 	}
-	return r.lookup(name, kindHist, kv, func(s *series) {
+	h := r.lookup(name, kindHist, kv, func(s *series) {
 		if buckets == nil {
 			buckets = LatencyBuckets
 		}
 		bounds := append([]float64(nil), buckets...)
 		s.h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
 	}).h
+	// nil buckets means "whatever layout exists" and never conflicts.
+	if buckets != nil && !equalBounds(h.bounds, buckets) {
+		r.Counter("epvf_obs_schema_conflicts", "metric", name).Inc()
+	}
+	return h
+}
+
+// equalBounds reports whether two bucket layouts are identical.
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Reset zeroes every registered series without invalidating the handles

@@ -220,3 +220,52 @@ func TestDefaultRegistry(t *testing.T) {
 		t.Error("default registry did not record")
 	}
 }
+
+// TestHistogramBucketConflictRecorded is the schema-conflict regression
+// test: re-registering a histogram with a different explicit bucket
+// layout returns the existing histogram (first registration wins) but
+// records the conflict on epvf_obs_schema_conflicts instead of silently
+// ignoring it.
+func TestHistogramBucketConflictRecorded(t *testing.T) {
+	r := NewRegistry()
+	first := r.Histogram("epvf_conflict_seconds", []float64{1, 2, 3})
+	conflicts := r.Counter("epvf_obs_schema_conflicts", "metric", "epvf_conflict_seconds")
+
+	// Same explicit layout, and the nil "whatever exists" layout: no
+	// conflict recorded.
+	if h := r.Histogram("epvf_conflict_seconds", []float64{1, 2, 3}); h != first {
+		t.Error("same layout must return the existing histogram")
+	}
+	if h := r.Histogram("epvf_conflict_seconds", nil); h != first {
+		t.Error("nil layout must return the existing histogram")
+	}
+	if conflicts.Value() != 0 {
+		t.Errorf("no-conflict registrations recorded %d conflicts", conflicts.Value())
+	}
+
+	// Conflicting layout: the existing histogram (with its observations
+	// intact) is returned, and the conflict is counted per metric name.
+	first.Observe(1.5)
+	h := r.Histogram("epvf_conflict_seconds", []float64{10, 20})
+	if h != first {
+		t.Error("conflicting layout must still return the existing histogram")
+	}
+	if h.Count() != 1 {
+		t.Errorf("returned histogram lost its observations: count %d", h.Count())
+	}
+	if conflicts.Value() != 1 {
+		t.Errorf("conflict counter = %d, want 1", conflicts.Value())
+	}
+	r.Histogram("epvf_conflict_seconds", []float64{1, 2})
+	if conflicts.Value() != 2 {
+		t.Errorf("conflict counter after length mismatch = %d, want 2", conflicts.Value())
+	}
+	// The conflict surfaces in the Prometheus exposition.
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `epvf_obs_schema_conflicts{metric="epvf_conflict_seconds"} 2`) {
+		t.Errorf("conflict counter missing from exposition:\n%s", buf.String())
+	}
+}

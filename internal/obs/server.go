@@ -71,6 +71,13 @@ func (s *Server) HandleJSON(path string, fn func() (any, error)) {
 	})
 }
 
+// Handle registers an arbitrary handler (e.g. the /attr drill-down
+// endpoint, which needs request access for its query parameters —
+// HandleJSON deliberately hides the request).
+func (s *Server) Handle(path string, h http.Handler) {
+	s.mux.Handle(path, h)
+}
+
 // Start serves in a background goroutine until Close or Shutdown.
 func (s *Server) Start() {
 	go s.srv.Serve(s.ln)
@@ -106,6 +113,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, req *http.Request) {
 	fmt.Fprintln(w, "epvf observability endpoint")
 	fmt.Fprintln(w, "  /metrics            Prometheus text format (?format=json for JSON)")
 	fmt.Fprintln(w, "  /campaign           live campaign status (when a campaign is running)")
+	fmt.Fprintln(w, "  /attr               attribution drill-down (when the ledger is enabled; ?func=, ?instr=, ?format=text)")
 	fmt.Fprintln(w, "  /debug/pprof/       CPU, heap, goroutine profiles")
 	fmt.Fprintln(w, "  /debug/vars         expvar (includes the epvf_obs snapshot)")
 }

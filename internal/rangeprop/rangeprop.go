@@ -85,6 +85,14 @@ func (r *Result) PredictedDefMask(ev int64, mask uint64) bool {
 	return r.DefCrashBits[ev]&mask != 0
 }
 
+// DefMask returns the full predicted crash-bit mask of the register
+// defined at event ev — zero when no bit of that register is on the
+// CRASHING_BIT_LIST. This is the per-bit export the attribution ledger
+// joins against FI ground truth.
+func (r *Result) DefMask(ev int64) uint64 {
+	return r.DefCrashBits[ev]
+}
+
 // Analyze runs ITERATE_OVER_ACE_GRAPH: for every load/store event inside
 // aceMask it obtains the crash-model boundary and propagates it along the
 // backward slice of the address.

@@ -1,0 +1,148 @@
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+)
+
+// HTMLDoc composes headings, paragraphs, tables and heatmaps into one
+// self-contained HTML page (inline CSS, no external assets, stdlib
+// html/template only) — the report artifact `campaign attr -html` writes.
+type HTMLDoc struct {
+	Title  string
+	blocks []htmlBlock
+}
+
+// htmlBlock is one rendered section. Kind selects the template branch.
+type htmlBlock struct {
+	Kind    string // "heading", "para", "table", "heatmap", "pre"
+	Text    string
+	Table   *Table
+	Heatmap *Heatmap
+}
+
+// NewHTMLDoc starts an empty document.
+func NewHTMLDoc(title string) *HTMLDoc {
+	return &HTMLDoc{Title: title}
+}
+
+// AddHeading appends a section heading.
+func (d *HTMLDoc) AddHeading(text string) {
+	d.blocks = append(d.blocks, htmlBlock{Kind: "heading", Text: text})
+}
+
+// AddParagraph appends a paragraph of plain text (escaped).
+func (d *HTMLDoc) AddParagraph(text string) {
+	d.blocks = append(d.blocks, htmlBlock{Kind: "para", Text: text})
+}
+
+// AddPre appends preformatted text (escaped, monospace).
+func (d *HTMLDoc) AddPre(text string) {
+	d.blocks = append(d.blocks, htmlBlock{Kind: "pre", Text: text})
+}
+
+// AddTable appends a table.
+func (d *HTMLDoc) AddTable(t *Table) {
+	d.blocks = append(d.blocks, htmlBlock{Kind: "table", Table: t})
+}
+
+// AddHeatmap appends a heatmap grid.
+func (d *HTMLDoc) AddHeatmap(h *Heatmap) {
+	d.blocks = append(d.blocks, htmlBlock{Kind: "heatmap", Heatmap: h})
+}
+
+// Heatmap is a labelled grid of shaded cells (e.g. bit position x
+// instruction misprediction density).
+type Heatmap struct {
+	Title string
+	// Cols are the column headers, in order.
+	Cols []string
+	Rows []HeatmapRow
+}
+
+// HeatmapRow is one labelled heatmap row.
+type HeatmapRow struct {
+	Label string
+	Cells []HeatmapCell
+}
+
+// HeatmapCell is one grid cell. Value in [0, 1] drives the shade; Filled
+// distinguishes a zero-valued observation from no observation at all.
+type HeatmapCell struct {
+	Filled bool
+	Value  float64
+	// Text is the cell's hover tooltip.
+	Text string
+}
+
+// Color returns the cell's CSS background color: a white-to-red ramp over
+// Value for filled cells, near-white for empty ones.
+func (c HeatmapCell) Color() template.CSS {
+	if !c.Filled {
+		return template.CSS("#fafafa")
+	}
+	v := c.Value
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	// Linear ramp #f7f7f7 -> #b2182b.
+	lerp := func(a, b int) int { return a + int(v*float64(b-a)) }
+	return template.CSS(fmt.Sprintf("#%02x%02x%02x",
+		lerp(0xf7, 0xb2), lerp(0xf7, 0x18), lerp(0xf7, 0x2b)))
+}
+
+// htmlTmpl renders the whole document. html/template escaping keeps
+// every text field safe; HeatmapCell.Color is template.CSS by
+// construction (a hex literal).
+var htmlTmpl = template.Must(template.New("doc").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto; max-width: 75em; padding: 0 1em; color: #222; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 0.75em 0; }
+th, td { border: 1px solid #ccc; padding: 0.25em 0.6em; text-align: left; font-variant-numeric: tabular-nums; }
+th { background: #f0f0f0; }
+caption { caption-side: top; text-align: left; font-weight: 600; padding: 0.25em 0; }
+.hm td { width: 1.1em; height: 1.1em; padding: 0; border: 1px solid #eee; }
+.hm th { font-weight: 400; font-size: 0.75em; background: none; border: none; }
+.hm td.lbl { width: auto; padding: 0 0.6em 0 0; border: none; white-space: nowrap; font-size: 0.85em; }
+pre { background: #f7f7f7; padding: 0.75em; overflow-x: auto; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+{{range .Blocks}}{{if eq .Kind "heading"}}<h2>{{.Text}}</h2>
+{{else if eq .Kind "para"}}<p>{{.Text}}</p>
+{{else if eq .Kind "pre"}}<pre>{{.Text}}</pre>
+{{else if eq .Kind "table"}}<table>
+<caption>{{.Table.Title}}</caption>
+<tr>{{range .Table.Columns}}<th>{{.}}</th>{{end}}</tr>
+{{range .Table.Rows}}<tr>{{range .}}<td>{{.}}</td>{{end}}</tr>
+{{end}}</table>
+{{else if eq .Kind "heatmap"}}<table class="hm">
+<caption>{{.Heatmap.Title}}</caption>
+<tr><th></th>{{range .Heatmap.Cols}}<th>{{.}}</th>{{end}}</tr>
+{{range .Heatmap.Rows}}<tr><td class="lbl">{{.Label}}</td>{{range .Cells}}<td style="background:{{.Color}}" title="{{.Text}}"></td>{{end}}</tr>
+{{end}}</table>
+{{end}}{{end}}</body>
+</html>
+`))
+
+// htmlData is the exported view the template executes over (the doc's
+// block list is unexported).
+type htmlData struct {
+	Title  string
+	Blocks []htmlBlock
+}
+
+// Render writes the document as a complete HTML page.
+func (d *HTMLDoc) Render(w io.Writer) error {
+	return htmlTmpl.Execute(w, htmlData{Title: d.Title, Blocks: d.blocks})
+}

@@ -1,0 +1,46 @@
+#!/bin/sh
+# attr-demo: run a small campaign, then render the attribution ledger
+# three ways — the ranked text report, machine-readable JSON, and the
+# self-contained HTML heatmap report — and assert the HTML is a
+# non-empty, well-formed document.
+#
+# Tunables (environment): BENCH, RUNS, SHARD, OUT (default ./attr.html).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH=${BENCH:-mm}
+RUNS=${RUNS:-200}
+SHARD=${SHARD:-50}
+OUT=${OUT:-attr.html}
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/campaign" ./cmd/campaign
+
+"$DIR/campaign" run -bench "$BENCH" -runs "$RUNS" -shard-size "$SHARD" \
+    -jitter 0 -log "$DIR/campaign.jsonl" -q
+
+echo "== attribution report (top 10 mispredicted instructions)"
+"$DIR/campaign" attr -log "$DIR/campaign.jsonl" -bench "$BENCH" -top 10
+
+"$DIR/campaign" attr -log "$DIR/campaign.jsonl" -bench "$BENCH" -json \
+    >"$DIR/attr.json"
+grep -q '"crash_precision"' "$DIR/attr.json" || {
+    echo "attr-demo: JSON report missing crash_precision" >&2
+    exit 1
+}
+
+"$DIR/campaign" attr -log "$DIR/campaign.jsonl" -bench "$BENCH" -html "$OUT"
+# The report must be a non-empty, well-formed, self-contained document.
+[ -s "$OUT" ] || { echo "attr-demo: $OUT is empty" >&2; exit 1; }
+head -c 15 "$OUT" | grep -q '<!DOCTYPE html' || {
+    echo "attr-demo: $OUT does not start with <!DOCTYPE html>" >&2
+    exit 1
+}
+grep -q '</html>' "$OUT" || {
+    echo "attr-demo: $OUT is not closed with </html>" >&2
+    exit 1
+}
+echo "attr-demo: wrote $OUT ($(wc -c <"$OUT") bytes)"
+echo "attr-demo: OK"

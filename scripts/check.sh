@@ -22,8 +22,8 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (obs + campaign + dist + snapshot + mem + fi)"
+echo "== go test -race (obs + campaign + dist + snapshot + mem + fi + attr)"
 go test -race ./internal/obs/... ./internal/campaign/... ./internal/dist/... \
-    ./internal/snapshot/... ./internal/mem/... ./internal/fi/...
+    ./internal/snapshot/... ./internal/mem/... ./internal/fi/... ./internal/attr/...
 
 echo "check: OK"
