@@ -1,6 +1,6 @@
 # Tier-1 verification gate and convenience targets.
 
-.PHONY: check build test fmt vet bench-obs bench-snapshot dist-demo attr-demo
+.PHONY: check build test fmt vet bench-obs bench-snapshot dist-demo attr-demo serve-demo
 
 check:
 	./scripts/check.sh
@@ -16,6 +16,14 @@ dist-demo:
 # HTML heatmap report (./attr.html), asserting the HTML is well-formed.
 attr-demo:
 	./scripts/attr_demo.sh
+
+# serve-demo starts the `epvf serve` analysis daemon with a disk cache,
+# runs the same analysis against it cold and warm, and asserts the
+# daemon reports are byte-identical to a local run, that /metrics shows
+# the cache-hit counter increasing, and that the warm request is at
+# least 10x faster than the cold one.
+serve-demo:
+	./scripts/serve_demo.sh
 
 # bench-obs asserts the disabled observability path stays under the noise
 # floor (TestDisabledOverheadUnderNoise) and prints the nil-handle

@@ -12,6 +12,7 @@
 //	campaign serve  -bench mm -runs 3000 -log merged.jsonl -addr :8766 [-lease-ttl 30s]
 //	campaign work   -bench mm -coordinator http://host:8766 [-workers W]
 //	campaign attr   -log mm.jsonl [-bench mm] [-top 20] [-json] [-html attr.html]
+//	campaign attr   -server host:port -plan <id> [-top 20] [-json]
 //
 // `run` is restartable: interrupting it (ctrl-C included — SIGINT
 // checkpoints the log and exits cleanly) and re-invoking `run` (or
@@ -25,6 +26,8 @@
 // TTL lease table, requeues shards whose workers crash, dedupes
 // at-least-once redelivery by shard content hash, and exits once the
 // merged log — bit-identical to a single-process `run` — is complete.
+// Everything serves on one `-addr` listener: the /v1/* worker protocol
+// plus /metrics, /healthz (fleet section), /fleet and /attr.
 // `work` executes shards for a coordinator; any number of workers may
 // join, leave, or crash mid-shard. SIGINT on a worker drains: the
 // in-flight shard is finished and delivered before exit.
@@ -38,11 +41,19 @@
 // ledger is recomputed exactly from the log's records; without a module
 // the snapshot cached in the log is used.
 //
-// `-obs-addr host:port` serves live introspection while the campaign
-// executes: /metrics (Prometheus text), /debug/pprof/*, /debug/vars,
-// /campaign (JSON status, the same schema as `campaign status -json`) and
-// /attr (attribution drill-down: ?func=, ?instr=, ?format=text);
-// `serve` adds /fleet (coordinator status: leases, requeues, workers).
+// `-obs-addr host:port` serves live introspection while `run`, `resume`
+// and `work` execute: /metrics (Prometheus text), /debug/pprof/*,
+// /debug/vars, /healthz, /campaign (JSON status, the same schema as
+// `campaign status -json`) and /attr (attribution drill-down: ?func=,
+// ?instr=, ?format=text).
+//
+// `-server host:port` on `run`/`resume` connects to an `epvf serve`
+// analysis daemon: a plan whose campaign already completed anywhere is
+// fetched from the daemon's content-addressed cache and replayed
+// without injecting, and a freshly completed log (plus its attribution
+// snapshot) is published back under the plan ID. `campaign attr
+// -server -plan <id>` renders a daemon-cached snapshot with no local
+// log at all.
 package main
 
 import (
@@ -71,6 +82,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -153,6 +165,7 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 	snap := fs.Bool("snapshot", true, "restore COW execution snapshots instead of replaying each run from scratch (auto-off under -jitter)")
 	snapStride := fs.Int64("snapshot-stride", 0, "events between snapshots (0 = auto, ~sqrt(trace length))")
 	attrOn := fs.Bool("attr", true, "feed the prediction-vs-ground-truth attribution ledger (see `campaign attr`)")
+	serverURL := fs.String("server", "", "analysis daemon address (see `epvf serve`); completed logs are fetched from and published to its content-addressed cache by plan ID")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -197,6 +210,25 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 
 	if *logPath == "" {
 		return fmt.Errorf("%s requires -log <path>", cmd)
+	}
+	// With a daemon, a plan that already completed anywhere is fetched
+	// instead of re-executed: the log lands locally and Run replays it
+	// without injecting a single fault.
+	var daemon *serve.Client
+	if *serverURL != "" {
+		daemon = serve.NewClient(*serverURL)
+		if _, err := os.Stat(*logPath); os.IsNotExist(err) {
+			data, ok, gerr := daemon.GetBlob(serve.KindCampaign, plan.ID)
+			if gerr != nil {
+				return gerr
+			}
+			if ok {
+				if werr := os.WriteFile(*logPath, data, 0o644); werr != nil {
+					return werr
+				}
+				fmt.Fprintf(out, "campaign: fetched cached log for plan %s from %s\n", plan.ID, *serverURL)
+			}
+		}
 	}
 	var shards []int
 	if *shardsFlag != "" {
@@ -263,6 +295,38 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "campaign incomplete: %d/%d runs logged — re-invoke `campaign resume` to continue\n",
 			res.Replayed+res.Executed, plan.Runs)
 	}
+	if daemon != nil && res.Complete {
+		if err := publishCampaign(daemon, plan.ID, *logPath, opts.Ledger, out); err != nil {
+			// Publication is best-effort: the local log is already
+			// durable, so a flaky daemon must not fail the campaign.
+			fmt.Fprintf(out, "campaign: publish to %s failed: %v\n", *serverURL, err)
+		}
+	}
+	return nil
+}
+
+// publishCampaign uploads a completed log (and the attribution
+// snapshot, when a ledger ran) to the daemon's cache under the plan ID,
+// so any process holding the same plan gets the results without
+// injecting.
+func publishCampaign(daemon *serve.Client, planID, logPath string, ledger *attr.Ledger, out io.Writer) error {
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		return err
+	}
+	if err := daemon.PutBlob(serve.KindCampaign, planID, data); err != nil {
+		return err
+	}
+	if ledger != nil {
+		enc, err := json.Marshal(ledger.Snapshot())
+		if err != nil {
+			return err
+		}
+		if err := daemon.PutBlob(serve.KindAttr, planID, enc); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "campaign: published log for plan %s\n", planID)
 	return nil
 }
 
@@ -327,9 +391,8 @@ func runServe(args []string, out io.Writer) error {
 	shardSize := fs.Int("shard-size", campaign.DefaultShardSize, "runs per shard (lease and checkpoint granularity)")
 	faultBits := fs.Int("fault-bits", 1, "bits flipped per injection")
 	logPath := fs.String("log", "", "durable merged JSONL log (required; restart resumes from it)")
-	addr := fs.String("addr", ":8766", "coordinator listen address")
+	addr := fs.String("addr", ":8766", "listen address (coordinator /v1/*, /metrics, /healthz, /fleet, /attr — one server)")
 	leaseTTL := fs.Duration("lease-ttl", dist.DefaultLeaseTTL, "shard lease TTL (crashed workers' shards requeue after this)")
-	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/pprof and /fleet on this address while running")
 	quiet := fs.Bool("q", false, "suppress progress output")
 	attrOn := fs.Bool("attr", true, "aggregate the attribution ledger across the fleet (see `campaign attr`)")
 	if err := fs.Parse(args); err != nil {
@@ -365,10 +428,7 @@ func runServe(args []string, out io.Writer) error {
 		return err
 	}
 
-	var reg *obs.Registry
-	if *obsAddr != "" {
-		reg = obs.NewRegistry()
-	}
+	reg := obs.NewRegistry()
 	var ledger *attr.Ledger
 	var meta *attr.Meta
 	if *attrOn {
@@ -385,25 +445,24 @@ func runServe(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := coord.Start(*addr); err != nil {
+	// One server carries everything: the coordinator's /v1/* worker
+	// protocol, /metrics, /healthz (with a fleet section), /fleet and
+	// /attr — there is no separate -obs-addr for `serve`.
+	srv, err := obs.NewServer(*addr, reg)
+	if err != nil {
+		coord.Shutdown(context.Background())
 		return err
 	}
-	if *obsAddr != "" {
-		stop, err := startObs(*obsAddr, reg, out, func(srv *obs.Server) {
-			srv.HandleJSON("/fleet", func() (any, error) { return coord.Status(), nil })
-			srv.Handle("/attr", attr.Handler(ledger.Snapshot, meta))
-		})
-		if err != nil {
-			coord.Shutdown(context.Background())
-			return err
-		}
-		defer stop()
-	}
+	srv.Handle("/v1/", coord)
+	srv.HandleJSON("/fleet", func() (any, error) { return coord.Status(), nil })
+	srv.Handle("/attr", attr.Handler(ledger.Snapshot, meta))
+	srv.AddHealth("fleet", func() any { return coord.Status() })
+	srv.Start()
 	if !*quiet {
 		st := coord.Status()
 		fmt.Fprintf(out, "coordinator: serving plan %s [%s] on %s (%d shards, %d already merged, lease TTL %s)\n",
-			plan.ID, plan.Benchmark, coord.Addr(), st.NumShards, st.ShardsDone, *leaseTTL)
-		fmt.Fprintf(out, "coordinator: join workers with: campaign work -coordinator http://%s ...\n", coord.Addr())
+			plan.ID, plan.Benchmark, srv.Addr(), st.NumShards, st.ShardsDone, *leaseTTL)
+		fmt.Fprintf(out, "coordinator: join workers with: campaign work -coordinator http://%s ...\n", srv.Addr())
 	}
 
 	ctx, cancel := interruptContext()
@@ -411,6 +470,10 @@ func runServe(args []string, out io.Writer) error {
 	waitErr := coord.Wait(ctx)
 	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		coord.Shutdown(sctx)
+		return err
+	}
 	if err := coord.Shutdown(sctx); err != nil {
 		return err
 	}
@@ -523,39 +586,70 @@ func runAttr(args []string, out io.Writer) error {
 	topN := fs.Int("top", 20, "instructions to list in the misprediction ranking")
 	asJSON := fs.Bool("json", false, "emit the full report as JSON")
 	htmlPath := fs.String("html", "", "write a self-contained HTML report to this path")
+	serverURL := fs.String("server", "", "analysis daemon address (see `epvf serve`); with -plan, render its cached snapshot without a local log")
+	planID := fs.String("plan", "", "plan ID to fetch from the daemon when no -log is given")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *logPath == "" {
-		return fmt.Errorf("attr requires -log <path>")
-	}
-	d, err := campaign.ReadLogData(*logPath)
-	if err != nil {
-		return err
-	}
-	snap := d.Attr
+	var snap *attr.Snapshot
 	var meta *attr.Meta
-	if *benchName != "" || *srcPath != "" {
-		m, err := loadModule(*benchName, *srcPath, *scale)
+	var title string
+	switch {
+	case *logPath != "":
+		d, err := campaign.ReadLogData(*logPath)
 		if err != nil {
 			return err
 		}
-		golden, err := interp.Run(m, interp.Config{Record: true})
+		snap = d.Attr
+		if *benchName != "" || *srcPath != "" {
+			m, err := loadModule(*benchName, *srcPath, *scale)
+			if err != nil {
+				return err
+			}
+			golden, err := interp.Run(m, interp.Config{Record: true})
+			if err != nil {
+				return fmt.Errorf("golden run: %w", err)
+			}
+			if n := golden.Trace.NumEvents(); n != d.Plan.TraceEvents {
+				return fmt.Errorf("attr: golden trace has %d events, log plan %s expects %d — wrong module or scale",
+					n, d.Plan.ID, d.Plan.TraceEvents)
+			}
+			ledger, lmeta := buildLedger(golden)
+			meta = lmeta
+			snap = attr.Collect(ledger.Classifier(), d.SortedRecords())
+		}
+		if snap == nil {
+			return fmt.Errorf("log %s carries no attribution snapshot (campaign ran with -attr=false?); pass -bench/-src to recompute it from the records", *logPath)
+		}
+		title = fmt.Sprintf("%s plan %s", d.Plan.Benchmark, d.Plan.ID)
+		if *serverURL != "" {
+			// With both a log and a daemon, publish the snapshot so
+			// log-less clients (`attr -server -plan`) can render it.
+			enc, err := json.Marshal(snap)
+			if err != nil {
+				return err
+			}
+			if err := serve.NewClient(*serverURL).PutBlob(serve.KindAttr, d.Plan.ID, enc); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "attr: published snapshot for plan %s\n", d.Plan.ID)
+		}
+	case *serverURL != "" && *planID != "":
+		data, ok, err := serve.NewClient(*serverURL).GetBlob(serve.KindAttr, *planID)
 		if err != nil {
-			return fmt.Errorf("golden run: %w", err)
+			return err
 		}
-		if n := golden.Trace.NumEvents(); n != d.Plan.TraceEvents {
-			return fmt.Errorf("attr: golden trace has %d events, log plan %s expects %d — wrong module or scale",
-				n, d.Plan.ID, d.Plan.TraceEvents)
+		if !ok {
+			return fmt.Errorf("daemon %s has no attribution snapshot for plan %s (run the campaign with -server, or `campaign attr -log ... -server` to publish one)", *serverURL, *planID)
 		}
-		ledger, lmeta := buildLedger(golden)
-		meta = lmeta
-		snap = attr.Collect(ledger.Classifier(), d.SortedRecords())
+		snap = new(attr.Snapshot)
+		if err := json.Unmarshal(data, snap); err != nil {
+			return fmt.Errorf("attr: decode daemon snapshot for plan %s: %w", *planID, err)
+		}
+		title = fmt.Sprintf("plan %s", *planID)
+	default:
+		return fmt.Errorf("attr requires -log <path>, or -server <addr> with -plan <id>")
 	}
-	if snap == nil {
-		return fmt.Errorf("log %s carries no attribution snapshot (campaign ran with -attr=false?); pass -bench/-src to recompute it from the records", *logPath)
-	}
-	title := fmt.Sprintf("%s plan %s", d.Plan.Benchmark, d.Plan.ID)
 	if *htmlPath != "" {
 		f, err := os.Create(*htmlPath)
 		if err != nil {

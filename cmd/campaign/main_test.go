@@ -1,7 +1,10 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/serve"
 )
 
 func TestPlanRunResumeStatusMerge(t *testing.T) {
@@ -337,5 +341,157 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if err := run([]string{"work", "-bench", "lud"}, &out); err == nil {
 		t.Error("work without -coordinator accepted")
+	}
+}
+
+// startDaemon brings up an in-process analysis daemon (epvf serve) for
+// the -server flows.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	s, err := serve.New(serve.Config{Addr: "127.0.0.1:0", CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s.Addr()
+}
+
+// TestRunWithServerFetchAndPublish drives the cached-campaign flow: a
+// completed run publishes its log to the daemon; a second process with
+// the same plan and an empty log directory fetches it and replays to
+// completion without injecting; the logs are bit-identical.
+func TestRunWithServerFetchAndPublish(t *testing.T) {
+	addr := startDaemon(t)
+	dir := t.TempDir()
+	common := []string{"-bench", "mm", "-runs", "60", "-shard-size", "20", "-jitter", "0", "-q", "-server", addr}
+
+	first := filepath.Join(dir, "first.jsonl")
+	var out strings.Builder
+	if err := run(append([]string{"run", "-log", first}, common...), &out); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if !strings.Contains(out.String(), "published log for plan ") {
+		t.Fatalf("first run did not publish:\n%s", out.String())
+	}
+	planID := strings.Fields(strings.SplitN(out.String(), "published log for plan ", 2)[1])[0]
+
+	second := filepath.Join(dir, "second.jsonl")
+	out.Reset()
+	if err := run(append([]string{"run", "-log", second}, common...), &out); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !strings.Contains(out.String(), "fetched cached log for plan "+planID) {
+		t.Errorf("second run did not fetch the cached log:\n%s", out.String())
+	}
+	// Render shows a complete campaign with zero executed injections.
+	if !strings.Contains(out.String(), "runs replayed from log") {
+		t.Logf("render:\n%s", out.String())
+	}
+	// Merging rejects conflicting records, so success proves the fetched
+	// log bit-identical to the locally computed one.
+	merged := filepath.Join(dir, "merged.jsonl")
+	out.Reset()
+	if err := run([]string{"merge", "-out", merged, first, second}, &out); err != nil {
+		t.Fatalf("fetched log diverges from computed log: %v", err)
+	}
+	if !strings.Contains(out.String(), "60/60") {
+		t.Errorf("merged log incomplete:\n%s", out.String())
+	}
+
+	// The attribution snapshot was published too: `attr -server -plan`
+	// renders it with no local log, byte-identical to the log's cached
+	// snapshot.
+	var fromLog, fromDaemon strings.Builder
+	if err := run([]string{"attr", "-json", "-log", first}, &fromLog); err != nil {
+		t.Fatalf("attr from log: %v", err)
+	}
+	if err := run([]string{"attr", "-json", "-server", addr, "-plan", planID}, &fromDaemon); err != nil {
+		t.Fatalf("attr from daemon: %v", err)
+	}
+	if fromLog.String() != fromDaemon.String() {
+		t.Errorf("daemon attr JSON diverges from log attr JSON:\nlog:    %s\ndaemon: %s",
+			fromLog.String(), fromDaemon.String())
+	}
+}
+
+func TestAttrServerErrors(t *testing.T) {
+	addr := startDaemon(t)
+	var out strings.Builder
+	if err := run([]string{"attr", "-server", addr, "-plan", "feedbeef00000000"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "no attribution snapshot") {
+		t.Errorf("missing snapshot: err = %v", err)
+	}
+	if err := run([]string{"attr", "-server", addr}, &out); err == nil {
+		t.Error("attr -server without -plan or -log accepted")
+	}
+}
+
+// TestServeHealthz asserts the unified coordinator server exposes
+// /healthz with a fleet section alongside the /v1 worker protocol.
+func TestServeHealthz(t *testing.T) {
+	dir := t.TempDir()
+	distLog := filepath.Join(dir, "dist.jsonl")
+	serveOut := &syncWriter{}
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- run([]string{"serve", "-bench", "mm", "-runs", "60", "-shard-size", "20",
+			"-jitter", "0", "-log", distLog, "-addr", "127.0.0.1:0"}, serveOut)
+	}()
+	const marker = "campaign work -coordinator "
+	var coordURL string
+	deadline := time.Now().Add(10 * time.Second)
+	for coordURL == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never announced:\n%s", serveOut.String())
+		}
+		if i := strings.Index(serveOut.String(), marker); i >= 0 {
+			coordURL = strings.Fields(serveOut.String()[i+len(marker):])[0]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	resp, err := http.Get(coordURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %d\n%s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Status string `json:"status"`
+		Fleet  struct {
+			NumShards int `json:"num_shards"`
+		} `json:"fleet"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("healthz JSON: %v\n%s", err, body)
+	}
+	if doc.Status != "ok" || doc.Fleet.NumShards != 3 {
+		t.Errorf("healthz = %s", body)
+	}
+	// Metrics live on the same server as the worker protocol.
+	mresp, err := http.Get(coordURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "epvf_dist_shards") {
+		t.Errorf("/metrics missing coordinator gauges:\n%.400s", mbody)
+	}
+	// Finish the campaign so serve exits cleanly.
+	var workOut strings.Builder
+	if err := run([]string{"work", "-coordinator", coordURL, "-bench", "mm", "-name", "w0"}, &workOut); err != nil {
+		t.Fatalf("work: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
 	}
 }

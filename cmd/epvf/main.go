@@ -6,6 +6,16 @@
 //
 //	epvf -bench mm [-scale 1] [-sample 0.1] [-per-instr 10] [-classes]
 //	epvf -src kernel.c
+//	epvf serve [-addr host:port] [-cache-dir DIR] [-cache-mem-mb N]
+//	epvf -bench mm -server host:port
+//
+// `epvf serve` starts the always-on analysis daemon: it accepts module
+// IR over HTTP, keys every pipeline stage by content hash, and serves
+// cached summaries, traces, campaign logs and attribution snapshots
+// (plus /metrics, /healthz and pprof) until SIGINT. `-server` makes the
+// analysis a client call against such a daemon — the printed report is
+// byte-identical to a local run (use `-timing=false` to drop the
+// run-dependent timing rows when diffing).
 //
 // `-obs-addr host:port` serves /metrics and /debug/pprof while the
 // analysis runs; `-trace-out spans.jsonl` records per-phase spans (wall
@@ -16,10 +26,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"math/bits"
 	"os"
-	"sort"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
@@ -30,14 +40,64 @@ import (
 	"repro/internal/lang"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	args := os.Args[1:]
+	var err error
+	if len(args) > 0 && args[0] == "serve" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		err = runServe(ctx, args[1:], nil)
+	} else {
+		err = run(args)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "epvf:", err)
 		os.Exit(1)
 	}
+}
+
+// runServe is the `epvf serve` subcommand: a long-lived analysis daemon
+// with a content-addressed result cache, drained gracefully when ctx is
+// cancelled (SIGINT/SIGTERM from main). announce, when non-nil, is told
+// the bound address (tests use it; main prints instead).
+func runServe(ctx context.Context, args []string, announce func(addr string)) error {
+	fs := flag.NewFlagSet("epvf serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "listen address (host:port; :0 picks a free port)")
+	cacheDir := fs.String("cache-dir", "", "disk cache directory (results survive restarts; empty keeps them in memory only)")
+	memMB := fs.Int("cache-mem-mb", 64, "memory-tier cache budget in MiB")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+	srv, err := serve.New(serve.Config{
+		Addr:          *addr,
+		CacheDir:      *cacheDir,
+		CacheMemBytes: int64(*memMB) << 20,
+		Registry:      reg,
+	})
+	if err != nil {
+		return err
+	}
+	srv.Start()
+	if announce != nil {
+		announce(srv.Addr())
+	} else {
+		fmt.Printf("epvf serve: listening on http://%s\n", srv.Addr())
+		if *cacheDir != "" {
+			fmt.Printf("epvf serve: disk cache under %s\n", *cacheDir)
+		}
+		fmt.Printf("epvf serve: analyze with: epvf -bench mm -server %s\n", srv.Addr())
+	}
+	<-ctx.Done()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(sctx)
 }
 
 func run(args []string) error {
@@ -57,6 +117,8 @@ func run(args []string) error {
 	dotEvents := fs.Int64("dot-events", 400, "number of events included in the -dot rendering")
 	obsAddr := fs.String("obs-addr", "", "serve /metrics and /debug/pprof on this address while analyzing")
 	traceOut := fs.String("trace-out", "", "record phase spans to this JSONL file and print the phase summary")
+	server := fs.String("server", "", "analysis daemon address (see `epvf serve`); the result comes from its content-addressed cache")
+	timing := fs.Bool("timing", true, "include the analysis timing rows (disable for byte-stable reports across runs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,27 +168,47 @@ func run(args []string) error {
 		fmt.Println(ir.Print(m))
 	}
 
+	// sum drives every rendered section; a holds the local analysis
+	// backing the trace-dependent extras (-sample, -save-trace, -dot),
+	// which a daemon-served summary cannot provide.
+	var sum *serve.Summary
 	var a *epvf.Analysis
-	var dynInstrs int64
-	if *loadTrace != "" {
-		f, err := os.Open(*loadTrace)
+	if *server != "" {
+		if *sample > 0 || *saveTrace != "" || *loadTrace != "" || *dotFile != "" || *traceOut != "" {
+			return fmt.Errorf("-sample, -save-trace, -load-trace, -dot and -trace-out need a local analysis; drop them or remove -server")
+		}
+		reply, err := serve.NewClient(*server).Analyze(ir.Print(m))
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		tr, err := trace.Load(f, m)
-		if err != nil {
-			return err
-		}
-		a = epvf.AnalyzeTrace(tr, epvf.Config{})
-		dynInstrs = tr.NumEvents()
+		// Provenance goes to stderr so stdout stays byte-identical to a
+		// local run.
+		fmt.Fprintf(os.Stderr, "epvf: %s from %s (module %s, stage %s)\n",
+			m.Name, *server, reply.ModuleHash, reply.Stage)
+		sum = reply.Summary
 	} else {
-		var golden *interp.Result
-		a, golden, err = epvf.AnalyzeModule(m, epvf.Config{})
-		if err != nil {
-			return err
+		var dynInstrs int64
+		if *loadTrace != "" {
+			f, err := os.Open(*loadTrace)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			tr, err := trace.Load(f, m)
+			if err != nil {
+				return err
+			}
+			a = epvf.AnalyzeTrace(tr, epvf.Config{})
+			dynInstrs = tr.NumEvents()
+		} else {
+			var golden *interp.Result
+			a, golden, err = epvf.AnalyzeModule(m, epvf.Config{})
+			if err != nil {
+				return err
+			}
+			dynInstrs = golden.DynInstrs
 		}
-		dynInstrs = golden.DynInstrs
+		sum = serve.Summarize(m.Name, a, dynInstrs)
 	}
 	if *saveTrace != "" {
 		f, err := os.Create(*saveTrace)
@@ -153,100 +235,27 @@ func run(args []string) error {
 		}
 		fmt.Printf("wrote DDG rendering to %s\n", *dotFile)
 	}
-	st := ddg.New(a.Trace).ComputeStats()
 
-	t := report.NewTable(fmt.Sprintf("ePVF analysis: %s", m.Name), "Metric", "Value")
-	t.AddRow("dynamic IR instructions", dynInstrs)
-	t.AddRow("register definitions", st.RegisterDefs)
-	t.AddRow("memory accesses", st.MemAccesses)
-	t.AddRow("ACE-graph nodes", a.ACENodes)
-	t.AddRow("total register bits", a.TotalBits)
-	t.AddRow("ACE bits", a.ACEBits)
-	t.AddRow("crash-causing bits", a.CrashResult.CrashBitCount)
-	t.AddRow("PVF", a.PVF())
-	t.AddRow("ePVF", a.EPVF())
-	t.AddRow("estimated crash rate", report.Percent(a.CrashRate()))
-	t.AddRow("vulnerable-bit reduction vs PVF", report.Percent(a.VulnerableBitReduction()))
-	t.AddRow("graph construction time", fmt.Sprintf("%.3fs", a.Timing.GraphBuild.Seconds()))
-	t.AddRow("crash+propagation model time", fmt.Sprintf("%.3fs", a.Timing.Models.Seconds()))
-	fmt.Print(t.String())
+	fmt.Print(sum.RenderMain(*timing))
 
 	if *sample > 0 {
 		est := epvf.SampledEstimate(a.Trace, *sample, epvf.Config{})
 		fmt.Printf("\nSampled ePVF (%.0f%% of output nodes, linearly extrapolated): %.4f (full: %.4f)\n",
-			*sample*100, est, a.EPVF())
+			*sample*100, est, sum.EPVF())
 	}
-
 	if *classes {
-		// The census behind internal/attr's classifier: every dynamic
-		// definition's bits split into the paper's three ranges.
-		var crashBits, aceBits, unaceBits int64
-		for _, d := range a.DefClasses() {
-			nc := int64(bits.OnesCount64(d.CrashMask))
-			crashBits += nc
-			if d.ACE {
-				aceBits += int64(d.Width) - nc
-			} else {
-				unaceBits += int64(d.Width) - nc
-			}
-		}
-		total := crashBits + aceBits + unaceBits
-		ct := report.NewTable("\nBit-class census (dynamic definitions)",
-			"Class", "Bits", "Share")
-		ct.AddRow("crash-predicted", crashBits, report.Percent(share(crashBits, total)))
-		ct.AddRow("ACE (SDC-predicted)", aceBits, report.Percent(share(aceBits, total)))
-		ct.AddRow("unACE (benign-predicted)", unaceBits, report.Percent(share(unaceBits, total)))
-		ct.AddRow("total", total, report.Percent(1))
-		fmt.Print(ct.String())
+		fmt.Print(sum.RenderClasses())
 	}
-
 	if *perFunc {
-		ft := report.NewTable("\nPer-function vulnerability",
-			"Function", "Dyn instrs", "PVF", "ePVF")
-		for _, v := range a.PerFunction() {
-			ft.AddRow("@"+v.Func.Name, v.Dynamic, v.PVF(), v.EPVF())
-		}
-		fmt.Print(ft.String())
+		fmt.Print(sum.RenderPerFunc())
 	}
-
 	if *perInstr > 0 {
-		per := a.PerInstruction()
-		type entry struct {
-			v *epvf.InstrVuln
-		}
-		var entries []entry
-		for _, v := range per {
-			if v.TotalBits > 0 {
-				entries = append(entries, entry{v})
-			}
-		}
-		sort.Slice(entries, func(i, j int) bool {
-			if entries[i].v.EPVF() != entries[j].v.EPVF() {
-				return entries[i].v.EPVF() > entries[j].v.EPVF()
-			}
-			return entries[i].v.Instr.ID < entries[j].v.Instr.ID
-		})
-		if len(entries) > *perInstr {
-			entries = entries[:*perInstr]
-		}
-		pt := report.NewTable("\nMost SDC-prone static instructions (by ePVF)",
-			"ID", "Opcode", "Dynamic", "PVF", "ePVF")
-		for _, e := range entries {
-			pt.AddRow(e.v.Instr.ID, e.v.Instr.Op.String(), e.v.Dynamic, e.v.PVF(), e.v.EPVF())
-		}
-		fmt.Print(pt.String())
+		fmt.Print(sum.RenderPerInstr(*perInstr))
 	}
 	if tracer != nil {
 		fmt.Print("\n" + tracer.Summary())
 	}
 	return nil
-}
-
-func share(n, total int64) float64 {
-	if total == 0 {
-		return 0
-	}
-	return float64(n) / float64(total)
 }
 
 func loadModule(benchName, srcPath string, scale int) (*ir.Module, error) {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -111,5 +113,93 @@ func TestDotExport(t *testing.T) {
 	b, err := os.ReadFile(path)
 	if err != nil || !strings.Contains(string(b), "digraph ddg") {
 		t.Fatalf("dot file bad: %v", err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, readErr := io.ReadAll(r)
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	return string(out)
+}
+
+// startServeCmd runs the `epvf serve` subcommand in the background and
+// returns its bound address.
+func startServeCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe(ctx, args, func(addr string) { addrCh <- addr })
+	}()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("serve shutdown: %v", err)
+		}
+	})
+	select {
+	case addr := <-addrCh:
+		return addr
+	case err := <-done:
+		t.Fatalf("serve exited early: %v", err)
+		return ""
+	}
+}
+
+func TestClientModeByteIdenticalToLocal(t *testing.T) {
+	addr := startServeCmd(t, "-cache-dir", t.TempDir())
+	args := []string{"-bench", "lud", "-timing=false", "-classes", "-per-func", "-per-instr", "3"}
+	local := captureStdout(t, func() error { return run(args) })
+	cold := captureStdout(t, func() error { return run(append([]string{"-server", addr}, args...)) })
+	warm := captureStdout(t, func() error { return run(append([]string{"-server", addr}, args...)) })
+	if cold != local {
+		t.Errorf("daemon (cold) output differs from local:\n--- local ---\n%s\n--- daemon ---\n%s", local, cold)
+	}
+	if warm != local {
+		t.Errorf("daemon (cached) output differs from local:\n--- local ---\n%s\n--- daemon ---\n%s", local, warm)
+	}
+	if !strings.Contains(local, "ePVF analysis: lud") {
+		t.Errorf("implausible report:\n%s", local)
+	}
+}
+
+func TestClientModeRejectsLocalOnlyFlags(t *testing.T) {
+	addr := startServeCmd(t)
+	for _, extra := range [][]string{
+		{"-sample", "0.1"},
+		{"-save-trace", "x.trace"},
+		{"-load-trace", "x.trace"},
+		{"-dot", "g.dot"},
+		{"-trace-out", "spans.jsonl"},
+	} {
+		args := append([]string{"-server", addr, "-bench", "lud"}, extra...)
+		if err := run(args); err == nil || !strings.Contains(err.Error(), "local analysis") {
+			t.Errorf("%v: err = %v, want local-analysis rejection", extra, err)
+		}
+	}
+}
+
+func TestClientModeBadServer(t *testing.T) {
+	if err := run([]string{"-bench", "lud", "-server", "127.0.0.1:1"}); err == nil {
+		t.Error("unreachable daemon not reported")
 	}
 }

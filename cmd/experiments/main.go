@@ -9,9 +9,11 @@
 //
 // Flags scale the campaigns: -runs (default 3000, the paper's size),
 // -quick (CI-scale), -benchmarks (comma-separated subset). With
-// -campaign-cache <dir>, fault-injection campaigns persist to durable
-// JSONL logs under the directory and later invocations replay them
-// instead of re-injecting (interrupted runs resume mid-campaign).
+// -campaign-cache <dir>, fault-injection campaigns persist to a
+// content-addressed internal/cache store under the directory (the same
+// layout `epvf serve -cache-dir` reads) and later invocations replay
+// them instead of re-injecting (interrupted runs resume mid-campaign
+// from work files).
 package main
 
 import (
@@ -46,7 +48,7 @@ func run(args []string) error {
 	caseScale := fs.Int("case-scale", 2, "input scale for the §V case-study campaigns")
 	seed := fs.Int64("seed", 2016, "random seed")
 	benchList := fs.String("benchmarks", "", "comma-separated benchmark subset (default: the paper's ten)")
-	campaignCache := fs.String("campaign-cache", "", "directory of durable campaign logs; reused across invocations and resumable after interruption")
+	campaignCache := fs.String("campaign-cache", "", "campaign cache directory (content-addressed store shared with `epvf serve -cache-dir`); reused across invocations and resumable after interruption")
 	obsAddr := fs.String("obs-addr", "", "serve /metrics and /debug/pprof on this address while the suite runs")
 	if err := fs.Parse(args); err != nil {
 		return err

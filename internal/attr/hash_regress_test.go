@@ -1,0 +1,27 @@
+package attr
+
+import "testing"
+
+// TestSnapshotHashPinned pins the ledger-snapshot content hash to values
+// captured before hashing moved into internal/content. Snapshot hashes
+// are the dist classifier-skew cross-check (lhash) and the cache key for
+// served attribution snapshots, so silent drift would 409 every
+// mixed-version fleet.
+func TestSnapshotHashPinned(t *testing.T) {
+	empty := Collect(nil, nil)
+	if got, want := empty.Hash(), "e0de8c9c9043368d"; got != want {
+		t.Fatalf("empty snapshot hash drifted: got %s, want pinned %s", got, want)
+	}
+	s := &Snapshot{
+		Runs:    42,
+		Unknown: 2,
+		Cells: []CellJSON{
+			{Instr: 7, Class: "ace", Benign: 3, SDC: 4, Segfault: 1,
+				Bits: []BitCellJSON{{Bit: 0, N: 2, Mis: 1}, {Bit: 63, N: 5}}},
+			{Instr: 9, Class: "crash", Crash: 8, Abort: 2},
+		},
+	}
+	if got, want := s.Hash(), "5792d6046be60e93"; got != want {
+		t.Fatalf("snapshot hash drifted: got %s, want pinned %s", got, want)
+	}
+}

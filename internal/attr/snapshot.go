@@ -1,11 +1,10 @@
 package attr
 
 import (
-	"crypto/sha256"
 	"encoding/json"
-	"fmt"
 	"sort"
 
+	"repro/internal/content"
 	"repro/internal/fi"
 	"repro/internal/interp"
 )
@@ -180,22 +179,19 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 	return snapshotCells(cells, runs, unknown)
 }
 
-// Hash returns the snapshot's content hash: sha256 over a domain prefix
-// plus the canonical JSON encoding, truncated to 16 hex characters (the
-// same discipline as campaign.ShardHash). Equal tallies hash equal
-// regardless of how they were aggregated.
+// Hash returns the snapshot's content hash: the shared content-address
+// discipline (internal/content) over the "epvf-attr-v1" domain plus the
+// canonical JSON encoding. Equal tallies hash equal regardless of how
+// they were aggregated.
 func (s *Snapshot) Hash() string {
 	if s == nil {
 		return ""
 	}
-	h := sha256.New()
-	fmt.Fprintf(h, "epvf-attr-v1\n")
 	enc, err := json.Marshal(s)
 	if err != nil {
 		// Snapshot marshalling cannot fail (plain structs); keep the
 		// signature infallible.
 		panic(err)
 	}
-	h.Write(enc)
-	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+	return content.Hash("epvf-attr-v1", enc)
 }

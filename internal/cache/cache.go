@@ -1,0 +1,331 @@
+// Package cache is a generic two-tier content-addressed result store:
+// an in-memory LRU tier with byte-size accounting in front of an
+// optional disk spill tier (one file per hash under a versioned
+// namespace, atomically written, corruption treated as a miss).
+//
+// Entries are addressed by (kind, hash): kind partitions the namespace
+// per artifact family ("trace", "summary", "campaign", "attr", …) and
+// hash is a content address produced by internal/content, so equal keys
+// imply equal values and a cache entry can never be stale — only absent.
+// That invariant is what lets every consumer (the analysis daemon, the
+// experiments suite, client CLIs) share one store without coordination.
+//
+// Concurrency: all methods are safe for concurrent use. GetOrFill
+// single-flights concurrent fills of the same key, so a thundering herd
+// of identical requests computes the expensive result once.
+//
+// Observability: hit/miss/eviction/corruption counters and byte/entry
+// gauges are published as epvf_cache_* metrics through the nil-safe
+// internal/obs registry.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// DefaultMemBytes is the memory-tier budget when Config leaves it zero.
+const DefaultMemBytes = 64 << 20
+
+// Config describes a store.
+type Config struct {
+	// Dir is the disk spill tier's parent directory; entries live under
+	// Dir/epvf-cache-v1/<kind>/<hash>. Empty disables the disk tier
+	// (memory-only store).
+	Dir string
+	// MemBytes bounds the memory tier (sum of payload sizes); zero means
+	// DefaultMemBytes, negative disables the memory tier entirely.
+	MemBytes int64
+	// Registry receives the epvf_cache_* metrics. Nil falls back to the
+	// process-default registry at call time (obs.Default, nil-safe), so a
+	// store constructed before observability is enabled still reports.
+	Registry *obs.Registry
+}
+
+// Store is the two-tier cache. Create with Open.
+type Store struct {
+	cfg  Config
+	root string // versioned disk namespace, "" when memory-only
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	memBytes int64
+	flights  map[string]*flight
+
+	// counters mirrored into the obs registry; kept locally too so
+	// Stats() works without a registry.
+	hits, misses, evictions, corrupt, fills int64
+}
+
+// entry is one memory-tier element.
+type entry struct {
+	key  string
+	kind string
+	data []byte
+}
+
+// flight is one in-progress GetOrFill computation. shared counts the
+// waiters that joined instead of computing (observable for tests).
+type flight struct {
+	wg     sync.WaitGroup
+	data   []byte
+	err    error
+	shared int
+}
+
+// Open creates a store. With cfg.Dir set, the versioned namespace
+// directory is created and stale temporary files from crashed writers are
+// swept.
+func Open(cfg Config) (*Store, error) {
+	if cfg.MemBytes == 0 {
+		cfg.MemBytes = DefaultMemBytes
+	}
+	s := &Store{
+		cfg:     cfg,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+	if cfg.Dir != "" {
+		root, err := openDiskTier(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		s.root = root
+	}
+	return s, nil
+}
+
+// reg resolves the metrics registry: the configured one, else whatever is
+// currently installed process-wide (possibly nil — every obs handle is
+// nil-safe).
+func (s *Store) reg() *obs.Registry {
+	if s.cfg.Registry != nil {
+		return s.cfg.Registry
+	}
+	return obs.Default()
+}
+
+// memKey joins kind and hash into the memory-tier map key. '\x00' cannot
+// appear in either component (validateKey), so the join is unambiguous.
+func memKey(kind, hash string) string { return kind + "\x00" + hash }
+
+// validateKey rejects components that could escape the disk namespace or
+// collide across kinds. Hashes come from internal/content (hex), kinds
+// are short static literals; anything else is a programming error
+// reported loudly.
+func validateKey(kind, hash string) error {
+	if kind == "" || hash == "" {
+		return fmt.Errorf("cache: empty key component (kind=%q hash=%q)", kind, hash)
+	}
+	for _, s := range [2]string{kind, hash} {
+		for _, r := range s {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			default:
+				return fmt.Errorf("cache: key component %q contains %q (want [a-z0-9_-])", s, r)
+			}
+		}
+	}
+	return nil
+}
+
+// Get returns the cached payload for (kind, hash). The returned slice is
+// a private copy. A disk-tier hit is promoted into the memory tier; a
+// corrupt or truncated disk entry is evicted and reported as a miss.
+func (s *Store) Get(kind, hash string) ([]byte, bool) {
+	if err := validateKey(kind, hash); err != nil {
+		return nil, false
+	}
+	key := memKey(kind, hash)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		data := append([]byte(nil), el.Value.(*entry).data...)
+		s.hits++
+		s.mu.Unlock()
+		s.reg().Counter("epvf_cache_hits_total", "tier", "mem", "kind", kind).Inc()
+		return data, true
+	}
+	s.mu.Unlock()
+
+	if s.root != "" {
+		data, err := s.readDisk(kind, hash)
+		switch {
+		case err == nil:
+			s.mu.Lock()
+			s.hits++
+			s.insertLocked(kind, hash, data)
+			s.mu.Unlock()
+			s.reg().Counter("epvf_cache_hits_total", "tier", "disk", "kind", kind).Inc()
+			s.publishGauges()
+			return append([]byte(nil), data...), true
+		case isCorrupt(err):
+			// Bad bytes on disk are a miss, never a crash: drop the file
+			// so the next fill rewrites it.
+			s.evictDisk(kind, hash)
+			s.mu.Lock()
+			s.corrupt++
+			s.mu.Unlock()
+			s.reg().Counter("epvf_cache_corrupt_total", "kind", kind).Inc()
+		}
+	}
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+	s.reg().Counter("epvf_cache_misses_total", "kind", kind).Inc()
+	return nil, false
+}
+
+// Put stores a payload under (kind, hash) in both tiers. The data is
+// copied; callers may reuse the slice.
+func (s *Store) Put(kind, hash string, data []byte) error {
+	if err := validateKey(kind, hash); err != nil {
+		return err
+	}
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	s.insertLocked(kind, hash, cp)
+	s.mu.Unlock()
+	s.publishGauges()
+	if s.root != "" {
+		if err := s.writeDisk(kind, hash, cp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// insertLocked places data into the memory tier and evicts LRU entries
+// until the byte budget holds. Oversized payloads (alone above budget)
+// skip the memory tier rather than flushing it.
+func (s *Store) insertLocked(kind, hash string, data []byte) {
+	if s.cfg.MemBytes < 0 || int64(len(data)) > s.cfg.MemBytes {
+		return
+	}
+	key := memKey(kind, hash)
+	if el, ok := s.items[key]; ok {
+		old := el.Value.(*entry)
+		s.memBytes += int64(len(data)) - int64(len(old.data))
+		old.data = data
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[key] = s.ll.PushFront(&entry{key: key, kind: kind, data: data})
+		s.memBytes += int64(len(data))
+	}
+	for s.memBytes > s.cfg.MemBytes {
+		back := s.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		s.ll.Remove(back)
+		delete(s.items, e.key)
+		s.memBytes -= int64(len(e.data))
+		s.evictions++
+		s.reg().Counter("epvf_cache_evictions_total", "kind", e.kind).Inc()
+	}
+}
+
+// GetOrFill returns the cached payload, or computes it with fill,
+// stores it, and returns it. Concurrent calls for the same key share one
+// fill; waiters that were served by another goroutine's fill report
+// hit=true (they did not recompute). fill errors are returned to every
+// caller of that flight and nothing is stored.
+func (s *Store) GetOrFill(kind, hash string, fill func() ([]byte, error)) (data []byte, hit bool, err error) {
+	if err := validateKey(kind, hash); err != nil {
+		return nil, false, err
+	}
+	if data, ok := s.Get(kind, hash); ok {
+		return data, true, nil
+	}
+	key := memKey(kind, hash)
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		f.shared++
+		s.mu.Unlock()
+		s.reg().Counter("epvf_cache_singleflight_shared_total", "kind", kind).Inc()
+		f.wg.Wait()
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		return append([]byte(nil), f.data...), true, nil
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
+		f.wg.Done()
+	}()
+	f.data, f.err = fill()
+	if f.err != nil {
+		return nil, false, f.err
+	}
+	s.mu.Lock()
+	s.fills++
+	s.mu.Unlock()
+	s.reg().Counter("epvf_cache_fills_total", "kind", kind).Inc()
+	if err := s.Put(kind, hash, f.data); err != nil {
+		return nil, false, err
+	}
+	return append([]byte(nil), f.data...), false, nil
+}
+
+// publishGauges refreshes the byte/entry gauges after a mutation.
+func (s *Store) publishGauges() {
+	reg := s.reg()
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	bytes, entries := s.memBytes, len(s.items)
+	s.mu.Unlock()
+	reg.Gauge("epvf_cache_mem_bytes").Set(float64(bytes))
+	reg.Gauge("epvf_cache_mem_entries").Set(float64(entries))
+}
+
+// Stats is a point-in-time view of the store, served on /healthz.
+type Stats struct {
+	Dir         string `json:"dir,omitempty"`
+	MemEntries  int    `json:"mem_entries"`
+	MemBytes    int64  `json:"mem_bytes"`
+	MemBudget   int64  `json:"mem_budget"`
+	DiskEntries int    `json:"disk_entries"`
+	DiskBytes   int64  `json:"disk_bytes"`
+	Hits        int64  `json:"hits"`
+	Misses      int64  `json:"misses"`
+	Fills       int64  `json:"fills"`
+	Evictions   int64  `json:"evictions"`
+	Corrupt     int64  `json:"corrupt"`
+}
+
+// Stats walks the disk tier (cheap: one directory level per kind) and
+// snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Dir:        s.root,
+		MemEntries: len(s.items),
+		MemBytes:   s.memBytes,
+		MemBudget:  s.cfg.MemBytes,
+		Hits:       s.hits,
+		Misses:     s.misses,
+		Fills:      s.fills,
+		Evictions:  s.evictions,
+		Corrupt:    s.corrupt,
+	}
+	s.mu.Unlock()
+	if s.root != "" {
+		st.DiskEntries, st.DiskBytes = s.diskUsage()
+	}
+	return st
+}

@@ -1,0 +1,325 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func mustOpen(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	s := mustOpen(t, Config{})
+	if _, ok := s.Get("kind", "abc123"); ok {
+		t.Fatal("hit on empty store")
+	}
+	want := []byte("payload")
+	if err := s.Put("kind", "abc123", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("kind", "abc123")
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, want)
+	}
+	// The returned slice is a copy: scribbling on it must not poison the
+	// cached value.
+	got[0] = 'X'
+	again, _ := s.Get("kind", "abc123")
+	if !bytes.Equal(again, want) {
+		t.Fatalf("cached value mutated through Get result: %q", again)
+	}
+}
+
+func TestDiskRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir})
+	want := []byte("durable payload")
+	if err := s.Put("trace", "deadbeef", want); err != nil {
+		t.Fatal(err)
+	}
+	// A second store over the same directory — the daemon-restart case —
+	// serves the entry from the disk tier.
+	s2 := mustOpen(t, Config{Dir: dir})
+	got, ok := s2.Get("trace", "deadbeef")
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("reopened store Get = %q, %v; want %q, true", got, ok, want)
+	}
+	st := s2.Stats()
+	if st.DiskEntries != 1 || st.DiskBytes == 0 {
+		t.Fatalf("disk stats = %+v, want 1 entry with bytes", st)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1", st.Hits)
+	}
+	// The hit was promoted into the memory tier.
+	if st.MemEntries != 1 {
+		t.Fatalf("mem entries after disk promotion = %d, want 1", st.MemEntries)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	s := mustOpen(t, Config{Dir: t.TempDir()})
+	for _, bad := range [][2]string{
+		{"", "abc"}, {"kind", ""}, {"../escape", "abc"},
+		{"kind", "ABC"}, {"kind", "a/b"}, {"k nd", "abc"},
+	} {
+		if err := s.Put(bad[0], bad[1], []byte("x")); err == nil {
+			t.Errorf("Put(%q, %q) accepted a bad key", bad[0], bad[1])
+		}
+		if _, ok := s.Get(bad[0], bad[1]); ok {
+			t.Errorf("Get(%q, %q) hit on a bad key", bad[0], bad[1])
+		}
+	}
+}
+
+// TestCorruptionIsAMiss covers the disk failure modes: flipped payload
+// bytes, truncation, a mangled header, and an empty file. Every one must
+// read as a miss, evict the bad file, and allow a clean refill.
+func TestCorruptionIsAMiss(t *testing.T) {
+	corruptions := map[string]func(path string, t *testing.T){
+		"bitflip": func(path string, t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)-1] ^= 0x40
+			os.WriteFile(path, raw, 0o644)
+		},
+		"truncated": func(path string, t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			os.WriteFile(path, raw[:len(raw)-3], 0o644)
+		},
+		"bad-header": func(path string, t *testing.T) {
+			os.WriteFile(path, []byte("not-a-cache-entry\npayload"), 0o644)
+		},
+		"empty": func(path string, t *testing.T) {
+			os.WriteFile(path, nil, 0o644)
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			reg := obs.NewRegistry()
+			s := mustOpen(t, Config{Dir: dir, Registry: reg})
+			if err := s.Put("epvf", "cafe01", []byte("good bytes")); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, diskNamespace, "epvf", "cafe01")
+			corrupt(path, t)
+
+			// A fresh store (no memory-tier copy) must see a miss, not a
+			// crash, and must evict the bad file.
+			s2 := mustOpen(t, Config{Dir: dir, Registry: reg})
+			if _, ok := s2.Get("epvf", "cafe01"); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry not evicted: stat err = %v", err)
+			}
+			if st := s2.Stats(); st.Corrupt != 1 {
+				t.Fatalf("corrupt counter = %d, want 1", st.Corrupt)
+			}
+			// Refill works and survives a further reopen.
+			if err := s2.Put("epvf", "cafe01", []byte("fresh bytes")); err != nil {
+				t.Fatal(err)
+			}
+			s3 := mustOpen(t, Config{Dir: dir, Registry: reg})
+			got, ok := s3.Get("epvf", "cafe01")
+			if !ok || string(got) != "fresh bytes" {
+				t.Fatalf("refilled entry = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+func TestLRUEvictionUnderByteBudget(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := mustOpen(t, Config{MemBytes: 100, Registry: reg})
+	pay := func(c byte) []byte { return bytes.Repeat([]byte{c}, 40) }
+	s.Put("k", "aa", pay('a'))
+	s.Put("k", "bb", pay('b'))
+	// 80 bytes resident; inserting a third 40-byte entry must evict the
+	// least recently used ("aa").
+	s.Put("k", "cc", pay('c'))
+	if _, ok := s.Get("k", "aa"); ok {
+		t.Fatal("LRU entry survived over-budget insert")
+	}
+	for _, h := range []string{"bb", "cc"} {
+		if _, ok := s.Get("k", h); !ok {
+			t.Fatalf("recent entry %s evicted", h)
+		}
+	}
+	st := s.Stats()
+	if st.MemBytes != 80 || st.MemEntries != 2 {
+		t.Fatalf("mem accounting = %d bytes / %d entries, want 80 / 2", st.MemBytes, st.MemEntries)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if v := reg.Counter("epvf_cache_evictions_total", "kind", "k").Value(); v != 1 {
+		t.Fatalf("epvf_cache_evictions_total = %d, want 1", v)
+	}
+
+	// Touching "bb" makes "cc" the LRU victim of the next insert.
+	s.Get("k", "bb")
+	s.Put("k", "dd", pay('d'))
+	if _, ok := s.Get("k", "cc"); ok {
+		t.Fatal("eviction ignored recency")
+	}
+	if _, ok := s.Get("k", "bb"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+
+	// An oversized payload skips the memory tier instead of flushing it.
+	s.Put("k", "ee", bytes.Repeat([]byte{'e'}, 200))
+	if st := s.Stats(); st.MemBytes > 100 {
+		t.Fatalf("budget exceeded: %d bytes resident", st.MemBytes)
+	}
+	if _, ok := s.Get("k", "bb"); !ok {
+		t.Fatal("oversized insert flushed the memory tier")
+	}
+}
+
+func TestGetOrFillSingleflight(t *testing.T) {
+	s := mustOpen(t, Config{})
+	var fills atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	const waiters = 15
+	var wg sync.WaitGroup
+	results := make([][]byte, waiters+1)
+	hits := make([]bool, waiters+1)
+	worker := func(i int, fill func() ([]byte, error)) {
+		defer wg.Done()
+		data, hit, err := s.GetOrFill("k", "aaaa", fill)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		results[i], hits[i] = data, hit
+	}
+	// One designated filler holds the flight open on the release channel…
+	wg.Add(1)
+	go worker(0, func() ([]byte, error) {
+		fills.Add(1)
+		close(started)
+		<-release
+		return []byte("filled"), nil
+	})
+	<-started
+	// …so every waiter spawned now deterministically joins that flight
+	// (the value is absent and the flight cannot be removed while fill
+	// blocks). Releasing only once all have joined makes fills == 1 a
+	// hard invariant, not a scheduling accident.
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go worker(i, func() ([]byte, error) {
+			fills.Add(1)
+			return []byte("filled"), nil
+		})
+	}
+	for s.flightWaiters() < waiters {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("fill ran %d times, want 1", n)
+	}
+	misses := 0
+	for i := range results {
+		if string(results[i]) != "filled" {
+			t.Fatalf("goroutine %d got %q", i, results[i])
+		}
+		if !hits[i] {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d goroutines reported a miss, want exactly the filler", misses)
+	}
+	// The filled value is now cached.
+	if _, hit, _ := s.GetOrFill("k", "aaaa", func() ([]byte, error) {
+		t.Fatal("fill re-ran for a cached key")
+		return nil, nil
+	}); !hit {
+		t.Fatal("filled entry not served as a hit")
+	}
+}
+
+func TestGetOrFillError(t *testing.T) {
+	s := mustOpen(t, Config{})
+	wantErr := fmt.Errorf("compute exploded")
+	if _, _, err := s.GetOrFill("k", "bad1", func() ([]byte, error) { return nil, wantErr }); err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	// Errors are not cached: the next fill runs again.
+	data, hit, err := s.GetOrFill("k", "bad1", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || hit || string(data) != "ok" {
+		t.Fatalf("retry after error = %q, %v, %v", data, hit, err)
+	}
+}
+
+func TestStaleTempFilesSweptOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir})
+	s.Put("k", "aa11", []byte("x"))
+	stale := filepath.Join(dir, diskNamespace, "k", "tmp-12345")
+	if err := os.WriteFile(stale, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mustOpen(t, Config{Dir: dir})
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived reopen: %v", err)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := mustOpen(t, Config{Dir: t.TempDir(), Registry: reg})
+	s.Get("k", "aa") // miss
+	s.Put("k", "aa", []byte("v"))
+	s.Get("k", "aa") // mem hit
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`epvf_cache_misses_total{kind="k"} 1`,
+		`epvf_cache_hits_total{kind="k",tier="mem"} 1`,
+		"epvf_cache_mem_bytes 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// flightWaiters exposes how many goroutines have joined in-progress
+// flights (the singleflight test's release barrier).
+func (s *Store) flightWaiters() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, f := range s.flights {
+		n += f.shared
+	}
+	return n
+}

@@ -1,0 +1,149 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/content"
+)
+
+// diskNamespace versions the on-disk layout. Changing the entry framing
+// or key discipline means minting epvf-cache-v2 — old trees are simply
+// never read, not misread.
+const diskNamespace = "epvf-cache-v1"
+
+// entryTag is the domain tag of the integrity checksum stored in each
+// entry's header.
+const entryTag = "epvf-cache-entry-v1"
+
+// errCorrupt wraps every on-disk defect (bad header, short payload,
+// checksum mismatch) that must be treated as a miss plus eviction.
+var errCorrupt = errors.New("cache: corrupt disk entry")
+
+func isCorrupt(err error) bool { return errors.Is(err, errCorrupt) }
+
+// openDiskTier prepares Dir/epvf-cache-v1 and sweeps temporary files
+// left behind by writers that died before their atomic rename.
+func openDiskTier(dir string) (string, error) {
+	root := filepath.Join(dir, diskNamespace)
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return "", fmt.Errorf("cache: create %s: %w", root, err)
+	}
+	stale, _ := filepath.Glob(filepath.Join(root, "*", "tmp-*"))
+	for _, p := range stale {
+		os.Remove(p)
+	}
+	return root, nil
+}
+
+func (s *Store) diskPath(kind, hash string) string {
+	return filepath.Join(s.root, kind, hash)
+}
+
+// writeDisk persists one entry atomically: header + payload into a
+// temporary file in the destination directory, fsync, then rename. A
+// reader can only ever observe a complete old entry or a complete new
+// one, never a torn write.
+func (s *Store) writeDisk(kind, hash string, data []byte) error {
+	dir := filepath.Join(s.root, kind)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cache: create %s: %w", dir, err)
+	}
+	f, err := os.CreateTemp(dir, "tmp-")
+	if err != nil {
+		return fmt.Errorf("cache: temp file: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func() { f.Close(); os.Remove(tmp) }
+	header := fmt.Sprintf("%s %s %s len=%d sum=%s\n",
+		diskNamespace, kind, hash, len(data), content.Hash(entryTag, data))
+	if _, err := f.WriteString(header); err != nil {
+		cleanup()
+		return fmt.Errorf("cache: write %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("cache: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("cache: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cache: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, s.diskPath(kind, hash)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cache: rename: %w", err)
+	}
+	return nil
+}
+
+// readDisk loads and verifies one entry. Missing files return
+// os.ErrNotExist; every framing or integrity defect returns errCorrupt.
+func (s *Store) readDisk(kind, hash string) ([]byte, error) {
+	raw, err := os.ReadFile(s.diskPath(kind, hash))
+	if err != nil {
+		return nil, err
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("%w: %s/%s: missing header", errCorrupt, kind, hash)
+	}
+	fields := strings.Fields(string(raw[:nl]))
+	if len(fields) != 5 || fields[0] != diskNamespace || fields[1] != kind || fields[2] != hash ||
+		!strings.HasPrefix(fields[3], "len=") || !strings.HasPrefix(fields[4], "sum=") {
+		return nil, fmt.Errorf("%w: %s/%s: bad header %q", errCorrupt, kind, hash, string(raw[:nl]))
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(fields[3], "len="))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s/%s: bad length", errCorrupt, kind, hash)
+	}
+	payload := raw[nl+1:]
+	if len(payload) != n {
+		return nil, fmt.Errorf("%w: %s/%s: %d payload bytes, header says %d (truncated?)",
+			errCorrupt, kind, hash, len(payload), n)
+	}
+	if sum := content.Hash(entryTag, payload); sum != strings.TrimPrefix(fields[4], "sum=") {
+		return nil, fmt.Errorf("%w: %s/%s: checksum mismatch", errCorrupt, kind, hash)
+	}
+	return payload, nil
+}
+
+// evictDisk removes a bad entry so the next fill rewrites it.
+func (s *Store) evictDisk(kind, hash string) {
+	os.Remove(s.diskPath(kind, hash))
+}
+
+// diskUsage counts entries and payload-file bytes across all kinds.
+func (s *Store) diskUsage() (entries int, bytes int64) {
+	kinds, err := os.ReadDir(s.root)
+	if err != nil {
+		return 0, 0
+	}
+	for _, k := range kinds {
+		if !k.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.root, k.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() || strings.HasPrefix(f.Name(), "tmp-") {
+				continue
+			}
+			if info, err := f.Info(); err == nil {
+				entries++
+				bytes += info.Size()
+			}
+		}
+	}
+	return entries, bytes
+}

@@ -18,10 +18,9 @@
 package campaign
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 
+	"repro/internal/content"
 	"repro/internal/fi"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -110,13 +109,12 @@ func NewPlan(m *ir.Module, golden *interp.Result, cfg PlanConfig) (*Plan, error)
 // parameter. The benchmark label is excluded so renaming a workload does
 // not invalidate cached results.
 func contentHash(m *ir.Module, p *Plan) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "epvf-campaign-v1\n")
-	fmt.Fprintf(h, "runs=%d shard=%d seed=%d jitter=%d hang=%g bits=%d align=%d\n",
+	h := content.NewHasher("epvf-campaign-v1")
+	h.Printf("runs=%d shard=%d seed=%d jitter=%d hang=%g bits=%d align=%d\n",
 		p.Runs, p.ShardSize, p.Seed, p.JitterWindow, p.HangFactor, p.FaultBits, p.Align)
-	fmt.Fprintf(h, "trace=%d totalbits=%d\n", p.TraceEvents, p.TotalBits)
+	h.Printf("trace=%d totalbits=%d\n", p.TraceEvents, p.TotalBits)
 	h.Write([]byte(ir.Print(m)))
-	return hex.EncodeToString(h.Sum(nil))[:16]
+	return h.Sum()
 }
 
 // FIConfig reconstructs the fi.Config the plan was built from.

@@ -1,0 +1,50 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/fi"
+	"repro/internal/interp"
+)
+
+// The content hashes are durable identifiers: plan IDs name cache
+// entries, log files and coordinator/worker handshakes; shard hashes are
+// the dist idempotency tokens. These tests pin them to values captured
+// before the hashing moved into internal/content — they must never drift
+// without an explicit domain-tag version bump.
+
+func TestPlanIDPinned(t *testing.T) {
+	b, _ := bench.Get("mm")
+	m, err := b.Module(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := interp.Run(m, interp.Config{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(m, golden, PlanConfig{
+		Benchmark: "mm", Runs: 60, ShardSize: 20,
+		FI: fi.Config{Seed: 2016},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "d8c66a0f5c6d5318"
+	if plan.ID != want {
+		t.Fatalf("plan ID drifted: got %s, want pinned %s (cached logs and dist handshakes would all invalidate)", plan.ID, want)
+	}
+}
+
+func TestShardHashPinned(t *testing.T) {
+	recs := []RunRec{
+		{Index: 3, Event: 41, Bit: 7, Mask: 1 << 7, Outcome: 2, Exc: 1},
+		{Index: 1, Event: 9, Bit: 0, Mask: 1, Outcome: 0, Exc: 0},
+		{Index: 2, Event: 100, Bit: 63, Mask: 1 << 63, Outcome: 1, Exc: 0},
+	}
+	const want = "ed36225313fb198e"
+	if got := ShardHash("d8c66a0f5c6d5318", 5, recs); got != want {
+		t.Fatalf("shard hash drifted: got %s, want pinned %s", got, want)
+	}
+}

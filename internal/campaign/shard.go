@@ -1,13 +1,12 @@
 package campaign
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"os"
 	"sort"
 
 	"repro/internal/attr"
+	"repro/internal/content"
 	"repro/internal/fi"
 	"repro/internal/interp"
 )
@@ -56,12 +55,11 @@ func ShardHash(planID string, shard int, recs []RunRec) string {
 	sorted := make([]RunRec, len(recs))
 	copy(sorted, recs)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Index < sorted[b].Index })
-	h := sha256.New()
-	fmt.Fprintf(h, "epvf-shard-v1 plan=%s shard=%d\n", planID, shard)
+	h := content.NewHasher(fmt.Sprintf("epvf-shard-v1 plan=%s shard=%d", planID, shard))
 	for _, r := range sorted {
-		fmt.Fprintf(h, "%d %d %d %d %d %d\n", r.Index, r.Event, r.Bit, r.Mask, r.Outcome, r.Exc)
+		h.Printf("%d %d %d %d %d %d\n", r.Index, r.Event, r.Bit, r.Mask, r.Outcome, r.Exc)
 	}
-	return hex.EncodeToString(h.Sum(nil))[:16]
+	return h.Sum()
 }
 
 // LogState is the replayed content of a campaign log: what a restarted

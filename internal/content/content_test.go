@@ -1,0 +1,63 @@
+package content
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestMatchesInlineSHA256 pins the helper to the byte sequence the
+// historical per-package implementations fed sha256 directly: tag + "\n",
+// then formatted lines, then raw payload, hex-truncated. Any drift here
+// would silently invalidate every durable log, cache entry and shard
+// delivery in the field.
+func TestMatchesInlineSHA256(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		tag := fmt.Sprintf("epvf-test-v%d", rng.Intn(9))
+		line := fmt.Sprintf("runs=%d seed=%d\n", rng.Intn(1000), rng.Int63())
+		payload := make([]byte, rng.Intn(256))
+		rng.Read(payload)
+
+		want := sha256.New()
+		fmt.Fprintf(want, "%s\n", tag)
+		fmt.Fprintf(want, "%s", line)
+		want.Write(payload)
+		wantHex := hex.EncodeToString(want.Sum(nil))[:HashLen]
+
+		h := NewHasher(tag)
+		h.Printf("%s", line)
+		h.Write(payload)
+		if got := h.Sum(); got != wantHex {
+			t.Fatalf("iteration %d: helper hash %s, inline sha256 %s", i, got, wantHex)
+		}
+	}
+}
+
+func TestHashOneShot(t *testing.T) {
+	h := NewHasher("tag")
+	h.Write([]byte("payload"))
+	if got, want := Hash("tag", []byte("payload")), h.Sum(); got != want {
+		t.Fatalf("Hash = %s, incremental = %s", got, want)
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	if Hash("a", []byte("x")) == Hash("b", []byte("x")) {
+		t.Fatal("different tags hashed the same payload identically")
+	}
+	// A tag/payload boundary shift must change the digest: the "\n"
+	// after the tag separates "ab"+"c" from "a"+"bc"... up to the
+	// embedded newline, which is why tags must not contain "\n".
+	if Hash("ab", []byte("c")) == Hash("a", []byte("b\nc")) {
+		t.Fatal("tag newline separator is not doing its job")
+	}
+}
+
+func TestHashLen(t *testing.T) {
+	if got := Hash("t", nil); len(got) != HashLen {
+		t.Fatalf("hash %q has length %d, want %d", got, len(got), HashLen)
+	}
+}

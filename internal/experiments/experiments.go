@@ -9,11 +9,13 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
 
 	"repro/internal/bench"
+	"repro/internal/cache"
 	"repro/internal/campaign"
 	"repro/internal/epvf"
 	"repro/internal/fi"
@@ -48,11 +50,14 @@ type Config struct {
 	// runs serially. Results are identical either way.
 	Parallel int
 	// CampaignDir, when set, persists each benchmark's fault-injection
-	// campaign to a JSONL log under this directory (keyed by the plan's
-	// content hash) and resumes from it on later invocations — table2,
-	// fig5, fig9 and every other campaign consumer then reuse cached
-	// injections instead of re-running them. Empty keeps campaigns in
-	// memory. Results are identical either way.
+	// campaign into an internal/cache content-addressed store under
+	// this directory (kind "campaign", keyed by the plan's content
+	// hash) and replays it on later invocations — table2, fig5, fig9
+	// and every other campaign consumer then reuse cached injections
+	// instead of re-running them. The store layout is the same one
+	// `epvf serve -cache-dir` uses, so a daemon pointed at this
+	// directory serves the experiment campaigns too. Empty keeps
+	// campaigns in memory. Results are identical either way.
 	CampaignDir string
 }
 
@@ -104,6 +109,10 @@ type Suite struct {
 
 	mu      sync.Mutex
 	results map[string]*BenchResult
+
+	storeOnce sync.Once
+	cstore    *cache.Store
+	storeErr  error
 }
 
 // NewSuite creates a suite for the given configuration.
@@ -136,11 +145,26 @@ func (s *Suite) Bench(b *bench.Benchmark) (*BenchResult, error) {
 	return r, nil
 }
 
+// campaignKind is the cache kind experiment campaigns are stored under
+// — the same one internal/serve daemons use, so the suite and a daemon
+// pointed at the same directory share entries.
+const campaignKind = "campaign"
+
+// store lazily opens the content-addressed campaign store under
+// CampaignDir.
+func (s *Suite) store() (*cache.Store, error) {
+	s.storeOnce.Do(func() {
+		s.cstore, s.storeErr = cache.Open(cache.Config{Dir: s.Cfg.CampaignDir})
+	})
+	return s.cstore, s.storeErr
+}
+
 // runCampaign drives the benchmark's fault-injection campaign through the
 // internal/campaign engine. With CampaignDir set the campaign is durable:
-// a previous invocation's log (same module, trace and config, per the
-// plan's content hash) is replayed instead of re-injecting, and an
-// interrupted experiment run resumes where it stopped.
+// a cached log for the same plan (same module, trace and config, per the
+// plan's content hash) is replayed instead of re-injecting, a freshly
+// completed campaign is stored back, and an interrupted invocation
+// leaves a work file the next one resumes from.
 func (s *Suite) runCampaign(name string, m *ir.Module, golden *interp.Result) (*fi.Result, error) {
 	plan, err := campaign.NewPlan(m, golden, campaign.PlanConfig{
 		Benchmark: name,
@@ -154,12 +178,44 @@ func (s *Suite) runCampaign(name string, m *ir.Module, golden *interp.Result) (*
 		return nil, err
 	}
 	opts := campaign.RunOptions{Workers: s.Cfg.Parallel}
+	var store *cache.Store
+	var workPath string
+	cached := false
 	if s.Cfg.CampaignDir != "" {
-		opts.LogPath = filepath.Join(s.Cfg.CampaignDir, fmt.Sprintf("%s-%s.jsonl", name, plan.ID))
+		if store, err = s.store(); err != nil {
+			return nil, err
+		}
+		// The engine wants a JSONL log path; in-progress campaigns live
+		// as work files and are promoted into the store on completion.
+		workPath = filepath.Join(s.Cfg.CampaignDir, "work", fmt.Sprintf("%s-%s.jsonl", name, plan.ID))
+		if err := os.MkdirAll(filepath.Dir(workPath), 0o755); err != nil {
+			return nil, err
+		}
+		if _, err := os.Stat(workPath); os.IsNotExist(err) {
+			if data, ok := store.Get(campaignKind, plan.ID); ok {
+				if err := os.WriteFile(workPath, data, 0o644); err != nil {
+					return nil, err
+				}
+				cached = true
+			}
+		}
+		opts.LogPath = workPath
 	}
 	res, err := campaign.Run(context.Background(), m, golden, plan, opts)
 	if err != nil {
 		return nil, err
+	}
+	if store != nil && res.Complete {
+		if !cached {
+			data, err := os.ReadFile(workPath)
+			if err != nil {
+				return nil, err
+			}
+			if err := store.Put(campaignKind, plan.ID, data); err != nil {
+				return nil, err
+			}
+		}
+		os.Remove(workPath)
 	}
 	return res.FIResult(), nil
 }

@@ -72,9 +72,15 @@ func TestSuiteCampaignCacheReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	logs, err := filepath.Glob(filepath.Join(dir, "mm-*.jsonl"))
+	// The campaign lives in the content-addressed store (the same
+	// layout `epvf serve -cache-dir` reads), not as a loose log file.
+	logs, err := filepath.Glob(filepath.Join(dir, "epvf-cache-v1", "campaign", "*"))
 	if err != nil || len(logs) != 1 {
-		t.Fatalf("campaign log not written: %v (%v)", logs, err)
+		t.Fatalf("campaign cache entry not written: %v (%v)", logs, err)
+	}
+	// The work file was promoted into the store and removed.
+	if stray, _ := filepath.Glob(filepath.Join(dir, "work", "*.jsonl")); len(stray) != 0 {
+		t.Errorf("work files left behind: %v", stray)
 	}
 	// Corrupting nothing, a fresh suite replays the log; results match
 	// bitwise (same Render output) and also match a cacheless suite.

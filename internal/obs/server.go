@@ -13,14 +13,26 @@ import (
 )
 
 // Server is the opt-in live-introspection endpoint: /metrics (Prometheus
-// text, or JSON with ?format=json), /debug/pprof/*, /debug/vars (expvar)
-// and any JSON status views registered with HandleJSON (the campaign
-// engine registers /campaign).
+// text, or JSON with ?format=json), /healthz (liveness plus registered
+// stats sections), /debug/pprof/*, /debug/vars (expvar) and any JSON
+// status views registered with HandleJSON (the campaign engine registers
+// /campaign).
 type Server struct {
-	reg *Registry
-	mux *http.ServeMux
-	ln  net.Listener
-	srv *http.Server
+	reg     *Registry
+	mux     *http.ServeMux
+	ln      net.Listener
+	srv     *http.Server
+	started time.Time
+
+	healthMu sync.Mutex
+	health   []healthSection
+}
+
+// healthSection is one named stats provider on /healthz (e.g. "cache" →
+// cache.Stats, "fleet" → coordinator status).
+type healthSection struct {
+	name string
+	fn   func() any
 }
 
 // expvarOnce guards the one-time expvar publication of the obs snapshot
@@ -34,8 +46,9 @@ func NewServer(addr string, reg *Registry) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{reg: reg, mux: http.NewServeMux(), ln: ln}
+	s := &Server{reg: reg, mux: http.NewServeMux(), ln: ln, started: time.Now()}
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -78,6 +91,36 @@ func (s *Server) Handle(path string, h http.Handler) {
 	s.mux.Handle(path, h)
 }
 
+// AddHealth attaches a named stats section to /healthz: fn's value is
+// rendered under that key on every health probe (e.g. cache hit/byte
+// stats, coordinator fleet state). Safe to call before or after Start.
+func (s *Server) AddHealth(name string, fn func() any) {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	s.health = append(s.health, healthSection{name: name, fn: fn})
+}
+
+// handleHealth is the liveness endpoint: a process that answers it is up,
+// and the payload carries uptime plus every registered stats section —
+// the cache and fleet state a load balancer or operator needs before
+// routing traffic at a daemon.
+func (s *Server) handleHealth(w http.ResponseWriter, req *http.Request) {
+	body := map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	}
+	s.healthMu.Lock()
+	sections := append([]healthSection(nil), s.health...)
+	s.healthMu.Unlock()
+	for _, sec := range sections {
+		body[sec.name] = sec.fn()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
 // Start serves in a background goroutine until Close or Shutdown.
 func (s *Server) Start() {
 	go s.srv.Serve(s.ln)
@@ -112,6 +155,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "epvf observability endpoint")
 	fmt.Fprintln(w, "  /metrics            Prometheus text format (?format=json for JSON)")
+	fmt.Fprintln(w, "  /healthz            liveness + registered stats sections (cache, fleet)")
 	fmt.Fprintln(w, "  /campaign           live campaign status (when a campaign is running)")
 	fmt.Fprintln(w, "  /attr               attribution drill-down (when the ledger is enabled; ?func=, ?instr=, ?format=text)")
 	fmt.Fprintln(w, "  /debug/pprof/       CPU, heap, goroutine profiles")

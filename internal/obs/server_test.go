@@ -168,3 +168,39 @@ func TestServerLiveUpdates(t *testing.T) {
 		t.Errorf("live scrape: %q", body)
 	}
 }
+
+func TestHealthz(t *testing.T) {
+	srv := startTestServer(t, NewRegistry())
+	srv.AddHealth("cache", func() any {
+		return map[string]int{"mem_entries": 3}
+	})
+	srv.Start()
+	srv.AddHealth("fleet", func() any { return "idle" })
+
+	code, body := get(t, "http://"+srv.Addr()+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz: code %d", code)
+	}
+	var got struct {
+		Status        string         `json:"status"`
+		UptimeSeconds float64        `json:"uptime_seconds"`
+		Cache         map[string]int `json:"cache"`
+		Fleet         string         `json:"fleet"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("healthz JSON: %v\n%s", err, body)
+	}
+	if got.Status != "ok" {
+		t.Errorf("status = %q, want ok", got.Status)
+	}
+	if got.UptimeSeconds < 0 {
+		t.Errorf("uptime = %v, want >= 0", got.UptimeSeconds)
+	}
+	if got.Cache["mem_entries"] != 3 {
+		t.Errorf("cache section = %v", got.Cache)
+	}
+	// Sections registered after Start serve too.
+	if got.Fleet != "idle" {
+		t.Errorf("fleet section = %q", got.Fleet)
+	}
+}

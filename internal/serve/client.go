@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client talks to an analysis daemon. The zero HTTP client gets a
+// generous default timeout (a cold analysis of a large module is slow;
+// the point of the daemon is that it only ever happens once).
+type Client struct {
+	// Base is the daemon address: "host:port" or a full http:// URL.
+	Base string
+	// HTTP overrides the transport; nil uses a default with a 10-minute
+	// timeout.
+	HTTP *http.Client
+}
+
+// NewClient builds a client for a daemon address.
+func NewClient(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 10 * time.Minute}
+}
+
+func (c *Client) url(path string) string {
+	base := c.Base
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return strings.TrimSuffix(base, "/") + path
+}
+
+// Analyze submits module IR and returns the daemon's (possibly cached)
+// analysis.
+func (c *Client) Analyze(irText string) (*AnalyzeReply, error) {
+	body, err := json.Marshal(AnalyzeRequest{IR: irText})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Post(c.url("/v1/analyze"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("serve: analyze: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("serve: analyze: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var reply AnalyzeReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, fmt.Errorf("serve: analyze: decode reply: %w", err)
+	}
+	if reply.Summary == nil {
+		return nil, fmt.Errorf("serve: analyze: reply has no summary")
+	}
+	return &reply, nil
+}
+
+// blobPath maps a cache kind to its endpoint path.
+func blobPath(kind string) string {
+	switch kind {
+	case KindCampaign:
+		return "/v1/campaign/log"
+	case KindAttr:
+		return "/v1/attr/snapshot"
+	default:
+		return "/v1/" + kind
+	}
+}
+
+// GetBlob fetches a cached artifact by (kind, plan hash). ok=false
+// means the daemon has no entry (a miss, not an error).
+func (c *Client) GetBlob(kind, plan string) (data []byte, ok bool, err error) {
+	u := c.url(blobPath(kind)) + "?plan=" + url.QueryEscape(plan)
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return nil, false, fmt.Errorf("serve: get %s: %w", kind, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, false, fmt.Errorf("serve: get %s: %w", kind, err)
+		}
+		return data, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, false, fmt.Errorf("serve: get %s: %s: %s", kind, resp.Status, strings.TrimSpace(string(msg)))
+	}
+}
+
+// PutBlob uploads an artifact under (kind, plan hash).
+func (c *Client) PutBlob(kind, plan string, data []byte) error {
+	u := c.url(blobPath(kind)) + "?plan=" + url.QueryEscape(plan)
+	req, err := http.NewRequest(http.MethodPut, u, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("serve: put %s: %w", kind, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("serve: put %s: %s: %s", kind, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// Healthz fetches the daemon's /healthz document.
+func (c *Client) Healthz() (map[string]any, error) {
+	resp, err := c.httpClient().Get(c.url("/healthz"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: healthz: %s", resp.Status)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}

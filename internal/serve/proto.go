@@ -1,0 +1,38 @@
+package serve
+
+// Wire types of the /v1/analyze endpoint. The request carries the
+// module as textual IR — the canonical program representation every
+// layer of the pipeline already hashes — and the reply carries the
+// cacheable Summary plus provenance: which pipeline stage satisfied
+// the request and under what content address.
+
+// AnalyzeRequest asks the daemon for the ePVF analysis of one module.
+type AnalyzeRequest struct {
+	// IR is the textual IR of the module (ir.Print output, or anything
+	// ir.Parse accepts — the daemon reprints the parsed module before
+	// hashing, so formatting differences cannot split the cache).
+	IR string `json:"ir"`
+}
+
+// Analysis stages a reply can be served from, cheapest first.
+const (
+	// StageSummary: the summary cache held the final result.
+	StageSummary = "summary-cache"
+	// StageTrace: the golden trace was cached; only the ACE/crash/
+	// propagation models re-ran.
+	StageTrace = "trace-cache"
+	// StageComputed: full profile + analysis ran.
+	StageComputed = "computed"
+)
+
+// AnalyzeReply is the daemon's answer.
+type AnalyzeReply struct {
+	// ModuleHash is the content address the result is cached under.
+	ModuleHash string `json:"module_hash"`
+	// Stage reports which pipeline stage satisfied the request.
+	Stage string `json:"stage"`
+	// CacheHit is true unless a full profile + analysis ran.
+	CacheHit bool `json:"cache_hit"`
+	// Summary is the analysis result.
+	Summary *Summary `json:"summary"`
+}

@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/epvf"
+	"repro/internal/ir"
+	"repro/internal/obs"
+)
+
+// startDaemon runs a daemon on a free port with a disk cache in dir.
+func startDaemon(t *testing.T, dir string) *Server {
+	t.Helper()
+	s, err := New(Config{Addr: "127.0.0.1:0", CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+func benchIR(t *testing.T, name string) string {
+	t.Helper()
+	b, ok := bench.Get(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	return ir.Print(b.MustModule(1))
+}
+
+func TestAnalyzeStages(t *testing.T) {
+	dir := t.TempDir()
+	s := startDaemon(t, dir)
+	c := NewClient(s.Addr())
+	irText := benchIR(t, "mm")
+
+	cold, err := c.Analyze(irText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stage != StageComputed || cold.CacheHit {
+		t.Fatalf("cold request: stage=%s hit=%v, want computed miss", cold.Stage, cold.CacheHit)
+	}
+	if cold.Summary.TotalBits == 0 || cold.Summary.Module != "mm" {
+		t.Fatalf("implausible summary: %+v", cold.Summary)
+	}
+
+	warm, err := c.Analyze(irText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stage != StageSummary || !warm.CacheHit {
+		t.Fatalf("warm request: stage=%s hit=%v, want summary-cache hit", warm.Stage, warm.CacheHit)
+	}
+	if warm.ModuleHash != cold.ModuleHash {
+		t.Fatalf("module hash changed: %s vs %s", warm.ModuleHash, cold.ModuleHash)
+	}
+
+	// Restart: a fresh daemon over the same directory serves the
+	// summary from the disk tier without recomputing.
+	s2 := startDaemon(t, dir)
+	restart, err := NewClient(s2.Addr()).Analyze(irText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restart.Stage != StageSummary {
+		t.Fatalf("post-restart stage = %s, want summary-cache", restart.Stage)
+	}
+
+	// Dropping only the summary entry forces the trace stage: the
+	// cached golden trace is re-analyzed, no re-profiling.
+	sumPath := filepath.Join(dir, "epvf-cache-v1", KindSummary, cold.ModuleHash)
+	if err := os.Remove(sumPath); err != nil {
+		t.Fatalf("remove summary entry: %v", err)
+	}
+	s3 := startDaemon(t, dir)
+	fromTrace, err := NewClient(s3.Addr()).Analyze(irText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromTrace.Stage != StageTrace {
+		t.Fatalf("stage after summary eviction = %s, want trace-cache", fromTrace.Stage)
+	}
+	if got, want := summaryScalars(fromTrace.Summary), summaryScalars(cold.Summary); !reflect.DeepEqual(got, want) {
+		t.Fatalf("trace-stage scalars diverge:\n cold %+v\ntrace %+v", want, got)
+	}
+}
+
+// summaryScalars strips slices (and the timing floats, which genuinely
+// differ between runs) so summaries compare with ==.
+func summaryScalars(s *Summary) Summary {
+	cp := *s
+	cp.PerFunc, cp.PerInstr = nil, nil
+	cp.GraphBuildSeconds, cp.ModelsSeconds = 0, 0
+	return cp
+}
+
+// TestCachedRenderByteIdentical is the acceptance check: for every
+// Table-IV kernel, the daemon's cold reply, its warm cached reply, and
+// a fresh local analysis must render byte-identical reports (timing
+// rows excluded — they measure different runs by definition).
+func TestCachedRenderByteIdentical(t *testing.T) {
+	s := startDaemon(t, t.TempDir())
+	c := NewClient(s.Addr())
+	opts := RenderOptions{Classes: true, PerFunc: true, PerInstr: 10}
+	for _, b := range bench.Paper10() {
+		m := b.MustModule(1)
+		a, golden, err := epvf.AnalyzeModule(m, epvf.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		local := Summarize(m.Name, a, golden.DynInstrs).Render(opts)
+
+		cold, err := c.Analyze(ir.Print(m))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		warm, err := c.Analyze(ir.Print(m))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if got := cold.Summary.Render(opts); got != local {
+			t.Errorf("%s: cold daemon render differs from local:\n--- local ---\n%s\n--- daemon ---\n%s", b.Name, local, got)
+		}
+		if got := warm.Summary.Render(opts); got != local {
+			t.Errorf("%s: cached daemon render differs from local:\n--- local ---\n%s\n--- daemon ---\n%s", b.Name, local, got)
+		}
+		if warm.Stage != StageSummary {
+			t.Errorf("%s: warm stage = %s", b.Name, warm.Stage)
+		}
+	}
+}
+
+func TestAnalyzeSingleflight(t *testing.T) {
+	s := startDaemon(t, t.TempDir())
+	c := NewClient(s.Addr())
+	irText := benchIR(t, "bfs")
+	const n = 8
+	replies := make([]*AnalyzeReply, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := c.Analyze(irText)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			replies[i] = r
+		}(i)
+	}
+	wg.Wait()
+	computed := 0
+	for _, r := range replies {
+		if r == nil {
+			t.Fatal("missing reply")
+		}
+		if r.Stage == StageComputed {
+			computed++
+		}
+	}
+	// The cache singleflights concurrent fills: at most one request may
+	// have run the full analysis.
+	if computed > 1 {
+		t.Fatalf("%d concurrent requests ran the full analysis, want <= 1", computed)
+	}
+	st := s.Store().Stats()
+	if st.Fills != 1 {
+		t.Fatalf("store fills = %d, want 1", st.Fills)
+	}
+}
+
+func TestAnalyzeBadRequests(t *testing.T) {
+	s := startDaemon(t, t.TempDir())
+	c := NewClient(s.Addr())
+	if _, err := c.Analyze("this is not IR"); err == nil {
+		t.Error("malformed IR accepted")
+	}
+	if _, err := c.Analyze(""); err == nil {
+		t.Error("empty IR accepted")
+	}
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := startDaemon(t, dir)
+	c := NewClient(s.Addr())
+	for _, kind := range []string{KindCampaign, KindAttr} {
+		payload := []byte("payload for " + kind)
+		if _, ok, err := c.GetBlob(kind, "abcd1234"); err != nil || ok {
+			t.Fatalf("%s: empty GetBlob = ok=%v err=%v, want miss", kind, ok, err)
+		}
+		if err := c.PutBlob(kind, "abcd1234", payload); err != nil {
+			t.Fatalf("%s: PutBlob: %v", kind, err)
+		}
+		got, ok, err := c.GetBlob(kind, "abcd1234")
+		if err != nil || !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("%s: GetBlob = %q, %v, %v", kind, got, ok, err)
+		}
+	}
+	// A bad plan key is rejected, not stored.
+	if err := c.PutBlob(KindCampaign, "../escape", []byte("x")); err == nil {
+		t.Error("path-escaping plan key accepted")
+	}
+
+	// Blobs survive a daemon restart via the disk tier.
+	s2 := startDaemon(t, dir)
+	got, ok, err := NewClient(s2.Addr()).GetBlob(KindCampaign, "abcd1234")
+	if err != nil || !ok || string(got) != "payload for campaign" {
+		t.Fatalf("post-restart GetBlob = %q, %v, %v", got, ok, err)
+	}
+}
+
+func TestHealthzCacheSection(t *testing.T) {
+	s := startDaemon(t, t.TempDir())
+	c := NewClient(s.Addr())
+	if err := c.PutBlob(KindCampaign, "aa11", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := c.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["status"] != "ok" {
+		t.Errorf("status = %v", doc["status"])
+	}
+	sect, ok := doc["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz has no cache section: %v", doc)
+	}
+	if n, _ := sect["mem_entries"].(float64); n != 1 {
+		t.Errorf("cache.mem_entries = %v, want 1", sect["mem_entries"])
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	s, err := New(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	c := NewClient(s.Addr())
+	if err := c.PutBlob(KindAttr, "ff00", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, _, err := c.GetBlob(KindAttr, "ff00"); err == nil {
+		t.Error("request succeeded after shutdown")
+	}
+}
+
+func TestMetricsCountStages(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := New(Config{Addr: "127.0.0.1:0", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Shutdown(context.Background())
+	c := NewClient(s.Addr())
+	irText := benchIR(t, "bfs")
+	for i := 0; i < 3; i++ {
+		if _, err := c.Analyze(irText); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := reg.Counter("epvf_serve_requests_total", "endpoint", "analyze", "outcome", StageComputed).Value(); v != 1 {
+		t.Errorf("computed count = %d, want 1", v)
+	}
+	if v := reg.Counter("epvf_serve_requests_total", "endpoint", "analyze", "outcome", StageSummary).Value(); v != 2 {
+		t.Errorf("summary-cache count = %d, want 2", v)
+	}
+}

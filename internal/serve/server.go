@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/cache"
+	"repro/internal/content"
+	"repro/internal/epvf"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// moduleTag is the domain tag of the analysis content address: the
+// sha256 of the module's canonical IR print under this tag keys both
+// the summary and the golden-trace cache entries.
+const moduleTag = "epvf-analysis-v1"
+
+// Cache kinds the daemon stores results under.
+const (
+	KindSummary  = "summary"
+	KindTrace    = "trace"
+	KindCampaign = "campaign"
+	KindAttr     = "attr"
+)
+
+// ModuleHash returns the content address of a module: the hash of its
+// canonical IR print. Clients and daemon agree on this key because both
+// reprint the parsed module before hashing.
+func ModuleHash(m *ir.Module) string {
+	return content.Hash(moduleTag, []byte(ir.Print(m)))
+}
+
+// Config describes a daemon.
+type Config struct {
+	// Addr is the listen address (host:port; :0 picks a free port).
+	Addr string
+	// CacheDir is the disk spill tier's directory; empty keeps results
+	// in memory only (they die with the process).
+	CacheDir string
+	// CacheMemBytes bounds the memory tier; zero means the cache
+	// default.
+	CacheMemBytes int64
+	// Registry receives the epvf_serve_* and epvf_cache_* metrics; nil
+	// creates a private one.
+	Registry *obs.Registry
+}
+
+// Server is the analysis daemon: one obs.Server carrying /metrics,
+// /healthz, pprof and the /v1 analysis endpoints, backed by one
+// content-addressed store.
+type Server struct {
+	reg   *obs.Registry
+	obs   *obs.Server
+	store *cache.Store
+}
+
+// New binds the address and prepares the cache, but does not serve
+// until Start.
+func New(cfg Config) (*Server, error) {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	store, err := cache.Open(cache.Config{
+		Dir:      cfg.CacheDir,
+		MemBytes: cfg.CacheMemBytes,
+		Registry: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	osrv, err := obs.NewServer(cfg.Addr, reg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: reg, obs: osrv, store: store}
+	osrv.Handle("/v1/analyze", http.HandlerFunc(s.handleAnalyze))
+	osrv.Handle("/v1/campaign/log", s.blobHandler(KindCampaign))
+	osrv.Handle("/v1/attr/snapshot", s.blobHandler(KindAttr))
+	osrv.AddHealth("cache", func() any { return store.Stats() })
+	return s, nil
+}
+
+// Obs exposes the underlying observability server so callers can mount
+// additional handlers (the campaign coordinator, /attr views) on the
+// same listener.
+func (s *Server) Obs() *obs.Server { return s.obs }
+
+// Store exposes the daemon's result store (the experiments suite and
+// tests put campaign logs in directly).
+func (s *Server) Store() *cache.Store { return s.store }
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.obs.Addr() }
+
+// Start serves in a background goroutine until Shutdown.
+func (s *Server) Start() { s.obs.Start() }
+
+// Shutdown drains gracefully: in-flight analyses finish (their results
+// land in the disk tier for the next process) before the listener
+// closes, or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.obs.Shutdown(ctx)
+}
+
+func (s *Server) countRequest(endpoint, outcome string) {
+	s.reg.Counter("epvf_serve_requests_total", "endpoint", endpoint, "outcome", outcome).Inc()
+}
+
+// handleAnalyze is POST /v1/analyze: parse the module, address it by
+// content, and satisfy the request from the cheapest available stage —
+// cached summary, cached golden trace (models re-run), or a full
+// profile + analysis. Concurrent requests for the same module share one
+// computation via the store's singleflight.
+func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var areq AnalyzeRequest
+	if err := json.NewDecoder(req.Body).Decode(&areq); err != nil {
+		s.countRequest("analyze", "bad_request")
+		http.Error(w, fmt.Sprintf("decode request: %v", err), http.StatusBadRequest)
+		return
+	}
+	m, err := ir.Parse(areq.IR)
+	if err != nil {
+		s.countRequest("analyze", "bad_request")
+		http.Error(w, fmt.Sprintf("parse IR: %v", err), http.StatusBadRequest)
+		return
+	}
+	modHash := ModuleHash(m)
+
+	// stage is set by this request's fill closure; when another
+	// goroutine's flight (or the cache itself) supplied the bytes, it
+	// stays empty and the result counts as a summary-cache hit.
+	stage := ""
+	data, hit, err := s.store.GetOrFill(KindSummary, modHash, func() ([]byte, error) {
+		sum, st, err := s.analyze(m, modHash)
+		if err != nil {
+			return nil, err
+		}
+		stage = st
+		return json.Marshal(sum)
+	})
+	if err != nil {
+		s.countRequest("analyze", "error")
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if hit || stage == "" {
+		stage = StageSummary
+	}
+	var sum Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		s.countRequest("analyze", "error")
+		http.Error(w, fmt.Sprintf("decode cached summary: %v", err), http.StatusInternalServerError)
+		return
+	}
+	s.countRequest("analyze", stage)
+	reply := AnalyzeReply{
+		ModuleHash: modHash,
+		Stage:      stage,
+		CacheHit:   stage != StageComputed,
+		Summary:    &sum,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(reply)
+}
+
+// analyze computes a summary from the cheapest stage below the summary
+// cache: a cached golden trace if present (only the models re-run),
+// else a full profiled analysis whose trace is written back for next
+// time.
+func (s *Server) analyze(m *ir.Module, modHash string) (*Summary, string, error) {
+	if raw, ok := s.store.Get(KindTrace, modHash); ok {
+		tr, err := trace.Load(bytes.NewReader(raw), m)
+		if err == nil {
+			a := epvf.AnalyzeTrace(tr, epvf.Config{})
+			return Summarize(m.Name, a, tr.NumEvents()), StageTrace, nil
+		}
+		// A trace that fails to decode against its own module is a
+		// corrupt entry the framing checks missed; fall through to a
+		// full run that overwrites it.
+	}
+	a, golden, err := epvf.AnalyzeModule(m, epvf.Config{})
+	if err != nil {
+		return nil, "", err
+	}
+	var buf bytes.Buffer
+	if err := a.Trace.Save(&buf); err == nil {
+		s.store.Put(KindTrace, modHash, buf.Bytes())
+	}
+	return Summarize(m.Name, a, golden.DynInstrs), StageComputed, nil
+}
+
+// blobHandler serves GET/PUT of opaque byte artifacts (campaign logs,
+// attribution snapshots) keyed by ?plan=<content hash>.
+func (s *Server) blobHandler(kind string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		plan := req.URL.Query().Get("plan")
+		if plan == "" {
+			s.countRequest(kind, "bad_request")
+			http.Error(w, "missing ?plan=<hash>", http.StatusBadRequest)
+			return
+		}
+		switch req.Method {
+		case http.MethodGet:
+			data, ok := s.store.Get(kind, plan)
+			if !ok {
+				s.countRequest(kind, "miss")
+				http.Error(w, fmt.Sprintf("no cached %s for plan %s", kind, plan), http.StatusNotFound)
+				return
+			}
+			s.countRequest(kind, "hit")
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+			w.Write(data)
+		case http.MethodPut, http.MethodPost:
+			data, err := io.ReadAll(req.Body)
+			if err != nil {
+				s.countRequest(kind, "error")
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := s.store.Put(kind, plan, data); err != nil {
+				s.countRequest(kind, "bad_request")
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			s.countRequest(kind, "put")
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "GET or PUT only", http.StatusMethodNotAllowed)
+		}
+	})
+}

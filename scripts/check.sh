@@ -22,8 +22,9 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (obs + campaign + dist + snapshot + mem + fi + attr)"
+echo "== go test -race (obs + campaign + dist + snapshot + mem + fi + attr + cache + serve)"
 go test -race ./internal/obs/... ./internal/campaign/... ./internal/dist/... \
-    ./internal/snapshot/... ./internal/mem/... ./internal/fi/... ./internal/attr/...
+    ./internal/snapshot/... ./internal/mem/... ./internal/fi/... ./internal/attr/... \
+    ./internal/cache/... ./internal/serve/...
 
 echo "check: OK"

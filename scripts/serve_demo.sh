@@ -1,0 +1,95 @@
+#!/bin/sh
+# serve-demo: the always-on analysis daemon end-to-end on one machine.
+# Starts `epvf serve` with a disk cache, runs the same analysis against
+# it cold (computed) and warm (summary-cache), and asserts:
+#
+#   1. both daemon reports are byte-identical to a local `epvf` run,
+#   2. /metrics shows the cache-hit counter increasing across the runs,
+#   3. the warm request is at least 10x faster than the cold one.
+#
+# Tunables (environment): BENCH, SCALE.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH=${BENCH:-mm}
+SCALE=${SCALE:-3}
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/epvf" ./cmd/epvf
+
+"$DIR/epvf" serve -addr 127.0.0.1:0 -cache-dir "$DIR/cache" \
+    >"$DIR/serve.log" 2>&1 &
+SERVE=$!
+trap 'kill "$SERVE" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+i=0
+until grep -q 'listening on' "$DIR/serve.log" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-demo: daemon failed to start:" >&2
+        cat "$DIR/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(sed -n 's|.*listening on http://||p' "$DIR/serve.log" | head -1)
+echo "serve-demo: daemon at http://$ADDR (cache under $DIR/cache)"
+
+# Millisecond wall clock (GNU date).
+now_ms() { echo $(($(date +%s%N) / 1000000)); }
+
+hits() {
+    curl -sf "http://$ADDR/metrics" |
+        sed -n 's|^epvf_cache_hits_total{kind="summary",tier="[^"]*"} ||p' |
+        awk '{s += $1} END {print s + 0}'
+}
+
+echo "== local analysis (reference output)"
+"$DIR/epvf" -bench "$BENCH" -scale "$SCALE" -timing=false -classes -per-func \
+    >"$DIR/local.txt"
+
+echo "== cold request (daemon computes and fills the cache)"
+HITS0=$(hits)
+T0=$(now_ms)
+"$DIR/epvf" -bench "$BENCH" -scale "$SCALE" -timing=false -classes -per-func \
+    -server "$ADDR" >"$DIR/cold.txt"
+T1=$(now_ms)
+
+echo "== warm request (served from the content-addressed cache)"
+"$DIR/epvf" -bench "$BENCH" -scale "$SCALE" -timing=false -classes -per-func \
+    -server "$ADDR" >"$DIR/warm.txt"
+T2=$(now_ms)
+HITS1=$(hits)
+
+cmp "$DIR/local.txt" "$DIR/cold.txt" || {
+    echo "serve-demo: cold daemon report differs from local run" >&2
+    exit 1
+}
+cmp "$DIR/local.txt" "$DIR/warm.txt" || {
+    echo "serve-demo: warm daemon report differs from local run" >&2
+    exit 1
+}
+echo "serve-demo: daemon reports byte-identical to the local run"
+
+if [ "$HITS1" -le "$HITS0" ]; then
+    echo "serve-demo: cache hits did not increase ($HITS0 -> $HITS1)" >&2
+    curl -sf "http://$ADDR/metrics" | grep epvf_cache || true
+    exit 1
+fi
+echo "serve-demo: summary cache hits $HITS0 -> $HITS1"
+
+COLD=$((T1 - T0))
+WARM=$((T2 - T1))
+echo "serve-demo: cold ${COLD}ms, warm ${WARM}ms"
+if [ $((WARM * 10)) -gt "$COLD" ]; then
+    echo "serve-demo: warm request not >=10x faster than cold" >&2
+    exit 1
+fi
+
+kill "$SERVE"
+wait "$SERVE" 2>/dev/null || true
+echo "== daemon log"
+cat "$DIR/serve.log"
+echo "serve-demo: OK"
