@@ -1,6 +1,6 @@
 # Tier-1 verification gate and convenience targets.
 
-.PHONY: check build test fmt vet bench-obs bench-snapshot dist-demo attr-demo serve-demo
+.PHONY: check build test fmt vet bench-obs bench-snapshot dist-demo attr-demo serve-demo trace-demo
 
 check:
 	./scripts/check.sh
@@ -24,6 +24,14 @@ attr-demo:
 # least 10x faster than the cold one.
 serve-demo:
 	./scripts/serve_demo.sh
+
+# trace-demo runs a campaign across four processes (analysis daemon,
+# coordinator, worker, publishing CLI) and asserts their spans form one
+# connected cross-process trace — single tree, no orphans, all procs —
+# that the daemon's /debug/flight dump is non-empty, and that the HTML
+# timeline renders.
+trace-demo:
+	./scripts/trace_demo.sh
 
 # bench-obs asserts the disabled observability path stays under the noise
 # floor (TestDisabledOverheadUnderNoise) and prints the nil-handle

@@ -13,6 +13,7 @@
 //	campaign work   -bench mm -coordinator http://host:8766 [-workers W]
 //	campaign attr   -log mm.jsonl [-bench mm] [-top 20] [-json] [-html attr.html]
 //	campaign attr   -server host:port -plan <id> [-top 20] [-json]
+//	campaign trace  -log mm.jsonl [-html trace.html]
 //
 // `run` is restartable: interrupting it (ctrl-C included — SIGINT
 // checkpoints the log and exits cleanly) and re-invoking `run` (or
@@ -54,6 +55,17 @@
 // snapshot) is published back under the plan ID. `campaign attr
 // -server -plan <id>` renders a daemon-cached snapshot with no local
 // log at all.
+//
+// Tracing: every subcommand records correlated spans under the plan's
+// deterministic trace ID — the engine's shard spans, the coordinator's
+// merge spans, worker shard subtrees (shipped with results), and the
+// analysis daemon's handling spans all share one trace. Spans persist
+// in the campaign log at checkpoints; `campaign trace -log` renders
+// them as a text waterfall and `-html` as a self-contained timeline.
+// `-trace-out spans.jsonl` additionally streams every span as JSONL. A
+// bounded flight recorder is always on: /debug/flight on any -obs-addr
+// server dumps the recent spans and per-shard slowest/crash-class
+// injection exemplars, and an abnormal exit dumps them to stderr.
 package main
 
 import (
@@ -86,15 +98,20 @@ import (
 )
 
 func main() {
+	// The flight recorder is always on — when a campaign dies with an
+	// error, its last spans and injection exemplars go to stderr so the
+	// failure explains its own recent past.
+	obs.SetDefaultFlight(obs.NewFlight(0, 0))
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "campaign:", err)
+		obs.DumpDefaultFlight(os.Stderr)
 		os.Exit(1)
 	}
 }
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: campaign <plan|run|resume|status|merge|serve|work|attr> [flags]")
+		return fmt.Errorf("usage: campaign <plan|run|resume|status|merge|serve|work|attr|trace> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -110,8 +127,10 @@ func run(args []string, out io.Writer) error {
 		return runWork(rest, out)
 	case "attr":
 		return runAttr(rest, out)
+	case "trace":
+		return runTrace(rest, out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want plan, run, resume, status, merge, serve, work or attr)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want plan, run, resume, status, merge, serve, work, attr or trace)", cmd)
 	}
 }
 
@@ -166,6 +185,7 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 	snapStride := fs.Int64("snapshot-stride", 0, "events between snapshots (0 = auto, ~sqrt(trace length))")
 	attrOn := fs.Bool("attr", true, "feed the prediction-vs-ground-truth attribution ledger (see `campaign attr`)")
 	serverURL := fs.String("server", "", "analysis daemon address (see `epvf serve`); completed logs are fetched from and published to its content-addressed cache by plan ID")
+	traceOut := fs.String("trace-out", "", "additionally stream every trace span to this JSONL file (spans always land in the campaign log)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -211,12 +231,23 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 	if *logPath == "" {
 		return fmt.Errorf("%s requires -log <path>", cmd)
 	}
+	tracer, stopTracing, err := setupTracing("campaign", *traceOut)
+	if err != nil {
+		return err
+	}
+	defer stopTracing()
 	// With a daemon, a plan that already completed anywhere is fetched
 	// instead of re-executed: the log lands locally and Run replays it
-	// without injecting a single fault.
+	// without injecting a single fault. The client propagates the plan's
+	// deterministic trace root and collects the daemon's handling spans
+	// into pub, so they can be stitched into the campaign log afterwards.
 	var daemon *serve.Client
+	var pub *obs.Tracer
 	if *serverURL != "" {
 		daemon = serve.NewClient(*serverURL)
+		pub = obs.NewTracer(nil)
+		daemon.Trace = campaign.TraceContext(plan.ID)
+		daemon.Tracer = pub
 		if _, err := os.Stat(*logPath); os.IsNotExist(err) {
 			data, ok, gerr := daemon.GetBlob(serve.KindCampaign, plan.ID)
 			if gerr != nil {
@@ -248,6 +279,7 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 		Budget:   *budget,
 		Shards:   shards,
 		Snapshot: campaign.SnapshotOptions{Disabled: !*snap, Stride: *snapStride},
+		Tracer:   tracer,
 	}
 	if !*quiet {
 		opts.Progress = out
@@ -300,6 +332,18 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 			// Publication is best-effort: the local log is already
 			// durable, so a flaky daemon must not fail the campaign.
 			fmt.Fprintf(out, "campaign: publish to %s failed: %v\n", *serverURL, err)
+		}
+	}
+	// Stitch the daemon's handling spans (fetch and publish hops) into
+	// the local trace and the campaign log — `campaign trace` then shows
+	// the daemon's work alongside the engine's, in one tree. Readers
+	// dedup by span ID, so overlapping appends are harmless.
+	if pub != nil {
+		if spans := pub.Spans(); len(spans) > 0 {
+			tracer.Ingest(spans...)
+			if err := campaign.AppendSpans(*logPath, spans); err != nil {
+				fmt.Fprintf(out, "campaign: persisting daemon spans: %v\n", err)
+			}
 		}
 	}
 	return nil
@@ -395,6 +439,7 @@ func runServe(args []string, out io.Writer) error {
 	leaseTTL := fs.Duration("lease-ttl", dist.DefaultLeaseTTL, "shard lease TTL (crashed workers' shards requeue after this)")
 	quiet := fs.Bool("q", false, "suppress progress output")
 	attrOn := fs.Bool("attr", true, "aggregate the attribution ledger across the fleet (see `campaign attr`)")
+	traceOut := fs.String("trace-out", "", "additionally stream every trace span to this JSONL file (spans always land in the merged log)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -434,6 +479,11 @@ func runServe(args []string, out io.Writer) error {
 	if *attrOn {
 		ledger, meta = buildLedger(golden)
 	}
+	tracer, stopTracing, err := setupTracing("coordinator", *traceOut)
+	if err != nil {
+		return err
+	}
+	defer stopTracing()
 	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
 		Plan:      plan,
 		GoldenDyn: golden.DynInstrs,
@@ -441,6 +491,7 @@ func runServe(args []string, out io.Writer) error {
 		LeaseTTL:  *leaseTTL,
 		Registry:  reg,
 		Ledger:    ledger,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		return err
@@ -516,6 +567,7 @@ func runWork(args []string, out io.Writer) error {
 	snap := fs.Bool("snapshot", true, "restore COW execution snapshots instead of replaying each run from scratch (auto-off under jittered plans)")
 	snapStride := fs.Int64("snapshot-stride", 0, "events between snapshots (0 = auto, ~sqrt(trace length))")
 	attrOn := fs.Bool("attr", true, "send per-shard attribution-ledger hashes with deliveries (cross-checks classifier skew)")
+	traceOut := fs.String("trace-out", "", "additionally stream every trace span to this JSONL file (shard subtrees always ship to the coordinator)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -531,14 +583,27 @@ func runWork(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("golden run: %w", err)
 	}
+	procName := *name
+	if procName == "" {
+		// Mirror dist.NewWorker's default so spans name the same process
+		// the fleet status does.
+		host, _ := os.Hostname()
+		procName = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	tracer, stopTracing, err := setupTracing(procName, *traceOut)
+	if err != nil {
+		return err
+	}
+	defer stopTracing()
 	cfg := dist.WorkerConfig{
 		Coordinator:      strings.TrimRight(*coordURL, "/"),
-		Name:             *name,
+		Name:             procName,
 		Module:           m,
 		Golden:           golden,
 		Workers:          *workers,
 		DisableSnapshots: !*snap,
 		SnapshotStride:   *snapStride,
+		Tracer:           tracer,
 	}
 	if *attrOn {
 		ledger, _ := buildLedger(golden)

@@ -6,8 +6,8 @@
 //
 //	epvf -bench mm [-scale 1] [-sample 0.1] [-per-instr 10] [-classes]
 //	epvf -src kernel.c
-//	epvf serve [-addr host:port] [-cache-dir DIR] [-cache-mem-mb N]
-//	epvf -bench mm -server host:port
+//	epvf serve [-addr host:port] [-cache-dir DIR] [-cache-mem-mb N] [-trace-out spans.jsonl]
+//	epvf -bench mm -server host:port [-trace-out spans.jsonl]
 //
 // `epvf serve` starts the always-on analysis daemon: it accepts module
 // IR over HTTP, keys every pipeline stage by content hash, and serves
@@ -19,7 +19,13 @@
 //
 // `-obs-addr host:port` serves /metrics and /debug/pprof while the
 // analysis runs; `-trace-out spans.jsonl` records per-phase spans (wall
-// time, allocations) and prints the phase summary table.
+// time, allocations) and prints the phase summary table. Combined with
+// `-server`, the request runs under a local root span and the daemon's
+// handling spans come back in the reply — one correlated trace across
+// both processes. The daemon itself always traces (bounded retention;
+// `epvf serve -trace-out` streams its spans as JSONL), and a bounded
+// flight recorder is always on: /debug/flight dumps it live, and an
+// abnormal exit dumps it to stderr.
 package main
 
 import (
@@ -45,6 +51,9 @@ import (
 )
 
 func main() {
+	// Always-on flight recorder: an abnormal exit dumps the recent spans
+	// so a failed analysis explains its own recent past.
+	obs.SetDefaultFlight(obs.NewFlight(0, 0))
 	args := os.Args[1:]
 	var err error
 	if len(args) > 0 && args[0] == "serve" {
@@ -56,6 +65,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "epvf:", err)
+		obs.DumpDefaultFlight(os.Stderr)
 		os.Exit(1)
 	}
 }
@@ -69,17 +79,41 @@ func runServe(ctx context.Context, args []string, announce func(addr string)) er
 	addr := fs.String("addr", "127.0.0.1:0", "listen address (host:port; :0 picks a free port)")
 	cacheDir := fs.String("cache-dir", "", "disk cache directory (results survive restarts; empty keeps them in memory only)")
 	memMB := fs.Int("cache-mem-mb", 64, "memory-tier cache budget in MiB")
+	traceOut := fs.String("trace-out", "", "additionally stream every handling span to this JSONL file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	reg := obs.NewRegistry()
 	obs.SetDefault(reg)
 	defer obs.SetDefault(nil)
+	// The daemon always traces its handling spans (they return to
+	// clients, who stitch them into their own traces); -trace-out adds a
+	// local JSONL sink. Retention is bounded — the daemon is long-lived.
+	var sink *os.File
+	if *traceOut != "" {
+		f, cerr := os.Create(*traceOut)
+		if cerr != nil {
+			return cerr
+		}
+		defer f.Close()
+		sink = f
+	}
+	var tracer *obs.Tracer
+	if sink != nil {
+		tracer = obs.NewTracer(sink)
+	} else {
+		tracer = obs.NewTracer(nil)
+	}
+	tracer.SetProc("epvf-serve")
+	tracer.SetRetain(obs.DefaultFlightSpans * 8)
+	obs.SetDefaultTracer(tracer)
+	defer obs.SetDefaultTracer(nil)
 	srv, err := serve.New(serve.Config{
 		Addr:          *addr,
 		CacheDir:      *cacheDir,
 		CacheMemBytes: int64(*memMB) << 20,
 		Registry:      reg,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		return err
@@ -147,6 +181,7 @@ func run(args []string) error {
 		}
 		defer f.Close()
 		tracer = obs.NewTracer(f)
+		tracer.SetProc("epvf")
 		obs.SetDefaultTracer(tracer)
 		defer obs.SetDefaultTracer(nil)
 	}
@@ -174,10 +209,22 @@ func run(args []string) error {
 	var sum *serve.Summary
 	var a *epvf.Analysis
 	if *server != "" {
-		if *sample > 0 || *saveTrace != "" || *loadTrace != "" || *dotFile != "" || *traceOut != "" {
-			return fmt.Errorf("-sample, -save-trace, -load-trace, -dot and -trace-out need a local analysis; drop them or remove -server")
+		if *sample > 0 || *saveTrace != "" || *loadTrace != "" || *dotFile != "" {
+			return fmt.Errorf("-sample, -save-trace, -load-trace and -dot need a local analysis; drop them or remove -server")
 		}
-		reply, err := serve.NewClient(*server).Analyze(ir.Print(m))
+		// With tracing on, the request runs under a local root span whose
+		// context travels in the Traceparent header; the daemon's handling
+		// spans come back in the reply and are ingested as its children —
+		// one trace spanning both processes.
+		client := serve.NewClient(*server)
+		var root *obs.Span
+		if tracer != nil {
+			root = tracer.Start("epvf analyze " + m.Name)
+			client.Trace = root.Context()
+			client.Tracer = tracer
+		}
+		reply, err := client.Analyze(ir.Print(m))
+		root.End()
 		if err != nil {
 			return err
 		}

@@ -2,11 +2,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestLoadModuleBench(t *testing.T) {
@@ -189,12 +192,59 @@ func TestClientModeRejectsLocalOnlyFlags(t *testing.T) {
 		{"-save-trace", "x.trace"},
 		{"-load-trace", "x.trace"},
 		{"-dot", "g.dot"},
-		{"-trace-out", "spans.jsonl"},
 	} {
 		args := append([]string{"-server", addr, "-bench", "lud"}, extra...)
 		if err := run(args); err == nil || !strings.Contains(err.Error(), "local analysis") {
 			t.Errorf("%v: err = %v, want local-analysis rejection", extra, err)
 		}
+	}
+}
+
+// TestClientModeTraced checks that -trace-out combines with -server: the
+// written JSONL carries both the client's local root span and the
+// daemon's handling span, correlated under one trace ID with a
+// parent/child edge across the process boundary.
+func TestClientModeTraced(t *testing.T) {
+	addr := startServeCmd(t)
+	spansPath := filepath.Join(t.TempDir(), "spans.jsonl")
+	if err := run([]string{"-server", addr, "-bench", "lud", "-trace-out", spansPath}); err != nil {
+		t.Fatalf("traced client run: %v", err)
+	}
+	data, err := os.ReadFile(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []obs.SpanRecord
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec obs.SpanRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad span line %q: %v", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	// The test runs client and daemon in one process, so daemon-internal
+	// phase spans (their own trace IDs) form separate trees; pick the
+	// correlated request trace by its client root.
+	var tr *obs.SpanTree
+	for _, cand := range obs.BuildSpanTrees(recs) {
+		for _, root := range cand.Roots {
+			if root.Name == "epvf analyze lud" {
+				tr = cand
+			}
+		}
+	}
+	if tr == nil {
+		t.Fatalf("no trace rooted at the client span; spans: %s", data)
+	}
+	if len(tr.Procs) != 2 {
+		t.Errorf("trace spans procs %v, want client + epvf-serve", tr.Procs)
+	}
+	if len(tr.Roots) != 1 || tr.Orphans != 0 {
+		t.Errorf("trace has %d roots, %d orphans, want one rooted tree:\n%s",
+			len(tr.Roots), tr.Orphans, tr.RenderWaterfall())
+	}
+	if len(tr.Roots) == 1 && len(tr.Roots[0].Children) == 0 {
+		t.Errorf("daemon span did not attach under the client root:\n%s", tr.RenderWaterfall())
 	}
 }
 

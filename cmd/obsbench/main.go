@@ -39,12 +39,68 @@ type benchBaseline struct {
 	Phases          []obs.PhaseStat `json:"phases"`
 }
 
+// spanOverhead is the per-operation cost of the span seam itself:
+// disabled (nil tracer — the shape every hot loop pays when tracing is
+// off) versus enabled (recording tracer). The disabled figure is the one
+// that matters: it must stay within the noise floor of the interpreter's
+// per-instruction cost, which the obsbench test asserts.
+type spanOverhead struct {
+	DisabledNsPerOp float64 `json:"disabled_ns_per_op"`
+	EnabledNsPerOp  float64 `json:"enabled_ns_per_op"`
+}
+
 type baseline struct {
 	// Note is a human pointer, not provenance: timings are
 	// machine-dependent; compare shapes and ratios, not absolutes.
-	Note       string          `json:"note"`
-	Scale      int             `json:"scale"`
-	Benchmarks []benchBaseline `json:"benchmarks"`
+	Note         string          `json:"note"`
+	Scale        int             `json:"scale"`
+	SpanOverhead spanOverhead    `json:"span_overhead_ns"`
+	Benchmarks   []benchBaseline `json:"benchmarks"`
+}
+
+// nilTracer lives in a package var so the compiler cannot prove it nil
+// and fold the disabled-path loop away.
+var nilTracer *obs.Tracer
+
+// measureSpanOverhead times a start/annotate/end round trip on the
+// disabled and enabled span paths (best of three, to shed scheduler
+// noise).
+func measureSpanOverhead() spanOverhead {
+	const disabledIters = 5_000_000
+	disabled := func() time.Duration {
+		t0 := time.Now()
+		for i := 0; i < disabledIters; i++ {
+			sp := nilTracer.Start("phase")
+			sp.Add("n", 1)
+			sp.End()
+		}
+		return time.Since(t0)
+	}
+	const enabledIters = 100_000
+	enabled := func() time.Duration {
+		tr := obs.NewTracer(nil)
+		tr.SetRetain(64)
+		t0 := time.Now()
+		for i := 0; i < enabledIters; i++ {
+			sp := tr.Start("phase")
+			sp.Add("n", 1)
+			sp.End()
+		}
+		return time.Since(t0)
+	}
+	bestOf3 := func(fn func() time.Duration) time.Duration {
+		best := fn()
+		for i := 0; i < 2; i++ {
+			if d := fn(); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	return spanOverhead{
+		DisabledNsPerOp: float64(bestOf3(disabled).Nanoseconds()) / disabledIters,
+		EnabledNsPerOp:  float64(bestOf3(enabled).Nanoseconds()) / enabledIters,
+	}
 }
 
 func main() {
@@ -115,8 +171,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	base := baseline{
-		Note:  "per-phase obs tracer baseline; wall times are machine-dependent — compare phase shapes and alloc counts, not absolute ns",
-		Scale: *scale,
+		Note:         "per-phase obs tracer baseline; wall times are machine-dependent — compare phase shapes and alloc counts, not absolute ns",
+		Scale:        *scale,
+		SpanOverhead: measureSpanOverhead(),
 	}
 	for _, b := range benches {
 		m, err := b.Module(*scale)

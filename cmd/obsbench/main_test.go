@@ -36,6 +36,17 @@ func TestObsbenchEmitsPhases(t *testing.T) {
 	if b.DynInstrs <= 0 || b.PVF <= 0 {
 		t.Errorf("missing analysis summary: %+v", b)
 	}
+	// The disabled span path must stay within the interpreter's noise
+	// floor: same generous 25ns/op bound as the obs package's own
+	// disabled-overhead test, far below the tens of ns one interpreted
+	// instruction costs.
+	ov := base.SpanOverhead
+	if ov.DisabledNsPerOp < 0 || ov.DisabledNsPerOp > 25 {
+		t.Errorf("disabled span path costs %.2fns/op, want within noise (<= 25ns)", ov.DisabledNsPerOp)
+	}
+	if ov.EnabledNsPerOp <= 0 {
+		t.Errorf("enabled span path measured %.2fns/op, want > 0", ov.EnabledNsPerOp)
+	}
 }
 
 func TestObsbenchRejectsUnknownBenchmark(t *testing.T) {

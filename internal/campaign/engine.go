@@ -13,6 +13,7 @@ import (
 	"repro/internal/fi"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/snapshot"
 	"repro/internal/stats"
 )
@@ -56,6 +57,14 @@ type RunOptions struct {
 	// to the log at checkpoints so `campaign attr` and /attr work without
 	// re-analysing the module. Like snapshots, it cannot change results.
 	Ledger *attr.Ledger
+	// Tracer, when non-nil, enables correlated tracing: a deterministic
+	// campaign root span (TraceContext(plan.ID)), one span per executed
+	// shard, and bounded injection exemplar spans (slowest K + one per
+	// crash class), all persisted to the log at shard checkpoints so
+	// `campaign trace` can rebuild the tree. Deterministic span IDs make
+	// re-execution (resume, requeue) dedup-safe. Nil costs one pointer
+	// check per shard.
+	Tracer *obs.Tracer
 }
 
 // SnapshotOptions controls snapshot-accelerated execution.
@@ -199,6 +208,11 @@ func Run(ctx context.Context, m *ir.Module, golden *interp.Result, plan *Plan, o
 	}
 	mon.begin(plan, opts.Progress, replayedCounts)
 
+	// The campaign root span is the deterministic anchor every process
+	// parents its work under; resume re-emits it with the same ID and the
+	// log reader keeps the first occurrence.
+	root := opts.Tracer.StartExact("campaign "+plan.Benchmark, TraceContext(plan.ID), "")
+
 	shardOrder := opts.Shards
 	if shardOrder == nil {
 		shardOrder = make([]int, plan.NumShards())
@@ -241,6 +255,8 @@ func Run(ctx context.Context, m *ir.Module, golden *interp.Result, plan *Plan, o
 				missing = append(missing, idx)
 			}
 		}
+		var shardSpan *obs.Span
+		var exemplars *obs.InjectionSet
 		if len(missing) > 0 {
 			if opts.Budget > 0 {
 				if budgetLeft <= 0 {
@@ -252,7 +268,11 @@ func Run(ctx context.Context, m *ir.Module, golden *interp.Result, plan *Plan, o
 					budgetExhausted = true
 				}
 			}
-			n, err := st.runIndices(ctx, missing, workers, w, mon)
+			if root != nil {
+				shardSpan = root.ChildExact(fmt.Sprintf("shard %d", si), ShardSpanID(plan.ID, si))
+				exemplars = obs.NewInjectionSet(0)
+			}
+			n, err := st.runIndices(ctx, si, missing, workers, w, mon, exemplars)
 			executed += int64(n)
 			budgetLeft -= int64(n)
 			if err != nil {
@@ -268,6 +288,15 @@ func Run(ctx context.Context, m *ir.Module, golden *interp.Result, plan *Plan, o
 				if err := w.append(logRecord{Kind: kindShardDone, Shard: si}); err != nil {
 					return nil, err
 				}
+				if shardSpan != nil {
+					shardRec := shardSpan.EndRecord()
+					spans := append([]obs.SpanRecord{shardRec},
+						InjectionSpans(plan, si, shardRec.Proc, exemplars.Notable())...)
+					if err := w.append(logRecord{Kind: kindSpans, Spans: spans}); err != nil {
+						return nil, err
+					}
+					shardSpan = nil
+				}
 				if err := mon.timedCheckpoint(w); err != nil {
 					return nil, err
 				}
@@ -276,6 +305,9 @@ func Run(ctx context.Context, m *ir.Module, golden *interp.Result, plan *Plan, o
 				st.checkStop(opts.Epsilon, minRuns)
 			}
 		}
+		// An interrupted/budget-cut shard still closes its span (sink +
+		// flight recorder see it); only completed shards persist spans.
+		shardSpan.End()
 		if budgetExhausted || interrupted {
 			break
 		}
@@ -302,6 +334,17 @@ func Run(ctx context.Context, m *ir.Module, golden *interp.Result, plan *Plan, o
 		}
 		if err := w.checkpoint(); err != nil {
 			return nil, err
+		}
+	}
+	if root != nil {
+		rootRec := root.EndRecord()
+		if w != nil {
+			if err := w.append(logRecord{Kind: kindSpans, Spans: []obs.SpanRecord{rootRec}}); err != nil {
+				return nil, err
+			}
+			if err := w.checkpoint(); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -343,19 +386,26 @@ type state struct {
 type indexed struct {
 	i   int64
 	rec fi.Record
+	t0  time.Time
 	dur time.Duration
 }
 
-// runIndices executes the given run indices on the worker pool, streaming
-// each record into the log as it completes, and returns how many ran.
-// Cancelling ctx stops new runs from being issued; in-flight runs finish
-// and are recorded, so the log never holds a torn batch.
-func (st *state) runIndices(ctx context.Context, idxs []int64, workers int, w *logWriter, mon *Monitor) (int, error) {
+// runIndices executes the given run indices of shard si on the worker
+// pool, streaming each record into the log as it completes, and returns
+// how many ran. Cancelling ctx stops new runs from being issued;
+// in-flight runs finish and are recorded, so the log never holds a torn
+// batch. exemplars, when non-nil, collects the shard's notable
+// injections for its trace spans.
+func (st *state) runIndices(ctx context.Context, si int, idxs []int64, workers int, w *logWriter, mon *Monitor, exemplars *obs.InjectionSet) (int, error) {
 	idxs = st.runner.OrderByEvent(idxs)
 	if workers > len(idxs) {
 		workers = len(idxs)
 	}
 	executed := 0
+	observe := func(i int64, rec fi.Record, t0 time.Time, dur time.Duration) {
+		mon.record(si, i, rec, t0, dur)
+		exemplars.Observe(NewInjection(si, i, rec, t0, dur))
+	}
 	if workers <= 1 {
 		for _, i := range idxs {
 			if ctx.Err() != nil {
@@ -371,7 +421,7 @@ func (st *state) runIndices(ctx context.Context, idxs []int64, workers int, w *l
 				}
 			}
 			executed++
-			mon.record(rec, dur)
+			observe(i, rec, t0, dur)
 		}
 		return executed, nil
 	}
@@ -385,7 +435,7 @@ func (st *state) runIndices(ctx context.Context, idxs []int64, workers int, w *l
 			for i := range work {
 				t0 := mon.now()
 				rec := st.runner.RunIndex(i)
-				results <- indexed{i: i, rec: rec, dur: mon.now().Sub(t0)}
+				results <- indexed{i: i, rec: rec, t0: t0, dur: mon.now().Sub(t0)}
 			}
 		}()
 	}
@@ -410,7 +460,7 @@ func (st *state) runIndices(ctx context.Context, idxs []int64, workers int, w *l
 			appendErr = w.append(runToLog(r.i, r.rec))
 		}
 		executed++
-		mon.record(r.rec, r.dur)
+		observe(r.i, r.rec, r.t0, r.dur)
 	}
 	return executed, appendErr
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/attr"
 	"repro/internal/fi"
 	"repro/internal/interp"
+	"repro/internal/obs"
 )
 
 // Log record kinds. A campaign log is append-only JSONL: one header, then
@@ -27,6 +28,13 @@ const (
 	// convenience cache: `campaign attr` can always recompute the ledger
 	// from the run records when the module is available.
 	kindAttr = "attr"
+	// kindSpans carries a batch of completed trace spans (shard spans,
+	// injection exemplars, remote daemon spans) persisted at checkpoints.
+	// Replay deduplicates by (trace, span) ID with the first occurrence
+	// winning, so requeued shards and resumed campaigns never
+	// double-count — the same rule the record merge applies via shard
+	// hashes. `campaign trace` reads them back into cross-process trees.
+	kindSpans = "spans"
 )
 
 // logRecord is the envelope for every JSONL line.
@@ -49,6 +57,8 @@ type logRecord struct {
 	Reason string `json:"reason,omitempty"`
 	// attr
 	Attr *attr.Snapshot `json:"attr,omitempty"`
+	// spans
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
 }
 
 func runToLog(index int64, rec fi.Record) logRecord {
@@ -145,6 +155,11 @@ type replay struct {
 	Reason  string
 	// Attr is the last attribution snapshot in the log, if any.
 	Attr *attr.Snapshot
+	// Spans are the persisted trace spans, deduplicated by span ID in
+	// first-appearance order.
+	Spans []obs.SpanRecord
+	// spanSeen backs the span dedup while scanning.
+	spanSeen map[string]bool
 }
 
 // readLog parses a campaign log. A trailing partial line (torn write from
@@ -194,6 +209,8 @@ func readLog(path string) (*replay, error) {
 			rp.Reason = rec.Reason
 		case kindAttr:
 			rp.Attr = rec.Attr
+		case kindSpans:
+			rp.addSpans(rec.Spans)
 		default:
 			return nil, fmt.Errorf("campaign: %s:%d: unknown record kind %q", path, line, rec.Kind)
 		}
@@ -215,7 +232,11 @@ type LogData struct {
 	Records map[int64]fi.Record
 	// Attr is the last persisted attribution snapshot, nil when the
 	// campaign ran without a ledger.
-	Attr    *attr.Snapshot
+	Attr *attr.Snapshot
+	// Spans are the persisted trace spans (deduplicated), empty when the
+	// campaign ran untraced. `campaign trace` assembles them into
+	// cross-process trees.
+	Spans   []obs.SpanRecord
 	Stopped bool
 	Saved   int64
 	Reason  string
@@ -231,6 +252,7 @@ func ReadLogData(path string) (*LogData, error) {
 		Plan:    rp.Plan,
 		Records: rp.Records,
 		Attr:    rp.Attr,
+		Spans:   rp.Spans,
 		Stopped: rp.Stopped,
 		Saved:   rp.Saved,
 		Reason:  rp.Reason,
@@ -249,6 +271,27 @@ func (d *LogData) SortedRecords() []fi.Record {
 		out = append(out, d.Records[i])
 	}
 	return out
+}
+
+// addSpans folds a span batch into the replay, deduplicating by
+// (trace, span) ID — first occurrence wins, so a requeued shard's
+// re-shipped subtree or a resumed campaign's re-emitted deterministic
+// root changes nothing.
+func (rp *replay) addSpans(spans []obs.SpanRecord) {
+	if rp.spanSeen == nil {
+		rp.spanSeen = make(map[string]bool)
+	}
+	for _, sp := range spans {
+		if sp.SpanID == "" {
+			continue
+		}
+		key := sp.TraceID + "/" + sp.SpanID
+		if rp.spanSeen[key] {
+			continue
+		}
+		rp.spanSeen[key] = true
+		rp.Spans = append(rp.Spans, sp)
+	}
 }
 
 // moreData reports whether the scanner still has content after the current
@@ -289,6 +332,7 @@ func MergeLogs(out string, inputs []string) (*Status, error) {
 		return nil, fmt.Errorf("campaign: merge needs at least one input log")
 	}
 	var plan *Plan
+	merged := &replay{} // span accumulator: cross-input dedup by span ID
 	records := make(map[int64]fi.Record)
 	recordSrc := make(map[int64]string)
 	shardHashes := make(map[int]string)
@@ -343,6 +387,7 @@ func MergeLogs(out string, inputs []string) (*Status, error) {
 			saved = rp.Saved
 			reason = rp.Reason
 		}
+		merged.addSpans(rp.Spans)
 	}
 	w, err := openLog(out, plan, true)
 	if err != nil {
@@ -367,6 +412,12 @@ func MergeLogs(out string, inputs []string) (*Status, error) {
 	}
 	if stopped {
 		if err := w.append(logRecord{Kind: kindStop, Done: int64(len(records)), Saved: saved, Reason: reason}); err != nil {
+			w.close()
+			return nil, err
+		}
+	}
+	if len(merged.Spans) > 0 {
+		if err := w.append(logRecord{Kind: kindSpans, Spans: merged.Spans}); err != nil {
 			w.close()
 			return nil, err
 		}

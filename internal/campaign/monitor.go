@@ -23,6 +23,7 @@ import (
 //	epvf_campaign_runs_executed_total{id}      runs performed this invocation
 //	epvf_campaign_runs_replayed_total{id}      runs recovered from the log
 //	epvf_campaign_run_seconds{id}              executed-run latency histogram
+//	epvf_injection_latency_seconds{id,stage,outcome}  per-injection latency by outcome (stage="campaign")
 //	epvf_campaign_checkpoint_sync_seconds{id}  log checkpoint fsync latency
 //	epvf_campaign_shards_complete{id}          completed shards (gauge)
 //	epvf_campaign_stopped{id}                  1 after adaptive early stop
@@ -93,13 +94,18 @@ func (m *Monitor) begin(plan *Plan, w io.Writer, replayed map[fi.Outcome]int) {
 	m.reg.Counter("epvf_campaign_runs_executed_total", "id", plan.ID).Add(0)
 }
 
-// record tallies one executed run and its latency, then refreshes the
-// progress line if due.
-func (m *Monitor) record(rec fi.Record, dur time.Duration) {
+// record tallies one executed run and its latency (overall and
+// per-outcome), feeds the flight recorder's shard exemplars, then
+// refreshes the progress line if due.
+func (m *Monitor) record(shard int, index int64, rec fi.Record, t0 time.Time, dur time.Duration) {
 	id := m.planID()
-	m.reg.Counter("epvf_campaign_runs_total", "id", id, "outcome", rec.Outcome.String()).Inc()
+	outcome := rec.Outcome.String()
+	m.reg.Counter("epvf_campaign_runs_total", "id", id, "outcome", outcome).Inc()
 	m.reg.Counter("epvf_campaign_runs_executed_total", "id", id).Inc()
 	m.reg.Histogram("epvf_campaign_run_seconds", nil, "id", id).Observe(dur.Seconds())
+	m.reg.Histogram("epvf_injection_latency_seconds", obs.LatencyBuckets,
+		"id", id, "stage", "campaign", "outcome", outcome).Observe(dur.Seconds())
+	obs.DefaultFlight().ObserveInjection(NewInjection(shard, index, rec, t0, dur))
 	m.maybePrint()
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/content"
 	"repro/internal/fi"
 	"repro/internal/interp"
+	"repro/internal/obs"
 )
 
 // RunRec is the wire- and log-level form of one run's result: the same
@@ -69,6 +70,10 @@ type LogState struct {
 	Records map[int64]fi.Record
 	// ShardsDone marks shards whose every index is present.
 	ShardsDone map[int]bool
+	// Spans are the replayed trace spans (deduplicated by span ID) — a
+	// restarted coordinator uses them to keep rejecting duplicate span
+	// subtrees from requeued shards.
+	Spans []obs.SpanRecord
 }
 
 // DurableLog is the coordinator-side handle on a standard campaign log:
@@ -92,6 +97,7 @@ func OpenDurableLog(path string, plan *Plan) (*DurableLog, *LogState, error) {
 			return nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
 		st.Records = rp.Records
+		st.Spans = rp.Spans
 		for i := 0; i < plan.NumShards(); i++ {
 			if rp.shardComplete(plan, i) {
 				st.ShardsDone[i] = true
@@ -131,6 +137,19 @@ func (l *DurableLog) AppendAttr(s *attr.Snapshot) error {
 		return nil
 	}
 	if err := l.w.append(logRecord{Kind: kindAttr, Attr: s}); err != nil {
+		return err
+	}
+	return l.w.checkpoint()
+}
+
+// AppendSpans durably records a batch of trace spans (a worker's shipped
+// shard subtree, the coordinator's own merge spans). Readers dedup by
+// span ID, so the caller only filters for economy, not correctness.
+func (l *DurableLog) AppendSpans(spans []obs.SpanRecord) error {
+	if len(spans) == 0 {
+		return nil
+	}
+	if err := l.w.append(logRecord{Kind: kindSpans, Spans: spans}); err != nil {
 		return err
 	}
 	return l.w.checkpoint()

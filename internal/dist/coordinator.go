@@ -54,6 +54,15 @@ type CoordinatorConfig struct {
 	// ledger hash, which must match ours — classifier skew is rejected as
 	// loudly as record skew.
 	Ledger *attr.Ledger
+	// Tracer, when non-nil, correlates the coordinator into the
+	// campaign's distributed trace: a deterministic root span for the
+	// campaign, a "merge shard N" span per first delivery (parented under
+	// the worker's shard span via the Traceparent request header), and
+	// ingestion of worker-shipped span subtrees from PathSpans. Nil
+	// disables tracing; span subtrees shipped by workers are still
+	// deduplicated and persisted to the durable log so `campaign trace`
+	// works on the merged log either way.
+	Tracer *obs.Tracer
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
 }
@@ -71,6 +80,9 @@ type Coordinator struct {
 	workers map[string]int64 // name → shards delivered first
 	dups    int64
 	closed  bool
+	spanIDs map[string]bool // span IDs already merged (replayed + live)
+	root    *obs.Span       // campaign root span (nil when Tracer is nil)
+	rootEnd sync.Once
 
 	doneOnce sync.Once
 	doneCh   chan struct{}
@@ -94,6 +106,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		table:   newTable(cfg.Plan, cfg.LeaseTTL, cfg.Clock),
 		records: make(map[int64]fi.Record),
 		workers: make(map[string]int64),
+		spanIDs: make(map[string]bool),
 		doneCh:  make(chan struct{}),
 	}
 	if cfg.LogPath != "" {
@@ -102,6 +115,14 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			return nil, err
 		}
 		c.log = log
+		// Replayed spans keep the dedup set restart-safe: a worker
+		// redelivering a subtree the previous coordinator incarnation
+		// already logged is dropped as a duplicate, not logged twice.
+		for _, sp := range st.Spans {
+			if sp.SpanID != "" {
+				c.spanIDs[sp.TraceID+"/"+sp.SpanID] = true
+			}
+		}
 		for shard := range st.ShardsDone {
 			lo, hi := cfg.Plan.ShardRange(shard)
 			recs := make([]campaign.RunRec, 0, hi-lo)
@@ -128,9 +149,17 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	c.mux.HandleFunc("POST "+PathLease, c.handleLease)
 	c.mux.HandleFunc("POST "+PathHeartbeat, c.handleHeartbeat)
 	c.mux.HandleFunc("POST "+PathResults, c.handleResults)
+	c.mux.HandleFunc("POST "+PathSpans, c.handleSpans)
 	c.mux.HandleFunc("GET "+PathStatus, c.handleStatus)
+	// The coordinator owns the campaign's deterministic root span. Every
+	// process derives the same identity from the plan, so worker shard
+	// spans parent under it without negotiation.
+	if cfg.Tracer != nil {
+		c.root = cfg.Tracer.StartExact("campaign "+cfg.Plan.Benchmark, campaign.TraceContext(cfg.Plan.ID), "")
+	}
 	if c.table.done() {
 		c.doneOnce.Do(func() { close(c.doneCh) })
+		c.finishRoot()
 	}
 	c.syncMetrics()
 	return c, nil
@@ -191,8 +220,55 @@ func (c *Coordinator) Result() (*campaign.Result, error) {
 	return campaign.Assemble(c.cfg.Plan, c.records, c.cfg.GoldenDyn), nil
 }
 
+// finishRoot ends the campaign root span (once) and persists it, so the
+// merged log's trace has its campaign-wide root even across restarts —
+// the root's span ID is deterministic, so replay dedup keeps exactly one.
+func (c *Coordinator) finishRoot() {
+	if c.root == nil {
+		return
+	}
+	c.rootEnd.Do(func() {
+		rec := c.root.EndRecord()
+		c.mergeSpans([]obs.SpanRecord{rec}, false)
+	})
+}
+
+// mergeSpans filters a span batch against the seen-ID set, persists the
+// fresh remainder to the durable log, and (optionally) ingests it into
+// the tracer. It returns how many spans were new. ingest is false for
+// spans the tracer already saw locally (our own root span's End already
+// recorded it).
+func (c *Coordinator) mergeSpans(spans []obs.SpanRecord, ingest bool) int {
+	fresh := make([]obs.SpanRecord, 0, len(spans))
+	c.mu.Lock()
+	for _, sp := range spans {
+		if sp.SpanID == "" {
+			continue
+		}
+		key := sp.TraceID + "/" + sp.SpanID
+		if c.spanIDs[key] {
+			continue
+		}
+		c.spanIDs[key] = true
+		fresh = append(fresh, sp)
+	}
+	var logErr error
+	if len(fresh) > 0 && c.log != nil && !c.closed {
+		logErr = c.log.AppendSpans(fresh)
+	}
+	c.mu.Unlock()
+	if logErr != nil && c.cfg.Registry != nil {
+		c.cfg.Registry.Counter("epvf_dist_span_log_errors_total", "id", c.cfg.Plan.ID).Inc()
+	}
+	if ingest && len(fresh) > 0 && c.cfg.Tracer != nil {
+		c.cfg.Tracer.Ingest(fresh...)
+	}
+	return len(fresh)
+}
+
 // Shutdown drains the HTTP server and closes the durable log.
 func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.finishRoot()
 	var err error
 	if c.srv != nil {
 		err = c.srv.Shutdown(ctx)
@@ -392,6 +468,20 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// The merge span parents under the worker's shard span (carried in
+	// the Traceparent header), so the cross-process tree reads
+	// campaign → shard N (worker) → merge shard N (coordinator). A
+	// delivery without the header still lands in the right trace, parented
+	// directly under the deterministic campaign root.
+	var msp *obs.Span
+	if c.cfg.Tracer != nil {
+		pctx, ok := obs.ExtractTraceHeader(r.Header)
+		if !ok {
+			pctx = campaign.TraceContext(c.cfg.Plan.ID)
+		}
+		msp = c.cfg.Tracer.StartRemote(fmt.Sprintf("merge shard %d", shard), pctx)
+	}
+
 	dup, err := c.table.complete(shard, hash)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
@@ -402,6 +492,7 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 		c.mu.Lock()
 		c.dups++
 		c.mu.Unlock()
+		msp.End()
 		writeJSON(w, ResultResponse{Merged: false, Duplicate: true, Done: c.table.done()})
 		return
 	}
@@ -426,9 +517,16 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 		reg.Counter("epvf_dist_shards_merged_total", "id", c.cfg.Plan.ID).Inc()
 		reg.Counter("epvf_dist_runs_merged_total", "id", c.cfg.Plan.ID).Add(int64(len(recs)))
 	}
+	if msp != nil {
+		// First delivery: the merge span joins the durable trace. (Its ID
+		// is random, but it only exists on this non-duplicate path, so
+		// requeue cannot double-log it.)
+		c.mergeSpans([]obs.SpanRecord{msp.EndRecord()}, false)
+	}
 	done := c.table.done()
 	if done {
 		c.doneOnce.Do(func() { close(c.doneCh) })
+		c.finishRoot()
 		if c.cfg.Ledger != nil {
 			// Cache the final attribution snapshot in the durable log so
 			// `campaign attr` works on the merged log without the module.
@@ -446,6 +544,34 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, ResultResponse{Merged: true, Done: done})
+}
+
+// handleSpans accepts a worker's span subtree (JSON array of
+// obs.SpanRecord). Span IDs are deterministic, so the batch is filtered
+// against everything already merged or replayed; a fully-known batch is
+// acknowledged as a duplicate, mirroring the ShardHash record dedup.
+func (c *Coordinator) handleSpans(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if got := q.Get("plan"); got != c.cfg.Plan.ID {
+		http.Error(w, fmt.Sprintf("plan mismatch: coordinator serves %s, got %q", c.cfg.Plan.ID, got), http.StatusConflict)
+		return
+	}
+	var spans []obs.SpanRecord
+	if !readJSON(w, r, &spans) {
+		return
+	}
+	if len(spans) == 0 {
+		http.Error(w, "empty span batch", http.StatusBadRequest)
+		return
+	}
+	fresh := c.mergeSpans(spans, true)
+	if reg := c.cfg.Registry; reg != nil {
+		reg.Counter("epvf_dist_spans_merged_total", "id", c.cfg.Plan.ID).Add(int64(fresh))
+		if fresh == 0 {
+			reg.Counter("epvf_dist_spans_duplicate_total", "id", c.cfg.Plan.ID).Inc()
+		}
+	}
+	writeJSON(w, SpansResponse{Merged: fresh > 0, Duplicate: fresh == 0})
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {

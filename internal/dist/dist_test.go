@@ -736,3 +736,196 @@ func TestLedgerDedupeRejectAndRestart(t *testing.T) {
 		t.Fatalf("restarted ledger hash %s != pre-restart %s", h, afterFirst)
 	}
 }
+
+// TestTraceSurvivesRequeueAndRedelivery is the tracing half of the
+// at-least-once acceptance criterion: a campaign that suffers a worker
+// crash (shard requeue) and an exact result redelivery must still yield
+// exactly one connected span tree with no double-counted spans, because
+// every process derives the same deterministic span IDs from the plan
+// and the coordinator dedups by span ID — the trace analogue of the
+// ShardHash record dedup.
+func TestTraceSurvivesRequeueAndRedelivery(t *testing.T) {
+	g := golden(t, kernelSrc)
+	plan := testPlan(t, g, 100, 25)
+	reg := obs.NewRegistry()
+	ctr := obs.NewTracer(nil)
+	ctr.SetProc("coordinator")
+	logPath := filepath.Join(t.TempDir(), "merged.jsonl")
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Plan:      plan,
+		GoldenDyn: g.DynInstrs,
+		LogPath:   logPath,
+		LeaseTTL:  300 * time.Millisecond,
+		Registry:  reg,
+		Tracer:    ctr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + coord.Addr()
+	defer coord.Shutdown(context.Background())
+
+	// A worker leases a shard and dies: that shard requeues and its spans
+	// arrive later from whichever worker re-executes it.
+	crashWorker(t, base, plan.ID)
+
+	wtr := obs.NewTracer(nil)
+	wtr.SetProc("w1")
+	w, err := NewWorker(WorkerConfig{
+		Coordinator: base,
+		Name:        "w1",
+		Module:      g.Trace.Module,
+		Golden:      g,
+		Workers:     2,
+		Registry:    reg,
+		RetryBase:   10 * time.Millisecond,
+		Tracer:      wtr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact duplicate result delivery after completion, carrying the shard
+	// trace context exactly as a redelivering worker would: deduped, and
+	// no second merge span may appear in the log.
+	runner, err := fi.NewRunner(g.Trace.Module, g, plan.FIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := plan.ShardRange(0)
+	records := runner.RunRange(lo, hi, 1)
+	recs := make([]campaign.RunRec, len(records))
+	for i, rec := range records {
+		recs[i] = campaign.NewRunRec(lo+int64(i), rec)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range recs {
+		enc.Encode(r)
+	}
+	url := fmt.Sprintf("%s%s?plan=%s&shard=0&worker=dup&hash=%s",
+		base, PathResults, plan.ID, campaign.ShardHash(plan.ID, 0, recs))
+	req, err := http.NewRequest(http.MethodPost, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := campaign.TraceContext(plan.ID)
+	obs.InjectTraceHeader(req.Header, obs.SpanContext{TraceID: root.TraceID, SpanID: campaign.ShardSpanID(plan.ID, 0)})
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr ResultResponse
+	json.NewDecoder(resp.Body).Decode(&rr)
+	resp.Body.Close()
+	if rr.Merged || !rr.Duplicate {
+		t.Fatalf("redelivery: %+v", rr)
+	}
+
+	// Exact duplicate span shipment (requeue re-ships identical IDs):
+	// acknowledged as duplicate, nothing re-appended.
+	shardSpan := obs.SpanRecord{
+		Name:     "shard 0",
+		TraceID:  root.TraceID,
+		SpanID:   campaign.ShardSpanID(plan.ID, 0),
+		ParentID: root.SpanID,
+		Proc:     "w2",
+		Depth:    1,
+	}
+	body, _ := json.Marshal([]obs.SpanRecord{shardSpan})
+	resp, err = http.Post(fmt.Sprintf("%s%s?plan=%s&shard=0&worker=w2", base, PathSpans, plan.ID),
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SpansResponse
+	json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if sr.Merged || !sr.Duplicate {
+		t.Fatalf("duplicate span shipment: %+v", sr)
+	}
+
+	// The durable log carries each span exactly once: one connected tree,
+	// no orphans, both processes, and deterministic shard/merge spans
+	// despite requeue and redelivery.
+	d, err := campaign.ReadLogData(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	merges := 0
+	for _, sp := range d.Spans {
+		seen[sp.TraceID+"/"+sp.SpanID]++
+		if sp.Name == "merge shard 0" {
+			merges++
+		}
+	}
+	for id, n := range seen {
+		if n > 1 {
+			t.Errorf("span %s appears %d times in the durable log", id, n)
+		}
+	}
+	if merges != 1 {
+		t.Errorf("merge spans for shard 0 = %d, want exactly 1 after redelivery", merges)
+	}
+	trees := obs.BuildSpanTrees(d.Spans)
+	if len(trees) != 1 {
+		t.Fatalf("span trees = %d, want one connected trace", len(trees))
+	}
+	tr := trees[0]
+	if len(tr.Roots) != 1 || tr.Orphans != 0 {
+		t.Fatalf("trace has %d roots, %d orphans:\n%s", len(tr.Roots), tr.Orphans, tr.RenderWaterfall())
+	}
+	procs := strings.Join(tr.Procs, ",")
+	if !strings.Contains(procs, "coordinator") || !strings.Contains(procs, "w1") {
+		t.Errorf("trace procs = %v, want coordinator and w1", tr.Procs)
+	}
+	// Every shard span is present under the root with its deterministic ID,
+	// and each merge span parents under the shard span whose Traceparent
+	// header the worker sent — the cross-process round trip.
+	byID := map[string]obs.SpanRecord{}
+	for _, sp := range d.Spans {
+		byID[sp.SpanID] = sp
+	}
+	for s := 0; s < plan.NumShards(); s++ {
+		sp, ok := byID[campaign.ShardSpanID(plan.ID, s)]
+		if !ok {
+			t.Errorf("shard %d span missing", s)
+			continue
+		}
+		if sp.ParentID != root.SpanID {
+			t.Errorf("shard %d span parent = %s, want campaign root", s, sp.ParentID)
+		}
+	}
+	mergeParents := 0
+	for _, sp := range d.Spans {
+		if strings.HasPrefix(sp.Name, "merge shard ") {
+			if parent, ok := byID[sp.ParentID]; !ok || !strings.HasPrefix(parent.Name, "shard ") {
+				t.Errorf("%s parent %s is not a shard span", sp.Name, sp.ParentID)
+			} else {
+				mergeParents++
+			}
+		}
+	}
+	if mergeParents != plan.NumShards() {
+		t.Errorf("merge spans correctly parented = %d, want %d", mergeParents, plan.NumShards())
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("epvf_dist_spans_merged_total", "id", plan.ID) == 0 {
+		t.Error("epvf_dist_spans_merged_total never incremented")
+	}
+	if snap.Counter("epvf_dist_spans_duplicate_total", "id", plan.ID) == 0 {
+		t.Error("epvf_dist_spans_duplicate_total missed the duplicate shipment")
+	}
+}

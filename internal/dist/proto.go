@@ -48,6 +48,16 @@ const (
 	// hash; a ledger-enabled coordinator recomputes it from the verified
 	// records and rejects a mismatch with 409 (classifier skew).
 	PathResults = "/v1/results"
+	// PathSpans (POST, JSON body []obs.SpanRecord) ships a worker's
+	// completed span subtree (shard span + notable-injection exemplars) to
+	// the coordinator, which assembles the campaign-wide trace. Span IDs
+	// are deterministic functions of (plan, shard, index), so the
+	// coordinator dedups redelivered subtrees by span ID exactly as it
+	// dedups redelivered records by ShardHash — at-least-once shipping
+	// never double-counts a span. Spans are observability, not
+	// correctness: a failed shipment is logged and dropped, never
+	// retried into the results path.
+	PathSpans = "/v1/spans"
 	// PathStatus (GET) serves the fleet Status as JSON.
 	PathStatus = "/v1/status"
 )
@@ -106,6 +116,16 @@ type ResultResponse struct {
 	// round-trip — the coordinator may well shut down before one could be
 	// answered.
 	Done bool `json:"done,omitempty"`
+}
+
+// SpansResponse acknowledges a span-subtree shipment.
+type SpansResponse struct {
+	// Merged: at least one span in the batch was new and entered the
+	// coordinator's trace (and its durable log, when one is configured).
+	Merged bool `json:"merged"`
+	// Duplicate: every span in the batch was already known — the
+	// redelivery of a requeued shard's subtree, dropped harmlessly.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // Status is the fleet snapshot served on /v1/status and, via

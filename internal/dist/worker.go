@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/attr"
@@ -62,6 +63,13 @@ type WorkerConfig struct {
 	// SnapshotStride overrides the automatic snapshot spacing; zero
 	// keeps ~sqrt(trace length).
 	SnapshotStride int64
+	// Tracer, when non-nil, correlates this worker into the campaign's
+	// distributed trace: each leased shard runs under a span with the
+	// deterministic (plan, shard) identity, outgoing coordinator requests
+	// carry it in the Traceparent header, and the completed subtree
+	// (shard span + notable-injection exemplars) ships to the coordinator
+	// after a first-delivery merge. Nil disables tracing entirely.
+	Tracer *obs.Tracer
 }
 
 // Worker leases shards from a coordinator and executes them. Drain
@@ -74,6 +82,11 @@ type Worker struct {
 	plan   *campaign.Plan
 	runner *fi.Runner
 	ttl    time.Duration
+	// traceCtx is the span context outgoing requests propagate (the
+	// active shard span while one executes). It is written only by the
+	// sequential lease loop, before the heartbeat goroutine starts and
+	// after it drains, so no lock is needed.
+	traceCtx obs.SpanContext
 }
 
 // NewWorker validates the configuration and applies defaults.
@@ -229,6 +242,39 @@ func (w *Worker) handshake(ctx context.Context) error {
 // signal arriving mid-shard cannot tear the upload. The returned bool is
 // the coordinator's "this completed the campaign" flag.
 func (w *Worker) executeShard(ctx context.Context, lease LeaseResponse) (bool, error) {
+	// The shard span carries the deterministic (plan, shard) identity, so
+	// a requeued shard re-executed here reproduces the identical span ID a
+	// previous worker already shipped — the coordinator dedups it like a
+	// redelivered record. Outgoing requests (heartbeats, the delivery)
+	// propagate it via the Traceparent header while it is open.
+	var span *obs.Span
+	var exemplars *obs.InjectionSet
+	if w.cfg.Tracer != nil {
+		root := campaign.TraceContext(w.plan.ID)
+		sctx := obs.SpanContext{TraceID: root.TraceID, SpanID: campaign.ShardSpanID(w.plan.ID, lease.Shard)}
+		span = w.cfg.Tracer.StartExact(fmt.Sprintf("shard %d", lease.Shard), sctx, root.SpanID)
+		w.traceCtx = sctx
+		exemplars = obs.NewInjectionSet(0)
+		// The observer runs concurrently from RunRange worker goroutines;
+		// InjectionSet is not self-locking, so serialize here.
+		var obsMu sync.Mutex
+		w.runner.SetSpanObserver(func(index int64, rec fi.Record, start time.Time, wall time.Duration) {
+			inj := campaign.NewInjection(lease.Shard, index, rec, start, wall)
+			obsMu.Lock()
+			exemplars.Observe(inj)
+			obsMu.Unlock()
+			obs.DefaultFlight().ObserveInjection(inj)
+			if w.cfg.Registry != nil {
+				w.cfg.Registry.Histogram("epvf_injection_latency_seconds", obs.LatencyBuckets,
+					"id", w.plan.ID, "stage", "dist", "outcome", rec.Outcome.String()).Observe(wall.Seconds())
+			}
+		})
+		defer func() {
+			w.runner.SetSpanObserver(nil)
+			w.traceCtx = obs.SpanContext{}
+		}()
+	}
+
 	stop := make(chan struct{})
 	beatDone := make(chan struct{})
 	go func() {
@@ -262,6 +308,20 @@ func (w *Worker) executeShard(ctx context.Context, lease LeaseResponse) (bool, e
 	// Detached context: a drain must still deliver the finished shard.
 	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Minute)
 	defer cancel()
+	if span != nil {
+		// The subtree ships before the results so the coordinator holds
+		// every delivered shard's spans by the moment the campaign
+		// completes (it may shut down right after). A requeued shard
+		// re-ships identical deterministic span IDs and the coordinator
+		// drops them as duplicates; a failed shipment is noted and
+		// dropped — spans are observability, never correctness.
+		rec := span.EndRecord()
+		subtree := append([]obs.SpanRecord{rec},
+			campaign.InjectionSpans(w.plan, lease.Shard, rec.Proc, exemplars.Notable())...)
+		if err := w.shipSpans(dctx, lease.Shard, subtree); err != nil {
+			w.progress("worker %s: shard %d span shipment dropped: %v", w.cfg.Name, lease.Shard, err)
+		}
+	}
 	var resp ResultResponse
 	if err := w.do(dctx, http.MethodPost, url, "application/jsonl", buf.Bytes(), &resp); err != nil {
 		return false, fmt.Errorf("dist: delivering shard %d: %w", lease.Shard, err)
@@ -280,6 +340,17 @@ func (w *Worker) executeShard(ctx context.Context, lease LeaseResponse) (bool, e
 	w.progress("worker %s: shard %d (%d runs) %s in %.2fs",
 		w.cfg.Name, lease.Shard, len(recs), verb, time.Since(t0).Seconds())
 	return resp.Done, nil
+}
+
+// shipSpans posts one shard's span subtree to the coordinator.
+func (w *Worker) shipSpans(ctx context.Context, shard int, spans []obs.SpanRecord) error {
+	body, err := json.Marshal(spans)
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s?plan=%s&shard=%d&worker=%s", PathSpans, w.plan.ID, shard, w.cfg.Name)
+	var resp SpansResponse
+	return w.do(ctx, http.MethodPost, url, "application/json", body, &resp)
 }
 
 // heartbeatLoop extends the lease at TTL/3 until stop closes. A 410
@@ -357,6 +428,11 @@ func (w *Worker) do(ctx context.Context, method, path, contentType string, body 
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
+		}
+		// Propagate the active shard span so coordinator-side spans (the
+		// merge) parent under it — the cross-process edge of the trace.
+		if w.traceCtx.Valid() {
+			obs.InjectTraceHeader(req.Header, w.traceCtx)
 		}
 		resp, err := w.cfg.Client.Do(req)
 		if err != nil {

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -295,6 +296,11 @@ type Runner struct {
 	// and scratch paths alike). It is invoked concurrently from RunRange
 	// workers and must be safe for concurrent use.
 	observer func(Record)
+	// spanObserver, when non-nil, additionally receives each run's index
+	// and timing — the injection-span hook tracing and the flight
+	// recorder ride on. Runs are only clocked when it is set, so the
+	// disabled path pays one nil check per run.
+	spanObserver func(index int64, rec Record, start time.Time, wall time.Duration)
 }
 
 // SetObserver streams every subsequent record through fn — the hook the
@@ -302,6 +308,15 @@ type Runner struct {
 // called from RunRange worker goroutines concurrently and must be safe
 // for that; set it before runs start. A nil fn disables streaming.
 func (r *Runner) SetObserver(fn func(Record)) { r.observer = fn }
+
+// SetSpanObserver streams (index, record, start, wall) for every
+// subsequent run — the hook dist workers and the flight recorder use for
+// per-injection latency exemplars and injection spans. Same concurrency
+// contract as SetObserver. A nil fn disables it (and the per-run clock
+// reads with it).
+func (r *Runner) SetSpanObserver(fn func(index int64, rec Record, start time.Time, wall time.Duration)) {
+	r.spanObserver = fn
+}
 
 // NewRunner validates the golden run and indexes its trace for sampling.
 func NewRunner(m *ir.Module, golden *interp.Result, cfg Config) (*Runner, error) {
@@ -381,6 +396,10 @@ func (r *Runner) Draw(index int64) (Target, mem.Layout) {
 // (module, golden, Config.Seed/JitterWindow/FaultBits/HangFactor/Align,
 // index).
 func (r *Runner) RunIndex(index int64) Record {
+	var start time.Time
+	if r.spanObserver != nil {
+		start = time.Now()
+	}
 	tgt, layout := r.Draw(index)
 	var rec Record
 	if r.chain != nil {
@@ -390,6 +409,9 @@ func (r *Runner) RunIndex(index int64) Record {
 	}
 	if r.observer != nil {
 		r.observer(rec)
+	}
+	if r.spanObserver != nil {
+		r.spanObserver(index, rec, start, time.Since(start))
 	}
 	return rec
 }

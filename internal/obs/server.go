@@ -49,6 +49,7 @@ func NewServer(addr string, reg *Registry) (*Server, error) {
 	s := &Server{reg: reg, mux: http.NewServeMux(), ln: ln, started: time.Now()}
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/debug/flight", s.handleFlight)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -137,6 +138,27 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.srv.Shutdown(ctx)
 }
 
+// handleFlight dumps the process-wide flight recorder: JSON by default,
+// the text rendering with ?format=text. 404 when no recorder is
+// installed (CLIs install one at startup, so in practice it is always
+// on).
+func (s *Server) handleFlight(w http.ResponseWriter, req *http.Request) {
+	f := DefaultFlight()
+	if f == nil {
+		http.Error(w, "flight recorder not installed", http.StatusNotFound)
+		return
+	}
+	if req.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		f.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(f.View())
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	if req.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
@@ -158,6 +180,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, req *http.Request) {
 	fmt.Fprintln(w, "  /healthz            liveness + registered stats sections (cache, fleet)")
 	fmt.Fprintln(w, "  /campaign           live campaign status (when a campaign is running)")
 	fmt.Fprintln(w, "  /attr               attribution drill-down (when the ledger is enabled; ?func=, ?instr=, ?format=text)")
+	fmt.Fprintln(w, "  /debug/flight       flight recorder: recent spans + shard exemplars (?format=text)")
 	fmt.Fprintln(w, "  /debug/pprof/       CPU, heap, goroutine profiles")
 	fmt.Fprintln(w, "  /debug/vars         expvar (includes the epvf_obs snapshot)")
 }

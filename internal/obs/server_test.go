@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -166,6 +167,91 @@ func TestServerLiveUpdates(t *testing.T) {
 	_, body = get(t, base+"/metrics")
 	if !strings.Contains(body, "epvf_live_total 42") {
 		t.Errorf("live scrape: %q", body)
+	}
+}
+
+// TestConcurrentRegistrationUnderLoad hammers /healthz and freshly
+// registered views while sections and handlers are still being added:
+// daemons register cache/fleet sections after Start, so registration
+// must be safe against in-flight probes (run under -race).
+func TestConcurrentRegistrationUnderLoad(t *testing.T) {
+	srv := startTestServer(t, NewRegistry())
+	srv.Start()
+	base := "http://" + srv.Addr()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	const registrars = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Request load: continuous /healthz probes plus hits on the views the
+	// registrars have already added.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				url := base + "/healthz"
+				if n%2 == 1 {
+					url = fmt.Sprintf("%s/view/%d/%d", base, n%registrars, n%8)
+				}
+				resp, err := client.Get(url)
+				if err != nil {
+					t.Errorf("GET %s: %v", url, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				// A view may 404 before its registrar lands; /healthz never may.
+				if strings.HasSuffix(url, "/healthz") && resp.StatusCode != http.StatusOK {
+					t.Errorf("/healthz: code %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	// Registration load: handlers and health sections appear while the
+	// probes run.
+	for r := 0; r < registrars; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				path := fmt.Sprintf("/view/%d/%d", r, i)
+				srv.Handle(path, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+					fmt.Fprintf(w, "view %s", req.URL.Path)
+				}))
+				srv.AddHealth(fmt.Sprintf("section_%d_%d", r, i), func() any { return i })
+			}
+		}(r)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Every registered section and view answers once the dust settles.
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz after churn: code %d", code)
+	}
+	var sections map[string]any
+	if err := json.Unmarshal([]byte(body), &sections); err != nil {
+		t.Fatalf("healthz JSON: %v", err)
+	}
+	for r := 0; r < registrars; r++ {
+		for i := 0; i < 8; i++ {
+			if _, ok := sections[fmt.Sprintf("section_%d_%d", r, i)]; !ok {
+				t.Errorf("section_%d_%d missing from /healthz", r, i)
+			}
+		}
+	}
+	code, body = get(t, base+"/view/0/0")
+	if code != http.StatusOK || !strings.Contains(body, "view /view/0/0") {
+		t.Errorf("registered view: code %d body %q", code, body)
 	}
 }
 

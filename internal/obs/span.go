@@ -14,10 +14,21 @@ import (
 
 // SpanRecord is one completed span: a named phase with wall time, heap
 // allocation deltas (runtime.ReadMemStats) and optional per-span counters.
+// Correlated spans additionally carry trace identity (TraceID/SpanID/
+// ParentID) and the process that produced them; plain phase spans leave
+// those fields empty and everything downstream treats them as before.
 type SpanRecord struct {
-	Name  string    `json:"name"`
-	Depth int       `json:"depth"`
-	Start time.Time `json:"start"`
+	Name string `json:"name"`
+	// TraceID groups every span of one campaign/analyze request, across
+	// processes. SpanID identifies this span inside the trace; ParentID
+	// links it to its parent ("" for roots). Proc names the producing
+	// process ("coordinator", "worker-a", "epvf-serve").
+	TraceID  string    `json:"trace,omitempty"`
+	SpanID   string    `json:"span,omitempty"`
+	ParentID string    `json:"parent,omitempty"`
+	Proc     string    `json:"proc,omitempty"`
+	Depth    int       `json:"depth"`
+	Start    time.Time `json:"start"`
 	// WallNS is the span duration under the tracer's clock.
 	WallNS int64 `json:"wall_ns"`
 	// Allocs and AllocBytes are the heap allocation count/byte deltas
@@ -32,16 +43,50 @@ type SpanRecord struct {
 // default) hands out nil *Span handles whose methods no-op, so
 // instrumented pipelines pay one nil check per phase.
 type Tracer struct {
-	mu    sync.Mutex
-	w     io.Writer // JSONL sink, may be nil
-	now   func() time.Time
-	spans []SpanRecord
+	mu     sync.Mutex
+	w      io.Writer // JSONL sink, may be nil
+	now    func() time.Time
+	proc   string
+	retain int // when > 0, keep only the most recent retain spans in memory
+	spans  []SpanRecord
+	drops  atomic.Int64
 }
 
 // NewTracer returns a tracer. w, when non-nil, receives one JSON line per
 // completed span.
 func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{w: w, now: time.Now}
+}
+
+// SetProc names the producing process; every span recorded afterwards
+// carries it (ingested remote spans keep their own).
+func (t *Tracer) SetProc(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.proc = name
+	t.mu.Unlock()
+}
+
+// SetRetain bounds the in-memory span list to the most recent n spans
+// (0 = unbounded, the default). Long-lived daemons set it so the tracer
+// cannot grow without bound; the JSONL sink still sees every span.
+func (t *Tracer) SetRetain(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.retain = n
+	t.mu.Unlock()
+}
+
+// Drops returns how many span JSONL lines were lost to sink errors.
+func (t *Tracer) Drops() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.drops.Load()
 }
 
 // SetClock injects the time source (tests; the campaign progress reporter
@@ -66,6 +111,8 @@ func (t *Tracer) clock() time.Time {
 type Span struct {
 	t        *Tracer
 	name     string
+	ctx      SpanContext
+	parentID string
 	depth    int
 	start    time.Time
 	mallocs0 uint64
@@ -73,22 +120,49 @@ type Span struct {
 	counters map[string]int64
 	mu       sync.Mutex
 	ended    bool
+	rec      SpanRecord // valid once ended
 }
 
-// Start opens a root span.
+// Start opens a root span under a fresh random trace ID.
 func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return t.open(name, 0)
+	tid := NewTraceID()
+	return t.open(name, 0, SpanContext{TraceID: tid, SpanID: NewSpanID()}, "")
 }
 
-func (t *Tracer) open(name string, depth int) *Span {
+// StartRemote opens a span as the child of a remote parent (the context
+// extracted from an incoming request's trace header). An invalid parent
+// degrades to Start: a fresh root.
+func (t *Tracer) StartRemote(name string, parent SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	if !parent.Valid() {
+		return t.Start(name)
+	}
+	return t.open(name, 0, SpanContext{TraceID: parent.TraceID, SpanID: NewSpanID()}, parent.SpanID)
+}
+
+// StartExact opens a span with a caller-chosen identity — the
+// deterministic-ID discipline (campaign roots, shard spans) where every
+// process must derive the same span ID. parentID may be "" for roots.
+func (t *Tracer) StartExact(name string, ctx SpanContext, parentID string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.open(name, 0, ctx, parentID)
+}
+
+func (t *Tracer) open(name string, depth int, ctx SpanContext, parentID string) *Span {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	return &Span{
 		t:        t,
 		name:     name,
+		ctx:      ctx,
+		parentID: parentID,
 		depth:    depth,
 		start:    t.clock(),
 		mallocs0: ms.Mallocs,
@@ -96,12 +170,33 @@ func (t *Tracer) open(name string, depth int) *Span {
 	}
 }
 
-// Child opens a nested span one level deeper.
+// Child opens a nested span one level deeper, inheriting the trace and
+// parented to sp.
 func (sp *Span) Child(name string) *Span {
 	if sp == nil {
 		return nil
 	}
-	return sp.t.open(name, sp.depth+1)
+	ctx := SpanContext{TraceID: sp.ctx.TraceID, SpanID: NewSpanID()}
+	return sp.t.open(name, sp.depth+1, ctx, sp.ctx.SpanID)
+}
+
+// ChildExact opens a nested span with a caller-chosen span ID
+// (deterministic shard/injection spans).
+func (sp *Span) ChildExact(name, spanID string) *Span {
+	if sp == nil {
+		return nil
+	}
+	ctx := SpanContext{TraceID: sp.ctx.TraceID, SpanID: spanID}
+	return sp.t.open(name, sp.depth+1, ctx, sp.ctx.SpanID)
+}
+
+// Context returns the span's portable identity (zero for nil spans) —
+// what InjectTraceHeader stamps on outgoing requests.
+func (sp *Span) Context() SpanContext {
+	if sp == nil {
+		return SpanContext{}
+	}
+	return sp.ctx
 }
 
 // Add accumulates a named per-span counter (node counts, bit counts, ...).
@@ -136,6 +231,10 @@ func (sp *Span) End() {
 	runtime.ReadMemStats(&ms)
 	rec := SpanRecord{
 		Name:       sp.name,
+		TraceID:    sp.ctx.TraceID,
+		SpanID:     sp.ctx.SpanID,
+		ParentID:   sp.parentID,
+		Proc:       sp.t.procName(),
 		Depth:      sp.depth,
 		Start:      sp.start,
 		WallNS:     sp.t.clock().Sub(sp.start).Nanoseconds(),
@@ -143,22 +242,76 @@ func (sp *Span) End() {
 		AllocBytes: ms.TotalAlloc - sp.bytes0,
 		Counters:   counters,
 	}
+	sp.mu.Lock()
+	sp.rec = rec
+	sp.mu.Unlock()
 	sp.t.record(rec)
 }
 
+// EndRecord ends the span (idempotent) and returns its completed record
+// — what a daemon sends back to the requesting process so the caller's
+// trace includes the remote work. Zero record for nil spans.
+func (sp *Span) EndRecord() SpanRecord {
+	if sp == nil {
+		return SpanRecord{}
+	}
+	sp.End()
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.rec
+}
+
+// Ingest records remote spans verbatim (JSONL sink, in-memory list,
+// flight recorder): the coordinator ingests worker shard subtrees, a
+// -server client ingests the daemon's handling spans.
+func (t *Tracer) Ingest(recs ...SpanRecord) {
+	if t == nil {
+		return
+	}
+	for _, rec := range recs {
+		t.record(rec)
+	}
+}
+
+func (t *Tracer) procName() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.proc
+}
+
+// record stores one completed span and emits its JSONL line. A sink
+// write error increments the epvf_obs_trace_drops counter and the tracer
+// keeps working — one bad write must not poison subsequent spans.
 func (t *Tracer) record(rec SpanRecord) {
 	t.mu.Lock()
 	t.spans = append(t.spans, rec)
+	if t.retain > 0 && len(t.spans) > t.retain {
+		t.spans = append(t.spans[:0], t.spans[len(t.spans)-t.retain:]...)
+	}
 	w := t.w
 	t.mu.Unlock()
-	if w != nil {
-		line, err := json.Marshal(rec)
-		if err == nil {
-			t.mu.Lock()
-			w.Write(append(line, '\n'))
-			t.mu.Unlock()
-		}
+	DefaultFlight().Record(rec)
+	if w == nil {
+		return
 	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		t.drop()
+		return
+	}
+	t.mu.Lock()
+	_, werr := w.Write(append(line, '\n'))
+	t.mu.Unlock()
+	if werr != nil {
+		t.drop()
+	}
+}
+
+// drop counts a span line lost to a sink error, both on the tracer and on
+// the default registry's epvf_obs_trace_drops counter.
+func (t *Tracer) drop() {
+	t.drops.Add(1)
+	Default().Counter("epvf_obs_trace_drops").Add(1)
 }
 
 // Spans returns a copy of every completed span in end order.

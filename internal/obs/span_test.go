@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -151,3 +152,53 @@ func TestSpanAllocationDelta(t *testing.T) {
 
 // sink defeats dead-allocation elimination.
 var sink []byte
+
+// failNWriter fails its first n writes, then delegates to the buffer.
+type failNWriter struct {
+	n   int
+	buf bytes.Buffer
+}
+
+func (w *failNWriter) Write(p []byte) (int, error) {
+	if w.n > 0 {
+		w.n--
+		return 0, errors.New("disk full")
+	}
+	return w.buf.Write(p)
+}
+
+// TestSinkErrorDoesNotPoisonTracer ends spans against a sink whose first
+// writes fail: the failed lines are counted as drops, the spans still
+// land in memory, and later spans reach the sink normally.
+func TestSinkErrorDoesNotPoisonTracer(t *testing.T) {
+	reg := NewRegistry()
+	SetDefault(reg)
+	defer SetDefault(nil)
+	w := &failNWriter{n: 2}
+	tr := NewTracer(w)
+	for _, name := range []string{"a", "b", "c", "d"} {
+		tr.Start(name).End()
+	}
+	if got := tr.Drops(); got != 2 {
+		t.Errorf("Drops() = %d, want 2", got)
+	}
+	if got := reg.Snapshot().Counter("epvf_obs_trace_drops"); got != 2 {
+		t.Errorf("epvf_obs_trace_drops = %d, want 2", got)
+	}
+	if got := len(tr.Spans()); got != 4 {
+		t.Errorf("in-memory spans = %d, want 4 (drops must not lose memory copies)", got)
+	}
+	lines := strings.Split(strings.TrimSpace(w.buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("sink lines = %d, want the 2 post-recovery spans:\n%s", len(lines), w.buf.String())
+	}
+	for i, want := range []string{"c", "d"} {
+		var rec SpanRecord
+		if err := json.Unmarshal([]byte(lines[i]), &rec); err != nil {
+			t.Fatalf("sink line %d: %v", i, err)
+		}
+		if rec.Name != want {
+			t.Errorf("sink line %d = span %q, want %q", i, rec.Name, want)
+		}
+	}
+}

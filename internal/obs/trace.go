@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strings"
+
+	"repro/internal/content"
+)
+
+// Trace identity. Every span carries a trace ID (shared by all spans of
+// one campaign/analyze request, across processes) and a span ID; parent
+// links stitch the spans into one tree. IDs are content.HashLen hex
+// characters, matching the repository's content-hash width, so a trace ID
+// is as readable and greppable as a plan ID.
+//
+// Two ID disciplines coexist:
+//
+//   - Random IDs (NewTraceID/NewSpanID) for ad-hoc roots and in-process
+//     children, where uniqueness is all that matters.
+//   - Deterministic IDs (DeterministicTraceID/DeterministicSpanID) for
+//     spans whose identity is fixed by the work they describe: the
+//     campaign root span and per-shard spans. Every process derives the
+//     same IDs from the plan alone, so coordinator, workers and the
+//     analysis daemon agree on the tree shape without negotiating, and a
+//     requeued shard re-executed by a second worker produces spans with
+//     the *same* IDs — readers dedup by span ID and the tree never
+//     double-counts, mirroring the shard-hash record dedup.
+
+// SpanContext is the portable identity of a span: enough to parent remote
+// children and to stitch trees across processes.
+type SpanContext struct {
+	TraceID string `json:"trace"`
+	SpanID  string `json:"span"`
+}
+
+// Valid reports whether the context can parent children.
+func (c SpanContext) Valid() bool { return c.TraceID != "" && c.SpanID != "" }
+
+// NewTraceID returns a random trace ID.
+func NewTraceID() string { return randomID() }
+
+// NewSpanID returns a random span ID.
+func NewSpanID() string { return randomID() }
+
+func randomID() string {
+	var b [content.HashLen / 2]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID is
+		// still a valid (if collision-prone) identifier.
+		return strings.Repeat("0", content.HashLen)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// DeterministicTraceID derives a trace ID from a domain tag and a seed
+// (e.g. "epvf-campaign" + plan ID): every process computes the same ID.
+func DeterministicTraceID(domain, seed string) string {
+	h := content.NewHasher("epvf-trace-v1")
+	h.Printf("%s\n%s\n", domain, seed)
+	return h.Sum()
+}
+
+// DeterministicSpanID derives a span ID from its trace and a path of
+// identifying parts (e.g. "shard", "17"). Same inputs, same ID, in every
+// process — the dedup key for cross-process tree assembly.
+func DeterministicSpanID(traceID string, parts ...string) string {
+	h := content.NewHasher("epvf-span-v1")
+	h.Printf("%s\n", traceID)
+	for _, p := range parts {
+		h.Printf("%s\n", p)
+	}
+	return h.Sum()
+}
+
+// TraceHeader is the propagation header carried on every instrumented
+// HTTP hop (dist lease/result calls, serve /v1/* requests). The value is
+// traceparent-style: "00-<trace-id>-<span-id>-01".
+const TraceHeader = "Traceparent"
+
+// InjectTraceHeader stamps ctx onto an outgoing request's headers. A
+// zero/invalid context injects nothing.
+func InjectTraceHeader(h http.Header, ctx SpanContext) {
+	if !ctx.Valid() {
+		return
+	}
+	h.Set(TraceHeader, "00-"+ctx.TraceID+"-"+ctx.SpanID+"-01")
+}
+
+// ExtractTraceHeader parses the propagation header from incoming request
+// headers. ok is false when the header is absent or malformed (malformed
+// headers are ignored, never an error: tracing must not fail requests).
+func ExtractTraceHeader(h http.Header) (ctx SpanContext, ok bool) {
+	v := h.Get(TraceHeader)
+	if v == "" {
+		return SpanContext{}, false
+	}
+	parts := strings.Split(v, "-")
+	if len(parts) != 4 || parts[0] != "00" || parts[1] == "" || parts[2] == "" {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: parts[1], SpanID: parts[2]}, true
+}

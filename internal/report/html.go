@@ -16,10 +16,11 @@ type HTMLDoc struct {
 
 // htmlBlock is one rendered section. Kind selects the template branch.
 type htmlBlock struct {
-	Kind    string // "heading", "para", "table", "heatmap", "pre"
-	Text    string
-	Table   *Table
-	Heatmap *Heatmap
+	Kind     string // "heading", "para", "table", "heatmap", "pre", "timeline"
+	Text     string
+	Table    *Table
+	Heatmap  *Heatmap
+	Timeline *Timeline
 }
 
 // NewHTMLDoc starts an empty document.
@@ -50,6 +51,91 @@ func (d *HTMLDoc) AddTable(t *Table) {
 // AddHeatmap appends a heatmap grid.
 func (d *HTMLDoc) AddHeatmap(h *Heatmap) {
 	d.blocks = append(d.blocks, htmlBlock{Kind: "heatmap", Heatmap: h})
+}
+
+// AddTimeline appends a horizontal span chart.
+func (d *HTMLDoc) AddTimeline(t *Timeline) {
+	d.blocks = append(d.blocks, htmlBlock{Kind: "timeline", Timeline: t})
+}
+
+// Timeline is a horizontal span chart: one labelled row per span, with a
+// bar positioned by its start offset and width as fractions of the whole
+// chart. `campaign trace -html` renders cross-process trace waterfalls
+// with it.
+type Timeline struct {
+	Title string
+	Rows  []TimelineRow
+}
+
+// TimelineRow is one bar on the chart. Left and Width are fractions of
+// the chart width in [0, 1]; Proc tags the row and selects the bar color
+// (rows sharing a Proc share a color).
+type TimelineRow struct {
+	Label string
+	Proc  string
+	Left  float64
+	Width float64
+	// Text is the row's hover tooltip.
+	Text string
+}
+
+// timelinePalette cycles per distinct Proc value, assigned by first
+// appearance so colors are stable for a given row order.
+var timelinePalette = []string{
+	"#4878cf", "#6acc65", "#d65f5f", "#b47cc7", "#c4ad66", "#77bedb",
+	"#e39802", "#8c613c",
+}
+
+// procColors maps each distinct Proc to a palette entry by first
+// appearance in the row list.
+func (t *Timeline) procColors() map[string]string {
+	m := map[string]string{}
+	for _, r := range t.Rows {
+		if _, ok := m[r.Proc]; !ok {
+			m[r.Proc] = timelinePalette[len(m)%len(timelinePalette)]
+		}
+	}
+	return m
+}
+
+// Bars is the template view: each row with its resolved CSS. Computed at
+// render time so color assignment sees the full row list.
+func (t *Timeline) Bars() []timelineBar {
+	colors := t.procColors()
+	out := make([]timelineBar, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		left := clamp01(r.Left)
+		width := clamp01(r.Width)
+		if left+width > 1 {
+			width = 1 - left
+		}
+		// Keep hairline spans visible.
+		if width < 0.0035 {
+			width = 0.0035
+		}
+		out = append(out, timelineBar{
+			TimelineRow: r,
+			Style: template.CSS(fmt.Sprintf("left:%.3f%%;width:%.3f%%;background:%s",
+				left*100, width*100, colors[r.Proc])),
+		})
+	}
+	return out
+}
+
+// timelineBar is one row plus its computed bar style.
+type timelineBar struct {
+	TimelineRow
+	Style template.CSS
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
 }
 
 // Heatmap is a labelled grid of shaded cells (e.g. bit position x
@@ -114,6 +200,14 @@ caption { caption-side: top; text-align: left; font-weight: 600; padding: 0.25em
 .hm th { font-weight: 400; font-size: 0.75em; background: none; border: none; }
 .hm td.lbl { width: auto; padding: 0 0.6em 0 0; border: none; white-space: nowrap; font-size: 0.85em; }
 pre { background: #f7f7f7; padding: 0.75em; overflow-x: auto; }
+.tl { margin: 0.75em 0; }
+.tlcap { font-weight: 600; padding: 0.25em 0; }
+.tlrow { display: flex; align-items: center; height: 1.35em; }
+.tlrow:hover { background: #f0f4ff; }
+.tllbl { width: 26em; overflow: hidden; white-space: pre; font: 12px/1.3 ui-monospace, monospace; flex: none; }
+.tlproc { width: 9em; overflow: hidden; white-space: nowrap; font-size: 0.75em; color: #666; flex: none; }
+.tltrack { position: relative; flex: 1; height: 0.8em; background: #f4f4f4; border-left: 1px solid #ddd; border-right: 1px solid #ddd; }
+.tlbar { position: absolute; top: 0; height: 100%; border-radius: 2px; }
 </style>
 </head>
 <body>
@@ -131,6 +225,9 @@ pre { background: #f7f7f7; padding: 0.75em; overflow-x: auto; }
 <tr><th></th>{{range .Heatmap.Cols}}<th>{{.}}</th>{{end}}</tr>
 {{range .Heatmap.Rows}}<tr><td class="lbl">{{.Label}}</td>{{range .Cells}}<td style="background:{{.Color}}" title="{{.Text}}"></td>{{end}}</tr>
 {{end}}</table>
+{{else if eq .Kind "timeline"}}<div class="tl"><div class="tlcap">{{.Timeline.Title}}</div>
+{{range .Timeline.Bars}}<div class="tlrow" title="{{.Text}}"><span class="tllbl">{{.Label}}</span><span class="tlproc">{{.Proc}}</span><span class="tltrack"><span class="tlbar" style="{{.Style}}"></span></span></div>
+{{end}}</div>
 {{end}}{{end}}</body>
 </html>
 `))

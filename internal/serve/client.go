@@ -9,6 +9,8 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Client talks to an analysis daemon. The zero HTTP client gets a
@@ -20,6 +22,14 @@ type Client struct {
 	// HTTP overrides the transport; nil uses a default with a 10-minute
 	// timeout.
 	HTTP *http.Client
+	// Trace, when valid, is propagated on every request via the
+	// Traceparent header, so daemon-side handling spans become children
+	// of the caller's span.
+	Trace obs.SpanContext
+	// Tracer, when non-nil, ingests the daemon's returned spans (the
+	// analyze reply's spans field, the X-Epvf-Span blob header) into the
+	// local trace. Nil drops them.
+	Tracer *obs.Tracer
 }
 
 // NewClient builds a client for a daemon address.
@@ -40,14 +50,46 @@ func (c *Client) url(path string) string {
 	return strings.TrimSuffix(base, "/") + path
 }
 
+// newRequest builds a request with the client's trace context injected.
+func (c *Client) newRequest(method, url string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.Trace.Valid() {
+		obs.InjectTraceHeader(req.Header, c.Trace)
+	}
+	return req, nil
+}
+
+// ingestHeaderSpan decodes the X-Epvf-Span response header (when
+// present) into the client's tracer.
+func (c *Client) ingestHeaderSpan(resp *http.Response) {
+	raw := resp.Header.Get(SpanHeader)
+	if raw == "" || c.Tracer == nil {
+		return
+	}
+	var rec obs.SpanRecord
+	if err := json.Unmarshal([]byte(raw), &rec); err == nil {
+		c.Tracer.Ingest(rec)
+	}
+}
+
 // Analyze submits module IR and returns the daemon's (possibly cached)
-// analysis.
+// analysis. Daemon handling spans in the reply are ingested into the
+// client's tracer (when one is set) and left in the reply for callers
+// that persist them elsewhere (campaign logs).
 func (c *Client) Analyze(irText string) (*AnalyzeReply, error) {
 	body, err := json.Marshal(AnalyzeRequest{IR: irText})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.httpClient().Post(c.url("/v1/analyze"), "application/json", bytes.NewReader(body))
+	req, err := c.newRequest(http.MethodPost, c.url("/v1/analyze"), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("serve: analyze: %w", err)
 	}
@@ -62,6 +104,9 @@ func (c *Client) Analyze(irText string) (*AnalyzeReply, error) {
 	}
 	if reply.Summary == nil {
 		return nil, fmt.Errorf("serve: analyze: reply has no summary")
+	}
+	if c.Tracer != nil && len(reply.Spans) > 0 {
+		c.Tracer.Ingest(reply.Spans...)
 	}
 	return &reply, nil
 }
@@ -82,11 +127,16 @@ func blobPath(kind string) string {
 // means the daemon has no entry (a miss, not an error).
 func (c *Client) GetBlob(kind, plan string) (data []byte, ok bool, err error) {
 	u := c.url(blobPath(kind)) + "?plan=" + url.QueryEscape(plan)
-	resp, err := c.httpClient().Get(u)
+	req, err := c.newRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, false, fmt.Errorf("serve: get %s: %w", kind, err)
 	}
 	defer resp.Body.Close()
+	c.ingestHeaderSpan(resp)
 	switch resp.StatusCode {
 	case http.StatusOK:
 		data, err := io.ReadAll(resp.Body)
@@ -105,7 +155,7 @@ func (c *Client) GetBlob(kind, plan string) (data []byte, ok bool, err error) {
 // PutBlob uploads an artifact under (kind, plan hash).
 func (c *Client) PutBlob(kind, plan string, data []byte) error {
 	u := c.url(blobPath(kind)) + "?plan=" + url.QueryEscape(plan)
-	req, err := http.NewRequest(http.MethodPut, u, bytes.NewReader(data))
+	req, err := c.newRequest(http.MethodPut, u, bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
@@ -115,6 +165,7 @@ func (c *Client) PutBlob(kind, plan string, data []byte) error {
 		return fmt.Errorf("serve: put %s: %w", kind, err)
 	}
 	defer resp.Body.Close()
+	c.ingestHeaderSpan(resp)
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return fmt.Errorf("serve: put %s: %s: %s", kind, resp.Status, strings.TrimSpace(string(msg)))

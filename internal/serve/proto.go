@@ -1,10 +1,18 @@
 package serve
 
+import "repro/internal/obs"
+
 // Wire types of the /v1/analyze endpoint. The request carries the
 // module as textual IR — the canonical program representation every
 // layer of the pipeline already hashes — and the reply carries the
 // cacheable Summary plus provenance: which pipeline stage satisfied
 // the request and under what content address.
+
+// SpanHeader is the response header blob endpoints return their
+// handling span in (one JSON-encoded obs.SpanRecord): those responses
+// are opaque byte streams, so the span travels out of band. The analyze
+// endpoint returns spans in the JSON reply instead.
+const SpanHeader = "X-Epvf-Span"
 
 // AnalyzeRequest asks the daemon for the ePVF analysis of one module.
 type AnalyzeRequest struct {
@@ -35,4 +43,9 @@ type AnalyzeReply struct {
 	CacheHit bool `json:"cache_hit"`
 	// Summary is the analysis result.
 	Summary *Summary `json:"summary"`
+	// Spans are the daemon's handling spans for this request. When the
+	// request carried a Traceparent header they are children of the
+	// caller's span, so ingesting them stitches the daemon's work into
+	// the caller's own trace.
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/content"
@@ -50,15 +51,21 @@ type Config struct {
 	// Registry receives the epvf_serve_* and epvf_cache_* metrics; nil
 	// creates a private one.
 	Registry *obs.Registry
+	// Tracer, when non-nil, records a handling span per request and
+	// returns it to the caller (in the analyze reply, or the X-Epvf-Span
+	// header for blob endpoints) so clients can stitch the daemon's work
+	// into their own traces. Long-lived daemons should SetRetain on it.
+	Tracer *obs.Tracer
 }
 
 // Server is the analysis daemon: one obs.Server carrying /metrics,
 // /healthz, pprof and the /v1 analysis endpoints, backed by one
 // content-addressed store.
 type Server struct {
-	reg   *obs.Registry
-	obs   *obs.Server
-	store *cache.Store
+	reg    *obs.Registry
+	obs    *obs.Server
+	store  *cache.Store
+	tracer *obs.Tracer
 }
 
 // New binds the address and prepares the cache, but does not serve
@@ -80,7 +87,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{reg: reg, obs: osrv, store: store}
+	s := &Server{reg: reg, obs: osrv, store: store, tracer: cfg.Tracer}
 	osrv.Handle("/v1/analyze", http.HandlerFunc(s.handleAnalyze))
 	osrv.Handle("/v1/campaign/log", s.blobHandler(KindCampaign))
 	osrv.Handle("/v1/attr/snapshot", s.blobHandler(KindAttr))
@@ -114,6 +121,40 @@ func (s *Server) countRequest(endpoint, outcome string) {
 	s.reg.Counter("epvf_serve_requests_total", "endpoint", endpoint, "outcome", outcome).Inc()
 }
 
+// observeStage records one request's end-to-end latency into the
+// per-cache-stage histogram: which tier answered (summary-cache,
+// trace-cache, computed, or a blob kind) and how the request ended.
+func (s *Server) observeStage(stage, outcome string, start time.Time) {
+	s.reg.Histogram("epvf_cache_stage_latency_seconds", obs.LatencyBuckets,
+		"stage", stage, "outcome", outcome).Observe(time.Since(start).Seconds())
+}
+
+// startSpan opens a handling span for one request, parented under the
+// caller's span when the request carries a Traceparent header — the
+// cross-process edge that stitches daemon work into client traces. Nil
+// when the daemon runs without a tracer.
+func (s *Server) startSpan(name string, req *http.Request) *obs.Span {
+	if s.tracer == nil {
+		return nil
+	}
+	if pctx, ok := obs.ExtractTraceHeader(req.Header); ok {
+		return s.tracer.StartRemote(name, pctx)
+	}
+	return s.tracer.Start(name)
+}
+
+// spanHeader ends sp and stamps its JSON-encoded record on the response
+// headers (blob endpoints; the analyze endpoint embeds spans in its
+// JSON reply instead).
+func spanHeader(w http.ResponseWriter, sp *obs.Span) {
+	if sp == nil {
+		return
+	}
+	if b, err := json.Marshal(sp.EndRecord()); err == nil {
+		w.Header().Set(SpanHeader, string(b))
+	}
+}
+
 // handleAnalyze is POST /v1/analyze: parse the module, address it by
 // content, and satisfy the request from the cheapest available stage —
 // cached summary, cached golden trace (models re-run), or a full
@@ -124,15 +165,21 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	t0 := time.Now()
+	sp := s.startSpan("analyze", req)
 	var areq AnalyzeRequest
 	if err := json.NewDecoder(req.Body).Decode(&areq); err != nil {
+		sp.End()
 		s.countRequest("analyze", "bad_request")
+		s.observeStage("unresolved", "bad_request", t0)
 		http.Error(w, fmt.Sprintf("decode request: %v", err), http.StatusBadRequest)
 		return
 	}
 	m, err := ir.Parse(areq.IR)
 	if err != nil {
+		sp.End()
 		s.countRequest("analyze", "bad_request")
+		s.observeStage("unresolved", "bad_request", t0)
 		http.Error(w, fmt.Sprintf("parse IR: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -151,7 +198,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
 		return json.Marshal(sum)
 	})
 	if err != nil {
+		sp.End()
 		s.countRequest("analyze", "error")
+		s.observeStage("unresolved", "error", t0)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -160,19 +209,33 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
 	}
 	var sum Summary
 	if err := json.Unmarshal(data, &sum); err != nil {
+		sp.End()
 		s.countRequest("analyze", "error")
+		s.observeStage(stage, "error", t0)
 		http.Error(w, fmt.Sprintf("decode cached summary: %v", err), http.StatusInternalServerError)
 		return
 	}
 	s.countRequest("analyze", stage)
+	s.observeStage(stage, "ok", t0)
 	reply := AnalyzeReply{
 		ModuleHash: modHash,
 		Stage:      stage,
 		CacheHit:   stage != StageComputed,
 		Summary:    &sum,
 	}
+	if sp != nil {
+		sp.Add("cache_hit", boolCounter(reply.CacheHit))
+		reply.Spans = []obs.SpanRecord{sp.EndRecord()}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(reply)
+}
+
+func boolCounter(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // analyze computes a summary from the cheapest stage below the summary
@@ -211,31 +274,44 @@ func (s *Server) blobHandler(kind string) http.Handler {
 			http.Error(w, "missing ?plan=<hash>", http.StatusBadRequest)
 			return
 		}
+		t0 := time.Now()
 		switch req.Method {
 		case http.MethodGet:
+			sp := s.startSpan("get "+kind, req)
 			data, ok := s.store.Get(kind, plan)
 			if !ok {
+				sp.End()
 				s.countRequest(kind, "miss")
+				s.observeStage(kind, "miss", t0)
 				http.Error(w, fmt.Sprintf("no cached %s for plan %s", kind, plan), http.StatusNotFound)
 				return
 			}
 			s.countRequest(kind, "hit")
+			s.observeStage(kind, "hit", t0)
+			spanHeader(w, sp)
 			w.Header().Set("Content-Type", "application/octet-stream")
 			w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 			w.Write(data)
 		case http.MethodPut, http.MethodPost:
+			sp := s.startSpan("put "+kind, req)
 			data, err := io.ReadAll(req.Body)
 			if err != nil {
+				sp.End()
 				s.countRequest(kind, "error")
+				s.observeStage(kind, "error", t0)
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
 			if err := s.store.Put(kind, plan, data); err != nil {
+				sp.End()
 				s.countRequest(kind, "bad_request")
+				s.observeStage(kind, "bad_request", t0)
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
 			s.countRequest(kind, "put")
+			s.observeStage(kind, "put", t0)
+			spanHeader(w, sp)
 			w.WriteHeader(http.StatusNoContent)
 		default:
 			http.Error(w, "GET or PUT only", http.StatusMethodNotAllowed)

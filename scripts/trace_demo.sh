@@ -1,0 +1,111 @@
+#!/bin/sh
+# trace-demo: cross-process correlated tracing end-to-end on one machine.
+# Four processes touch one campaign — the analysis daemon (`epvf serve`),
+# a coordinator (`campaign serve`), a worker (`campaign work`) and the
+# publishing CLI (`campaign run -server`) — and every span they emit
+# must land in ONE trace, because all of them derive the same trace and
+# span IDs from the plan alone. The demo asserts:
+#
+#   1. `campaign trace` renders exactly one span tree, rooted, with no
+#      orphans, spanning the coordinator, worker and daemon processes,
+#   2. the daemon's always-on flight recorder serves a non-empty
+#      /debug/flight dump,
+#   3. `campaign trace -html` writes a well-formed HTML timeline.
+#
+# Tunables (environment): BENCH, RUNS, SHARD, PORT.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH=${BENCH:-mm}
+RUNS=${RUNS:-300}
+SHARD=${SHARD:-50}
+PORT=${PORT:-8767}
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/campaign" ./cmd/campaign
+go build -o "$DIR/epvf" ./cmd/epvf
+
+wait_for() { # wait_for <pattern> <logfile> <what>
+    i=0
+    until grep -q "$1" "$2" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "trace-demo: $3 failed to start:" >&2
+            cat "$2" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+# 1. The analysis daemon (its own process, proc label "epvf-serve").
+"$DIR/epvf" serve -addr 127.0.0.1:0 >"$DIR/daemon.log" 2>&1 &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+wait_for 'listening on' "$DIR/daemon.log" daemon
+DADDR=$(sed -n 's|.*listening on http://||p' "$DIR/daemon.log" | head -1)
+echo "trace-demo: daemon at http://$DADDR"
+
+# 2. Coordinator plus one worker over loopback HTTP.
+"$DIR/campaign" serve -bench "$BENCH" -runs "$RUNS" -shard-size "$SHARD" \
+    -log "$DIR/merged.jsonl" -addr "127.0.0.1:$PORT" -lease-ttl 5s \
+    >"$DIR/serve.log" 2>&1 &
+SERVE=$!
+wait_for 'coordinator: serving' "$DIR/serve.log" coordinator
+
+"$DIR/campaign" work -coordinator "http://127.0.0.1:$PORT" -bench "$BENCH" -name worker-a
+wait "$SERVE"
+
+# 3. Publish the merged log to the daemon under the same plan: the
+# daemon's handling spans join the campaign trace through the client's
+# Traceparent header and are stitched back into the log.
+"$DIR/campaign" run -bench "$BENCH" -runs "$RUNS" -shard-size "$SHARD" \
+    -log "$DIR/merged.jsonl" -server "$DADDR" -q
+
+# 4. The daemon's always-on flight recorder has something to say.
+curl -fsS "http://$DADDR/debug/flight?format=text" >"$DIR/flight.txt"
+if ! grep -q 'flight recorder:' "$DIR/flight.txt" || grep -q '0 spans recorded' "$DIR/flight.txt"; then
+    echo "trace-demo: /debug/flight dump empty or malformed:" >&2
+    cat "$DIR/flight.txt" >&2
+    exit 1
+fi
+echo "== daemon /debug/flight"
+head -3 "$DIR/flight.txt"
+
+# 5. One connected span tree across all processes.
+"$DIR/campaign" trace -log "$DIR/merged.jsonl" >"$DIR/trace.txt"
+headers=$(grep -c '^trace ' "$DIR/trace.txt")
+if [ "$headers" -ne 1 ]; then
+    echo "trace-demo: expected one span tree, got $headers:" >&2
+    grep '^trace ' "$DIR/trace.txt" >&2
+    exit 1
+fi
+header=$(grep '^trace ' "$DIR/trace.txt")
+echo "== $header"
+for proc in coordinator worker-a epvf-serve; do
+    case "$header" in
+    *"$proc"*) ;;
+    *)
+        echo "trace-demo: process $proc missing from the trace: $header" >&2
+        exit 1
+        ;;
+    esac
+done
+case "$header" in
+*" 0 orphans"*) ;;
+*)
+    echo "trace-demo: trace has orphaned spans: $header" >&2
+    cat "$DIR/trace.txt" >&2
+    exit 1
+    ;;
+esac
+
+# 6. The HTML timeline renders.
+"$DIR/campaign" trace -log "$DIR/merged.jsonl" -html "$DIR/trace.html"
+if ! grep -q '<html' "$DIR/trace.html" || ! grep -q 'class="tl"' "$DIR/trace.html"; then
+    echo "trace-demo: HTML timeline malformed" >&2
+    exit 1
+fi
+echo "trace-demo: OK"
