@@ -1,6 +1,6 @@
 # Tier-1 verification gate and convenience targets.
 
-.PHONY: check build test fmt vet bench-obs bench-snapshot dist-demo attr-demo serve-demo trace-demo
+.PHONY: check build test fmt vet bench-obs bench-snapshot dist-demo attr-demo serve-demo trace-demo gate-demo
 
 check:
 	./scripts/check.sh
@@ -32,6 +32,14 @@ serve-demo:
 # timeline renders.
 trace-demo:
 	./scripts/trace_demo.sh
+
+# gate-demo exercises the incremental analysis layer end-to-end: edits
+# one function of a real kernel and asserts `epvf diff` recomputes only
+# that section, then runs the `epvf gate` protect->re-verify loop cold
+# and warm against one section cache and asserts the warm analyses are
+# at least 5x faster.
+gate-demo:
+	./scripts/gate_demo.sh
 
 # bench-obs asserts the disabled observability path stays under the noise
 # floor (TestDisabledOverheadUnderNoise) and prints the nil-handle

@@ -1,0 +1,255 @@
+// The incremental surfaces of the epvf command: the -incremental flag
+// (wired in run), and the `epvf diff` / `epvf gate` subcommands built on
+// internal/inc's per-function section cache. diff explains an edit —
+// which sections re-analyzed and how every function's ePVF moved; gate
+// is the protect→re-verify loop for CI: it plans a protection pass
+// under an overhead budget, applies it to a fresh copy of the module,
+// re-analyzes (reusing every untouched section) and fails non-zero when
+// the protected ePVF regresses past the threshold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/epvf"
+	"repro/internal/inc"
+	"repro/internal/ir"
+	"repro/internal/protect"
+	"repro/internal/rangeprop"
+	"repro/internal/report"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// incEpvfConfig maps the shared -depth flag onto the analysis config
+// every incremental surface keys its cache by.
+func incEpvfConfig(depth int) epvf.Config {
+	return epvf.Config{Prop: rangeprop.Config{MaxDepth: depth}}
+}
+
+// openSectionStore opens the section cache. An empty dir is legal — the
+// profiles then live only in this process's memory, which still
+// exercises reuse within one command (diff, gate) but persists nothing.
+func openSectionStore(dir string) (*cache.Store, error) {
+	return cache.Open(cache.Config{Dir: dir})
+}
+
+// sectionsNote renders one human line of section accounting.
+func sectionsNote(st *inc.Stats) string {
+	s := fmt.Sprintf("%d sections, %d reused, %d recomputed",
+		len(st.Sections), st.Reused, st.Recomputed)
+	if names := st.RecomputedNames(); len(names) > 0 && st.Reused > 0 {
+		s += fmt.Sprintf(" (%v)", names)
+	}
+	return s
+}
+
+// epvfOf renders a composed analysis down to its module ePVF.
+func epvfOf(r *inc.Result, name string) float64 {
+	return serve.Summarize(name, r.Analysis, r.DynInstrs).EPVF()
+}
+
+// analyzeIncremental backs the -incremental flag: a local composed
+// analysis of the module (or of a pre-recorded trace), with the section
+// accounting on stderr so stdout stays byte-identical to a plain run.
+func analyzeIncremental(m *ir.Module, tr *trace.Trace, cacheDir string, ecfg epvf.Config) (*inc.Result, error) {
+	store, err := openSectionStore(cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	cfg := inc.Config{Store: store, Epvf: ecfg}
+	var r *inc.Result
+	if tr != nil {
+		r, err = inc.AnalyzeTrace(tr, cfg)
+	} else {
+		r, err = inc.AnalyzeModule(m, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "epvf: incremental: %s\n", sectionsNote(&r.Stats))
+	return r, nil
+}
+
+// runDiff is `epvf diff [-cache-dir DIR] [-depth N] <old> <new>`: analyze
+// both versions of a program against one section cache and report which
+// sections the edit invalidated plus the per-function ePVF movement.
+// Operands are MiniC sources or .ll textual IR, like -src.
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("epvf diff", flag.ContinueOnError)
+	cacheDir := fs.String("cache-dir", "", "section-cache directory (shared with -incremental and gate; empty uses a throwaway in-memory store)")
+	depth := fs.Int("depth", 0, "propagation walk depth (0 = default, negative = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: epvf diff [-cache-dir DIR] [-depth N] <old.c|old.ll> <new.c|new.ll>")
+	}
+	oldM, err := loadModule("", fs.Arg(0), 1)
+	if err != nil {
+		return err
+	}
+	newM, err := loadModule("", fs.Arg(1), 1)
+	if err != nil {
+		return err
+	}
+	store, err := openSectionStore(*cacheDir)
+	if err != nil {
+		return err
+	}
+	cfg := inc.Config{Store: store, Epvf: incEpvfConfig(*depth)}
+	rOld, err := inc.AnalyzeModule(oldM, cfg)
+	if err != nil {
+		return fmt.Errorf("analyze %s: %w", fs.Arg(0), err)
+	}
+	rNew, err := inc.AnalyzeModule(newM, cfg)
+	if err != nil {
+		return fmt.Errorf("analyze %s: %w", fs.Arg(1), err)
+	}
+
+	// Per-function vulnerability, matched by name across the versions.
+	oldFn := make(map[string]*epvf.FuncVuln)
+	for _, v := range rOld.Analysis.PerFunction() {
+		oldFn[v.Func.Name] = v
+	}
+	newFn := make(map[string]*epvf.FuncVuln)
+	for _, v := range rNew.Analysis.PerFunction() {
+		newFn[v.Func.Name] = v
+	}
+	recomputed := make(map[string]bool)
+	for _, name := range rNew.Stats.RecomputedNames() {
+		recomputed[name] = true
+	}
+	disposition := func(name string) string {
+		switch {
+		case oldFn[name] == nil:
+			return "added"
+		case newFn[name] == nil:
+			return "removed"
+		case recomputed[name]:
+			return "recomputed"
+		default:
+			return "reused"
+		}
+	}
+	t := report.NewTable("ePVF diff: "+fs.Arg(0)+" -> "+fs.Arg(1),
+		"Function", "ePVF old", "ePVF new", "Delta", "Section")
+	row := func(name string) {
+		var oe, ne float64
+		if v := oldFn[name]; v != nil {
+			oe = v.EPVF()
+		}
+		if v := newFn[name]; v != nil {
+			ne = v.EPVF()
+		}
+		t.AddRow(name, fmt.Sprintf("%.4f", oe), fmt.Sprintf("%.4f", ne),
+			fmt.Sprintf("%+.4f", ne-oe), disposition(name))
+	}
+	for _, f := range newM.Funcs {
+		if _, dyn := newFn[f.Name]; dyn || oldFn[f.Name] != nil {
+			row(f.Name)
+		}
+	}
+	for _, f := range oldM.Funcs {
+		if newM.Func(f.Name) == nil && oldFn[f.Name] != nil {
+			row(f.Name)
+		}
+	}
+	fmt.Print(t.String())
+	oe, ne := epvfOf(rOld, oldM.Name), epvfOf(rNew, newM.Name)
+	fmt.Printf("module ePVF: %.6f -> %.6f (%+.6f)\n", oe, ne, ne-oe)
+	fmt.Printf("sections: %s\n", sectionsNote(&rNew.Stats))
+	return nil
+}
+
+// runGate is `epvf gate -bench X -budget F -threshold T`: the
+// resilience regression gate. It analyzes the baseline, plans the
+// highest-ePVF protection set that fits the overhead budget, applies it
+// to a fresh copy of the module (by static instruction ID), re-analyzes
+// — the section cache makes the re-verify incremental — and fails
+// non-zero when the protected module's ePVF exceeds the threshold a CI
+// pipeline pins. (The static model charges the duplicated detector
+// instructions as ACE mass, so the protected ePVF sits a little above
+// the baseline by construction; the threshold absorbs that known
+// offset, and moves only when the program itself regresses. Without
+// -threshold the gate reports and exits zero.)
+func runGate(args []string) error {
+	fs := flag.NewFlagSet("epvf gate", flag.ContinueOnError)
+	benchName := fs.String("bench", "", "built-in benchmark name")
+	srcPath := fs.String("src", "", "MiniC source (or .ll IR) to gate instead of a benchmark")
+	scale := fs.Int("scale", 1, "benchmark input scale")
+	budget := fs.Float64("budget", 0.24, "protection overhead budget as a fraction of baseline dynamic instructions")
+	threshold := fs.Float64("threshold", -1, "fail when the protected module's ePVF exceeds this (pin it in CI); negative reports without gating")
+	cacheDir := fs.String("cache-dir", "", "section-cache directory (warm runs reuse untouched sections across invocations)")
+	depth := fs.Int("depth", 0, "propagation walk depth (0 = default, negative = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := loadModule(*benchName, *srcPath, *scale)
+	if err != nil {
+		return err
+	}
+	store, err := openSectionStore(*cacheDir)
+	if err != nil {
+		return err
+	}
+	cfg := inc.Config{Store: store, Epvf: incEpvfConfig(*depth)}
+
+	t0 := time.Now()
+	base, err := inc.AnalyzeModule(m, cfg)
+	if err != nil {
+		return fmt.Errorf("baseline analysis: %w", err)
+	}
+	baseSecs := time.Since(t0).Seconds()
+	baseEPVF := epvfOf(base, m.Name)
+	fmt.Printf("gate: baseline ePVF %.6f (%s, %.3fs)\n",
+		baseEPVF, sectionsNote(&base.Stats), baseSecs)
+
+	per := base.Analysis.PerInstruction()
+	plan := protect.Plan(protect.RankByEPVF(per), per, base.DynInstrs, *budget)
+	var cost int64
+	for _, in := range plan {
+		cost += protect.CostEstimate(in, per[in].Dynamic)
+	}
+	fmt.Printf("gate: protecting %d instructions (est overhead %.1f%% of %d dyn instrs, budget %.1f%%)\n",
+		len(plan), 100*float64(cost)/float64(base.DynInstrs), base.DynInstrs, 100**budget)
+
+	// Apply by static ID to a fresh copy: protect mutates in place, and
+	// the baseline module must stay pristine for the comparison.
+	m2, err := loadModule(*benchName, *srcPath, *scale)
+	if err != nil {
+		return err
+	}
+	if err := protect.ApplyByID(m2, protect.IDsOf(plan)); err != nil {
+		return err
+	}
+	t1 := time.Now()
+	prot, err := inc.AnalyzeModule(m2, cfg)
+	if err != nil {
+		return fmt.Errorf("re-verify analysis: %w", err)
+	}
+	protSecs := time.Since(t1).Seconds()
+	protEPVF := epvfOf(prot, m2.Name)
+	fmt.Printf("gate: protected ePVF %.6f (%s, %.3fs)\n",
+		protEPVF, sectionsNote(&prot.Stats), protSecs)
+	// One machine-parsable total for timing comparisons (make gate-demo).
+	fmt.Printf("gate: analysis seconds %.3f\n", baseSecs+protSecs)
+
+	if *threshold < 0 {
+		fmt.Printf("gate: REPORT ePVF %+.6f vs baseline (set -threshold to gate)\n",
+			protEPVF-baseEPVF)
+		return nil
+	}
+	if protEPVF > *threshold+1e-12 {
+		fmt.Printf("gate: FAIL ePVF %.6f > threshold %.6f\n", protEPVF, *threshold)
+		return fmt.Errorf("gate: ePVF regression: %.6f exceeds threshold %.6f", protEPVF, *threshold)
+	}
+	fmt.Printf("gate: PASS ePVF %.6f <= threshold %.6f (delta %+.6f vs baseline)\n",
+		protEPVF, *threshold, protEPVF-baseEPVF)
+	return nil
+}

@@ -6,6 +6,9 @@
 //
 //	epvf -bench mm [-scale 1] [-sample 0.1] [-per-instr 10] [-classes]
 //	epvf -src kernel.c
+//	epvf -bench mm -incremental [-cache-dir DIR] [-depth N]
+//	epvf diff [-cache-dir DIR] [-depth N] old.c new.c
+//	epvf gate -bench mm -budget 0.24 [-threshold T] [-cache-dir DIR] [-depth N]
 //	epvf serve [-addr host:port] [-cache-dir DIR] [-cache-mem-mb N] [-trace-out spans.jsonl]
 //	epvf -bench mm -server host:port [-trace-out spans.jsonl]
 //
@@ -16,6 +19,13 @@
 // analysis a client call against such a daemon — the printed report is
 // byte-identical to a local run (use `-timing=false` to drop the
 // run-dependent timing rows when diffing).
+//
+// `-incremental` composes the analysis from per-function section
+// profiles cached in `-cache-dir` (internal/inc): stdout stays
+// byte-identical to a plain run while only edited functions re-analyze.
+// `epvf diff` reports which sections an edit invalidated and the
+// per-function ePVF movement; `epvf gate` is the protect→re-verify
+// resilience regression gate (fails non-zero past `-threshold`).
 //
 // `-obs-addr host:port` serves /metrics and /debug/pprof while the
 // analysis runs; `-trace-out spans.jsonl` records per-phase spans (wall
@@ -56,11 +66,16 @@ func main() {
 	obs.SetDefaultFlight(obs.NewFlight(0, 0))
 	args := os.Args[1:]
 	var err error
-	if len(args) > 0 && args[0] == "serve" {
+	switch {
+	case len(args) > 0 && args[0] == "serve":
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		err = runServe(ctx, args[1:], nil)
-	} else {
+	case len(args) > 0 && args[0] == "diff":
+		err = runDiff(args[1:])
+	case len(args) > 0 && args[0] == "gate":
+		err = runGate(args[1:])
+	default:
 		err = run(args)
 	}
 	if err != nil {
@@ -80,6 +95,7 @@ func runServe(ctx context.Context, args []string, announce func(addr string)) er
 	cacheDir := fs.String("cache-dir", "", "disk cache directory (results survive restarts; empty keeps them in memory only)")
 	memMB := fs.Int("cache-mem-mb", 64, "memory-tier cache budget in MiB")
 	traceOut := fs.String("trace-out", "", "additionally stream every handling span to this JSONL file")
+	incremental := fs.Bool("incremental", false, "enable the incremental stage tier: compose analyses from cached per-function section profiles (internal/inc)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,6 +130,7 @@ func runServe(ctx context.Context, args []string, announce func(addr string)) er
 		CacheMemBytes: int64(*memMB) << 20,
 		Registry:      reg,
 		Tracer:        tracer,
+		Incremental:   *incremental,
 	})
 	if err != nil {
 		return err
@@ -145,6 +162,7 @@ func run(args []string) error {
 	perFunc := fs.Bool("per-func", false, "print the per-function vulnerability breakdown")
 	classes := fs.Bool("classes", false, "print the bit-class census (crash-predicted / ACE / unACE bits per dynamic definition)")
 	printIR := fs.Bool("print-ir", false, "dump the compiled IR before analyzing")
+	printSrc := fs.Bool("print-src", false, "print the benchmark's MiniC source and exit (for editing: epvf diff, make gate-demo)")
 	saveTrace := fs.String("save-trace", "", "save the recorded golden trace to this file")
 	loadTrace := fs.String("load-trace", "", "analyze a previously saved trace instead of re-profiling")
 	dotFile := fs.String("dot", "", "write a Graphviz rendering of the DDG prefix to this file")
@@ -153,9 +171,13 @@ func run(args []string) error {
 	traceOut := fs.String("trace-out", "", "record phase spans to this JSONL file and print the phase summary")
 	server := fs.String("server", "", "analysis daemon address (see `epvf serve`); the result comes from its content-addressed cache")
 	timing := fs.Bool("timing", true, "include the analysis timing rows (disable for byte-stable reports across runs)")
+	incremental := fs.Bool("incremental", false, "compose the analysis from per-function section profiles (internal/inc); stdout stays byte-identical to a plain run, the section accounting goes to stderr")
+	cacheDir := fs.String("cache-dir", "", "section-cache directory for -incremental (empty keeps profiles in memory for this run only)")
+	depth := fs.Int("depth", 0, "propagation walk depth (0 = default, negative = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cfg := incEpvfConfig(*depth)
 
 	if *obsAddr != "" {
 		reg := obs.NewRegistry()
@@ -195,6 +217,15 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *printSrc {
+		b, ok := bench.Get(*benchName)
+		if !ok {
+			return fmt.Errorf("-print-src needs -bench <name> (got %q)", *benchName)
+		}
+		fmt.Print(b.SourceAt(*scale))
+		return nil
+	}
+
 	m, err := loadModule(*benchName, *srcPath, *scale)
 	if err != nil {
 		return err
@@ -211,6 +242,9 @@ func run(args []string) error {
 	if *server != "" {
 		if *sample > 0 || *saveTrace != "" || *loadTrace != "" || *dotFile != "" {
 			return fmt.Errorf("-sample, -save-trace, -load-trace and -dot need a local analysis; drop them or remove -server")
+		}
+		if *incremental {
+			return fmt.Errorf("-incremental is a local analysis mode; drop it or remove -server (the daemon has its own incremental tier, `epvf serve`)")
 		}
 		// With tracing on, the request runs under a local root span whose
 		// context travels in the Traceparent header; the daemon's handling
@@ -245,11 +279,25 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			a = epvf.AnalyzeTrace(tr, epvf.Config{})
-			dynInstrs = tr.NumEvents()
+			if *incremental {
+				r, err := analyzeIncremental(nil, tr, *cacheDir, cfg)
+				if err != nil {
+					return err
+				}
+				a, dynInstrs = r.Analysis, r.DynInstrs
+			} else {
+				a = epvf.AnalyzeTrace(tr, cfg)
+				dynInstrs = tr.NumEvents()
+			}
+		} else if *incremental {
+			r, err := analyzeIncremental(m, nil, *cacheDir, cfg)
+			if err != nil {
+				return err
+			}
+			a, dynInstrs = r.Analysis, r.DynInstrs
 		} else {
 			var golden *interp.Result
-			a, golden, err = epvf.AnalyzeModule(m, epvf.Config{})
+			a, golden, err = epvf.AnalyzeModule(m, cfg)
 			if err != nil {
 				return err
 			}
@@ -286,7 +334,7 @@ func run(args []string) error {
 	fmt.Print(sum.RenderMain(*timing))
 
 	if *sample > 0 {
-		est := epvf.SampledEstimate(a.Trace, *sample, epvf.Config{})
+		est := epvf.SampledEstimate(a.Trace, *sample, cfg)
 		fmt.Printf("\nSampled ePVF (%.0f%% of output nodes, linearly extrapolated): %.4f (full: %.4f)\n",
 			*sample*100, est, sum.EPVF())
 	}

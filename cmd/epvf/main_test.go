@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/obs"
 )
 
@@ -251,5 +252,129 @@ func TestClientModeTraced(t *testing.T) {
 func TestClientModeBadServer(t *testing.T) {
 	if err := run([]string{"-bench", "lud", "-server", "127.0.0.1:1"}); err == nil {
 		t.Error("unreachable daemon not reported")
+	}
+}
+
+// TestIncrementalByteIdenticalToPlain is the CLI acceptance check: for
+// every Table-IV kernel, `epvf -incremental` must print exactly what a
+// plain local run prints — cold (filling the section cache) and warm
+// (composing entirely from it).
+func TestIncrementalByteIdenticalToPlain(t *testing.T) {
+	kernels := bench.Paper10()
+	if testing.Short() {
+		kernels = kernels[:2]
+	}
+	dir := t.TempDir()
+	for _, b := range kernels {
+		args := []string{"-bench", b.Name, "-timing=false", "-classes", "-per-func", "-per-instr", "3"}
+		inc := append([]string{"-incremental", "-cache-dir", dir}, args...)
+		plain := captureStdout(t, func() error { return run(args) })
+		cold := captureStdout(t, func() error { return run(inc) })
+		warm := captureStdout(t, func() error { return run(inc) })
+		if cold != plain {
+			t.Errorf("%s: cold incremental output differs from plain:\n--- plain ---\n%s\n--- incremental ---\n%s", b.Name, plain, cold)
+		}
+		if warm != plain {
+			t.Errorf("%s: warm incremental output differs from plain:\n--- plain ---\n%s\n--- incremental ---\n%s", b.Name, plain, warm)
+		}
+	}
+}
+
+// writeDiffPair writes two versions of a two-worker program where the
+// edit touches only function f.
+func writeDiffPair(t *testing.T) (oldPath, newPath string) {
+	t.Helper()
+	src := `
+void f() {
+  int a[8];
+  int i = 0;
+  while (i < 48) { a[i % 8] = i * 3 + 1; i = i + 1; }
+  int j = 0;
+  while (j < 8) { output(a[j]); j = j + 1; }
+}
+void g() {
+  int b[6];
+  int i = 0;
+  while (i < 36) { b[i % 6] = i * 5 + 2; i = i + 1; }
+  int j = 0;
+  while (j < 6) { output(b[j]); j = j + 1; }
+}
+int main() {
+  f();
+  g();
+  return 0;
+}
+`
+	dir := t.TempDir()
+	oldPath = filepath.Join(dir, "old.c")
+	newPath = filepath.Join(dir, "new.c")
+	if err := os.WriteFile(oldPath, []byte(src), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(src, "i * 3 + 1", "i * 3 + 2", 1)
+	if err := os.WriteFile(newPath, []byte(edited), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return oldPath, newPath
+}
+
+func TestDiffCmd(t *testing.T) {
+	oldPath, newPath := writeDiffPair(t)
+	out := captureStdout(t, func() error {
+		return runDiff([]string{"-cache-dir", t.TempDir(), oldPath, newPath})
+	})
+	if !strings.Contains(out, "1 recomputed ([f])") {
+		t.Errorf("diff did not pin the recompute to section f:\n%s", out)
+	}
+	if !strings.Contains(out, "module ePVF:") {
+		t.Errorf("diff missing module delta line:\n%s", out)
+	}
+	for _, fn := range []string{"f ", "g ", "main "} {
+		if !strings.Contains(out, fn) {
+			t.Errorf("diff table missing row for %q:\n%s", fn, out)
+		}
+	}
+}
+
+func TestDiffCmdUsage(t *testing.T) {
+	if err := runDiff([]string{"only-one-operand.c"}); err == nil ||
+		!strings.Contains(err.Error(), "usage") {
+		t.Errorf("bad operand count: err = %v", err)
+	}
+}
+
+func TestGateCmd(t *testing.T) {
+	dir := t.TempDir()
+	// Report-only (no threshold): exits zero, prints the delta.
+	out := captureStdout(t, func() error {
+		return runGate([]string{"-bench", "lud", "-budget", "0.24", "-cache-dir", dir})
+	})
+	if !strings.Contains(out, "gate: REPORT") || !strings.Contains(out, "analysis seconds") {
+		t.Errorf("gate report output:\n%s", out)
+	}
+	// A generous pinned threshold passes; warm sections reuse.
+	out = captureStdout(t, func() error {
+		return runGate([]string{"-bench", "lud", "-budget", "0.24", "-threshold", "0.99", "-cache-dir", dir})
+	})
+	if !strings.Contains(out, "gate: PASS") {
+		t.Errorf("gate pass output:\n%s", out)
+	}
+	if !strings.Contains(out, "reused") || strings.Contains(out, "0 reused") {
+		t.Errorf("warm gate did not reuse sections:\n%s", out)
+	}
+	// A tight threshold is a regression: non-zero (error) exit.
+	if err := runGate([]string{"-bench", "lud", "-budget", "0.24", "-threshold", "0.01", "-cache-dir", dir}); err == nil ||
+		!strings.Contains(err.Error(), "regression") {
+		t.Errorf("tight threshold: err = %v, want ePVF regression", err)
+	}
+}
+
+func TestPrintSrc(t *testing.T) {
+	out := captureStdout(t, func() error { return run([]string{"-bench", "nw", "-print-src"}) })
+	if !strings.Contains(out, "void main()") {
+		t.Errorf("print-src output:\n%s", out)
+	}
+	if err := run([]string{"-print-src"}); err == nil {
+		t.Error("print-src without -bench accepted")
 	}
 }

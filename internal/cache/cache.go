@@ -59,6 +59,28 @@ type Store struct {
 	// counters mirrored into the obs registry; kept locally too so
 	// Stats() works without a registry.
 	hits, misses, evictions, corrupt, fills int64
+	// perKind breaks the counters and memory-tier footprint down by
+	// entry kind for the JSON stats view (the daemon's /healthz).
+	perKind map[string]*kindCounters
+}
+
+// kindCounters is the per-kind slice of the store counters plus the
+// kind's memory-tier footprint.
+type kindCounters struct {
+	hits, misses, fills, evictions, corrupt int64
+	memEntries                              int
+	memBytes                                int64
+}
+
+// kind returns (creating on demand) the counters of one kind. Callers
+// hold s.mu.
+func (s *Store) kind(kind string) *kindCounters {
+	kc := s.perKind[kind]
+	if kc == nil {
+		kc = &kindCounters{}
+		s.perKind[kind] = kc
+	}
+	return kc
 }
 
 // entry is one memory-tier element.
@@ -89,6 +111,7 @@ func Open(cfg Config) (*Store, error) {
 		ll:      list.New(),
 		items:   make(map[string]*list.Element),
 		flights: make(map[string]*flight),
+		perKind: make(map[string]*kindCounters),
 	}
 	if cfg.Dir != "" {
 		root, err := openDiskTier(cfg.Dir)
@@ -147,6 +170,7 @@ func (s *Store) Get(kind, hash string) ([]byte, bool) {
 		s.ll.MoveToFront(el)
 		data := append([]byte(nil), el.Value.(*entry).data...)
 		s.hits++
+		s.kind(kind).hits++
 		s.mu.Unlock()
 		s.reg().Counter("epvf_cache_hits_total", "tier", "mem", "kind", kind).Inc()
 		return data, true
@@ -159,6 +183,7 @@ func (s *Store) Get(kind, hash string) ([]byte, bool) {
 		case err == nil:
 			s.mu.Lock()
 			s.hits++
+			s.kind(kind).hits++
 			s.insertLocked(kind, hash, data)
 			s.mu.Unlock()
 			s.reg().Counter("epvf_cache_hits_total", "tier", "disk", "kind", kind).Inc()
@@ -170,12 +195,14 @@ func (s *Store) Get(kind, hash string) ([]byte, bool) {
 			s.evictDisk(kind, hash)
 			s.mu.Lock()
 			s.corrupt++
+			s.kind(kind).corrupt++
 			s.mu.Unlock()
 			s.reg().Counter("epvf_cache_corrupt_total", "kind", kind).Inc()
 		}
 	}
 	s.mu.Lock()
 	s.misses++
+	s.kind(kind).misses++
 	s.mu.Unlock()
 	s.reg().Counter("epvf_cache_misses_total", "kind", kind).Inc()
 	return nil, false
@@ -211,11 +238,15 @@ func (s *Store) insertLocked(kind, hash string, data []byte) {
 	if el, ok := s.items[key]; ok {
 		old := el.Value.(*entry)
 		s.memBytes += int64(len(data)) - int64(len(old.data))
+		s.kind(kind).memBytes += int64(len(data)) - int64(len(old.data))
 		old.data = data
 		s.ll.MoveToFront(el)
 	} else {
 		s.items[key] = s.ll.PushFront(&entry{key: key, kind: kind, data: data})
 		s.memBytes += int64(len(data))
+		kc := s.kind(kind)
+		kc.memBytes += int64(len(data))
+		kc.memEntries++
 	}
 	for s.memBytes > s.cfg.MemBytes {
 		back := s.ll.Back()
@@ -227,6 +258,10 @@ func (s *Store) insertLocked(kind, hash string, data []byte) {
 		delete(s.items, e.key)
 		s.memBytes -= int64(len(e.data))
 		s.evictions++
+		kc := s.kind(e.kind)
+		kc.memBytes -= int64(len(e.data))
+		kc.memEntries--
+		kc.evictions++
 		s.reg().Counter("epvf_cache_evictions_total", "kind", e.kind).Inc()
 	}
 }
@@ -272,6 +307,7 @@ func (s *Store) GetOrFill(kind, hash string, fill func() ([]byte, error)) (data 
 	}
 	s.mu.Lock()
 	s.fills++
+	s.kind(kind).fills++
 	s.mu.Unlock()
 	s.reg().Counter("epvf_cache_fills_total", "kind", kind).Inc()
 	if err := s.Put(kind, hash, f.data); err != nil {
@@ -306,6 +342,23 @@ type Stats struct {
 	Fills       int64  `json:"fills"`
 	Evictions   int64  `json:"evictions"`
 	Corrupt     int64  `json:"corrupt"`
+	// Kinds breaks the view down per entry kind, so one glance at
+	// /healthz answers which artifact family (summaries, traces,
+	// incremental sections, …) is hitting, filling, or hogging bytes.
+	Kinds map[string]KindStats `json:"kinds,omitempty"`
+}
+
+// KindStats is the per-kind slice of Stats.
+type KindStats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Fills       int64 `json:"fills"`
+	Evictions   int64 `json:"evictions"`
+	Corrupt     int64 `json:"corrupt"`
+	MemEntries  int   `json:"mem_entries"`
+	MemBytes    int64 `json:"mem_bytes"`
+	DiskEntries int   `json:"disk_entries"`
+	DiskBytes   int64 `json:"disk_bytes"`
 }
 
 // Stats walks the disk tier (cheap: one directory level per kind) and
@@ -322,10 +375,25 @@ func (s *Store) Stats() Stats {
 		Fills:      s.fills,
 		Evictions:  s.evictions,
 		Corrupt:    s.corrupt,
+		Kinds:      make(map[string]KindStats, len(s.perKind)),
+	}
+	for kind, kc := range s.perKind {
+		st.Kinds[kind] = KindStats{
+			Hits: kc.hits, Misses: kc.misses, Fills: kc.fills,
+			Evictions: kc.evictions, Corrupt: kc.corrupt,
+			MemEntries: kc.memEntries, MemBytes: kc.memBytes,
+		}
 	}
 	s.mu.Unlock()
 	if s.root != "" {
-		st.DiskEntries, st.DiskBytes = s.diskUsage()
+		perKindDisk := s.diskUsagePerKind()
+		for kind, du := range perKindDisk {
+			st.DiskEntries += du.entries
+			st.DiskBytes += du.bytes
+			ks := st.Kinds[kind]
+			ks.DiskEntries, ks.DiskBytes = du.entries, du.bytes
+			st.Kinds[kind] = ks
+		}
 	}
 	return st
 }

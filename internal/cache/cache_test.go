@@ -2,6 +2,7 @@ package cache
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -322,4 +323,85 @@ func (s *Store) flightWaiters() int {
 		n += f.shared
 	}
 	return n
+}
+
+// TestPerKindStats: the JSON stats view must break hits, misses, fills
+// and bytes down per kind, across both tiers, and survive a JSON round
+// trip (it is served verbatim on /healthz).
+func TestPerKindStats(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir})
+
+	s.Put("alpha", "a1", []byte("aaaa"))
+	s.Put("alpha", "a2", []byte("bbbbbbbb"))
+	s.Put("beta", "b1", []byte("cc"))
+	s.Get("alpha", "a1")    // hit
+	s.Get("alpha", "nope1") // miss
+	s.Get("beta", "b1")     // hit
+	s.Get("beta", "nope2")  // miss
+	s.Get("beta", "nope3")  // miss
+	s.GetOrFill("gamma", "g1", func() ([]byte, error) { return []byte("ddd"), nil })
+
+	st := s.Stats()
+	a, ok := st.Kinds["alpha"]
+	if !ok {
+		t.Fatalf("no alpha kind in stats: %+v", st.Kinds)
+	}
+	if a.Hits != 1 || a.Misses != 1 || a.MemEntries != 2 || a.MemBytes != 12 {
+		t.Fatalf("alpha stats = %+v, want 1 hit, 1 miss, 2 entries, 12 bytes", a)
+	}
+	if a.DiskEntries != 2 || a.DiskBytes == 0 {
+		t.Fatalf("alpha disk stats = %+v, want 2 entries with nonzero bytes", a)
+	}
+	b := st.Kinds["beta"]
+	if b.Hits != 1 || b.Misses != 2 || b.MemEntries != 1 || b.MemBytes != 2 {
+		t.Fatalf("beta stats = %+v, want 1 hit, 2 misses, 1 entry, 2 bytes", b)
+	}
+	g := st.Kinds["gamma"]
+	if g.Fills != 1 || g.Misses != 1 {
+		t.Fatalf("gamma stats = %+v, want 1 fill, 1 miss", g)
+	}
+	// The per-kind rows must reconcile with the aggregate view.
+	var hits, misses, fills, memBytes int64
+	var memEntries int
+	for _, k := range st.Kinds {
+		hits += k.Hits
+		misses += k.Misses
+		fills += k.Fills
+		memBytes += k.MemBytes
+		memEntries += k.MemEntries
+	}
+	if hits != st.Hits || misses != st.Misses || fills != st.Fills ||
+		memBytes != st.MemBytes || memEntries != st.MemEntries {
+		t.Fatalf("per-kind rows do not sum to aggregates: kinds=%+v aggregate=%+v", st.Kinds, st)
+	}
+
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kinds["alpha"].MemBytes != 12 {
+		t.Fatalf("JSON round trip lost per-kind bytes: %s", raw)
+	}
+}
+
+// TestPerKindEvictions: LRU evictions are charged to the evicted entry's
+// kind, and the kind's memory footprint drops accordingly.
+func TestPerKindEvictions(t *testing.T) {
+	s := mustOpen(t, Config{MemBytes: 8})
+	s.Put("old", "k1", []byte("12345678"))
+	s.Put("new", "k2", []byte("abcdefgh")) // evicts old/k1
+	st := s.Stats()
+	o := st.Kinds["old"]
+	if o.Evictions != 1 || o.MemEntries != 0 || o.MemBytes != 0 {
+		t.Fatalf("old stats after eviction = %+v, want 1 eviction, empty tier", o)
+	}
+	n := st.Kinds["new"]
+	if n.MemEntries != 1 || n.MemBytes != 8 {
+		t.Fatalf("new stats = %+v, want 1 entry, 8 bytes", n)
+	}
 }

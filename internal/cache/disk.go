@@ -121,11 +121,19 @@ func (s *Store) evictDisk(kind, hash string) {
 	os.Remove(s.diskPath(kind, hash))
 }
 
-// diskUsage counts entries and payload-file bytes across all kinds.
-func (s *Store) diskUsage() (entries int, bytes int64) {
+// diskUsage is one kind's disk-tier footprint.
+type diskUsage struct {
+	entries int
+	bytes   int64
+}
+
+// diskUsagePerKind counts entries and payload-file bytes, broken down by
+// kind (one directory level each).
+func (s *Store) diskUsagePerKind() map[string]diskUsage {
+	out := make(map[string]diskUsage)
 	kinds, err := os.ReadDir(s.root)
 	if err != nil {
-		return 0, 0
+		return out
 	}
 	for _, k := range kinds {
 		if !k.IsDir() {
@@ -135,15 +143,17 @@ func (s *Store) diskUsage() (entries int, bytes int64) {
 		if err != nil {
 			continue
 		}
+		var du diskUsage
 		for _, f := range files {
 			if f.IsDir() || strings.HasPrefix(f.Name(), "tmp-") {
 				continue
 			}
 			if info, err := f.Info(); err == nil {
-				entries++
-				bytes += info.Size()
+				du.entries++
+				du.bytes += info.Size()
 			}
 		}
+		out[k.Name()] = du
 	}
-	return entries, bytes
+	return out
 }

@@ -17,6 +17,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"hash"
+
+	"repro/internal/ir"
 )
 
 // HashLen is the hex-character width every content hash is truncated to.
@@ -68,4 +70,19 @@ func Hash(tag string, payload []byte) string {
 	h := NewHasher(tag)
 	h.Write(payload)
 	return h.Sum()
+}
+
+// funcTag is the domain tag of per-function IR hashes. The payload is the
+// canonical reprint of a single function (ir.PrintFunc), so the hash is
+// invariant under whitespace or module-level reordering of *other*
+// functions, but changes whenever any instruction, type, block name or
+// register name of this function changes.
+const funcTag = "epvf-func-v1"
+
+// FuncHash returns the content address of a single function: the hash of
+// its canonical IR reprint. This is the static half of every incremental
+// section key (internal/inc); the pinned regression test keeps the emitted
+// bytes from silently drifting and splitting section caches.
+func FuncHash(fn *ir.Function) string {
+	return Hash(funcTag, []byte(ir.PrintFunc(fn)))
 }

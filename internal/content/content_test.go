@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"repro/internal/ir"
 )
 
 // TestMatchesInlineSHA256 pins the helper to the byte sequence the
@@ -53,6 +55,63 @@ func TestDomainSeparation(t *testing.T) {
 	// embedded newline, which is why tags must not contain "\n".
 	if Hash("ab", []byte("c")) == Hash("a", []byte("b\nc")) {
 		t.Fatal("tag newline separator is not doing its job")
+	}
+}
+
+// TestFuncHashPinned pins the per-function hash to a known value: section
+// cache keys are derived from it, so any drift (a print-format change, a
+// tag change) must be a deliberate, versioned decision, never an accident.
+func TestFuncHashPinned(t *testing.T) {
+	const src = `; module pin
+define i32 @sum(i32 %n) {
+entry:
+  br label %loop
+
+loop:
+  %i = phi i32 [ 0, %entry ], [ %i.next, %loop ]
+  %acc = phi i32 [ 0, %entry ], [ %acc.next, %loop ]
+  %acc.next = add i32 %acc, %i
+  %i.next = add i32 %i, 1
+  %done = icmp eq i32 %i.next, %n
+  br i1 %done, label %exit, label %loop
+
+exit:
+  ret i32 %acc.next
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "5b1346df03aed24e"
+	if got := FuncHash(m.Funcs[0]); got != want {
+		t.Fatalf("FuncHash = %s, want pinned %s (a drift here silently splits every inc section cache)", got, want)
+	}
+	// The hash must equal the generic helper over the canonical reprint —
+	// FuncHash is a keying convention, not a second hash implementation.
+	if got, want := FuncHash(m.Funcs[0]), Hash("epvf-func-v1", []byte(ir.PrintFunc(m.Funcs[0]))); got != want {
+		t.Fatalf("FuncHash = %s, Hash over PrintFunc = %s", got, want)
+	}
+}
+
+// TestFuncHashSensitivity: same body under a different function name must
+// hash differently, and an unrelated sibling function must not affect it.
+func TestFuncHashSensitivity(t *testing.T) {
+	parse := func(src string) *ir.Module {
+		m, err := ir.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a := parse("; module a\ndefine i32 @f(i32 %x) {\nentry:\n  %y = add i32 %x, 1\n  ret i32 %y\n}\n")
+	b := parse("; module b\ndefine i32 @g(i32 %x) {\nentry:\n  %y = add i32 %x, 1\n  ret i32 %y\n}\n")
+	if FuncHash(a.Funcs[0]) == FuncHash(b.Funcs[0]) {
+		t.Fatal("differently-named functions hashed identically")
+	}
+	c := parse("; module c\ndefine i32 @f(i32 %x) {\nentry:\n  %y = add i32 %x, 1\n  ret i32 %y\n}\n\ndefine void @other() {\nentry:\n  ret void\n}\n")
+	if FuncHash(a.Funcs[0]) != FuncHash(c.Funcs[0]) {
+		t.Fatal("adding an unrelated sibling function changed a function's hash")
 	}
 }
 

@@ -148,6 +148,19 @@ func AnalyzeModule(m *ir.Module, cfg Config) (*Analysis, *interp.Result, error) 
 	return a, res, nil
 }
 
+// Compose assembles an Analysis around an externally merged propagation
+// result — the composition step of the incremental layer (internal/inc).
+// The DDG-derived numerators (TotalBits, ACEBits, ACENodes) are recomputed
+// from the trace, which is cheap; cr must hold the union of all walks'
+// crash masks with Finalize already applied. Timing is left zero for the
+// caller to fill.
+func Compose(tr *trace.Trace, g *ddg.Graph, aceMask []bool, cr *rangeprop.Result) *Analysis {
+	a := &Analysis{Trace: tr, Graph: g, ACEMask: aceMask, CrashResult: cr}
+	a.TotalBits, a.ACEBits = defBits(tr, aceMask)
+	a.ACENodes = ddg.CountMask(aceMask)
+	return a
+}
+
 // defBits tallies the denominator and ACE numerator of Eq. 1: the bit
 // widths of every register defined in the trace, and of those defined by
 // ACE-graph events.

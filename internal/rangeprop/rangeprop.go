@@ -93,6 +93,18 @@ func (r *Result) DefMask(ev int64) uint64 {
 	return r.DefCrashBits[ev]
 }
 
+// Seeds returns the ACE-graph memory accesses of the trace — the walk
+// seeds of ITERATE_OVER_ACE_GRAPH — in event order.
+func Seeds(tr *trace.Trace, aceMask []bool) []int64 {
+	var accesses []int64
+	for i := range tr.Events {
+		if aceMask[i] && tr.Events[i].IsMemAccess() {
+			accesses = append(accesses, int64(i))
+		}
+	}
+	return accesses
+}
+
 // Analyze runs ITERATE_OVER_ACE_GRAPH: for every load/store event inside
 // aceMask it obtains the crash-model boundary and propagates it along the
 // backward slice of the address.
@@ -104,29 +116,22 @@ func Analyze(tr *trace.Trace, g *ddg.Graph, aceMask []bool, cfg Config) *Result 
 	if maxDepth == 0 {
 		maxDepth = DefaultMaxDepth
 	}
-	res := &Result{
-		CrashBits:    make(map[trace.Use]uint64),
-		DefCrashBits: make(map[int64]uint64),
-	}
-	// Collect the ACE-graph memory accesses (ITERATE_OVER_ACE_GRAPH).
-	var accesses []int64
-	for i := range tr.Events {
-		if aceMask[i] && tr.Events[i].IsMemAccess() {
-			accesses = append(accesses, int64(i))
-		}
-	}
+	accesses := Seeds(tr, aceMask)
 
+	var res *Result
 	workers := cfg.Parallel
 	if workers > len(accesses) {
 		workers = len(accesses)
 	}
 	if workers <= 1 {
-		for _, ev := range accesses {
-			analyzeAccess(tr, res, cfg, ev, maxDepth)
-		}
+		res = AnalyzeSeeds(tr, cfg, accesses, nil)
 	} else {
 		// Shard walks across workers with worker-local result maps, then
 		// merge by union — identical to the serial result.
+		res = &Result{
+			CrashBits:    make(map[trace.Use]uint64),
+			DefCrashBits: make(map[int64]uint64),
+		}
 		parts := make([]*Result, workers)
 		var wg sync.WaitGroup
 		next := make(chan int64)
@@ -140,7 +145,7 @@ func Analyze(tr *trace.Trace, g *ddg.Graph, aceMask []bool, cfg Config) *Result 
 			go func() {
 				defer wg.Done()
 				for ev := range next {
-					analyzeAccess(tr, part, cfg, ev, maxDepth)
+					analyzeAccess(tr, part, cfg, ev, maxDepth, nil)
 				}
 			}()
 		}
@@ -156,16 +161,7 @@ func Analyze(tr *trace.Trace, g *ddg.Graph, aceMask []bool, cfg Config) *Result 
 			}
 		}
 	}
-	for u, m := range res.CrashBits {
-		res.UseCrashBitCount += int64(crash.PopCount(m))
-		e := &tr.Events[u.Event]
-		if u.Op < len(e.OpDefs) && e.OpDefs[u.Op] != trace.NoDef {
-			res.DefCrashBits[e.OpDefs[u.Op]] |= m
-		}
-	}
-	for _, m := range res.DefCrashBits {
-		res.CrashBitCount += int64(crash.PopCount(m))
-	}
+	res.Finalize(tr)
 	if r := obs.Default(); r != nil {
 		r.Counter("epvf_rangeprop_analyses_total").Inc()
 		r.Counter("epvf_rangeprop_accesses_total").Add(res.AccessesAnalyzed)
@@ -174,12 +170,65 @@ func Analyze(tr *trace.Trace, g *ddg.Graph, aceMask []bool, cfg Config) *Result 
 	return res
 }
 
+// AnalyzeSeeds runs the boundary check and backward walk for the given
+// seed accesses only, serially, and returns the raw per-use crash masks
+// (Finalize has not been called: DefCrashBits and the counts are not yet
+// populated). Seed subsets are how the incremental layer (internal/inc)
+// sections the model: per-seed walks are independent and their masks merge
+// by union, so a whole-trace Analyze equals the union of AnalyzeSeeds over
+// any partition of its seeds.
+//
+// touch, when non-nil, is invoked with the index of every event whose
+// content the walks read — the seeds themselves plus every event reached
+// along the backward slices. The incremental layer records this footprint
+// to know which program sections a cached walk result depends on. cfg
+// defaulting matches Analyze (nil Model, zero MaxDepth).
+func AnalyzeSeeds(tr *trace.Trace, cfg Config, seeds []int64, touch func(ev int64)) *Result {
+	if cfg.Model == nil {
+		cfg.Model = crash.NewModel()
+	}
+	maxDepth := cfg.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	res := &Result{
+		CrashBits:    make(map[trace.Use]uint64),
+		DefCrashBits: make(map[int64]uint64),
+	}
+	for _, ev := range seeds {
+		analyzeAccess(tr, res, cfg, ev, maxDepth, touch)
+	}
+	return res
+}
+
+// Finalize aggregates the per-use crash masks into the def-granular view:
+// DefCrashBits (union of every use's mask at its defining event) and the
+// two bit tallies. Idempotent inputs are not supported — call it exactly
+// once, after all CrashBits unions are complete.
+func (r *Result) Finalize(tr *trace.Trace) {
+	for u, m := range r.CrashBits {
+		r.UseCrashBitCount += int64(crash.PopCount(m))
+		e := &tr.Events[u.Event]
+		if u.Op < len(e.OpDefs) && e.OpDefs[u.Op] != trace.NoDef {
+			r.DefCrashBits[e.OpDefs[u.Op]] |= m
+		}
+	}
+	for _, m := range r.DefCrashBits {
+		r.CrashBitCount += int64(crash.PopCount(m))
+	}
+}
+
 // analyzeAccess runs the boundary check and backward walk for one
 // ACE-graph memory access.
-func analyzeAccess(tr *trace.Trace, res *Result, cfg Config, ev int64, maxDepth int) {
+func analyzeAccess(tr *trace.Trace, res *Result, cfg Config, ev int64, maxDepth int, touch func(ev int64)) {
 	e := &tr.Events[ev]
 	bound, ok := cfg.Model.Boundary(tr, ev)
 	if !ok {
+		// The boundary itself read the seed event; a cached section must
+		// still know it depends on it.
+		if touch != nil {
+			touch(ev)
+		}
 		return
 	}
 	res.AccessesAnalyzed++
@@ -187,7 +236,7 @@ func analyzeAccess(tr *trace.Trace, res *Result, cfg Config, ev int64, maxDepth 
 	if e.Instr.Op == ir.OpStore {
 		ptrOp = 1
 	}
-	crashCalc(tr, res, cfg, ev, ptrOp, bound, maxDepth)
+	crashCalc(tr, res, cfg, ev, ptrOp, bound, maxDepth, touch)
 }
 
 // item is one worklist entry: operand use (Ev, Op) whose value must remain
@@ -203,13 +252,19 @@ type item struct {
 
 // crashCalc implements CRASH_CALC/GET_RANGE_FOR_CRASH_BITS for one memory
 // access: a worklist walk over the backward slice of its address operand.
-func crashCalc(tr *trace.Trace, res *Result, cfg Config, accessEv int64, ptrOp int, bound crash.Bound, maxDepth int) {
+// touch (optional) receives the index of every event whose recorded content
+// the walk reads: each processed worklist item and each def handed to
+// invert (invert inspects the def event even when it yields no items).
+func crashCalc(tr *trace.Trace, res *Result, cfg Config, accessEv int64, ptrOp int, bound crash.Bound, maxDepth int, touch func(ev int64)) {
 	visited := make(map[int64]bool)
 	work := []item{{ev: accessEv, op: ptrOp, r: bound, direct: true}}
 	for len(work) > 0 {
 		it := work[len(work)-1]
 		work = work[:len(work)-1]
 
+		if touch != nil {
+			touch(it.ev)
+		}
 		e := &tr.Events[it.ev]
 		v := e.Ops[it.op]
 		width := trace.OperandWidth(e.Instr, it.op)
@@ -234,6 +289,9 @@ func crashCalc(tr *trace.Trace, res *Result, cfg Config, accessEv int64, ptrOp i
 			continue
 		}
 		visited[def] = true
+		if touch != nil {
+			touch(def)
+		}
 		for _, nxt := range invert(tr, def, it.r) {
 			nxt.depth = it.depth + 1
 			work = append(work, nxt)

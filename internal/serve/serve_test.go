@@ -3,9 +3,12 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"net/http"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -13,6 +16,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/epvf"
 	"repro/internal/ir"
+	"repro/internal/lang"
 	"repro/internal/obs"
 )
 
@@ -287,5 +291,173 @@ func TestMetricsCountStages(t *testing.T) {
 	}
 	if v := reg.Counter("epvf_serve_requests_total", "endpoint", "analyze", "outcome", StageSummary).Value(); v != 2 {
 		t.Errorf("summary-cache count = %d, want 2", v)
+	}
+}
+
+// rawAnalyze posts a raw body to /v1/analyze so the test can inspect
+// response headers the Client abstracts away.
+func rawAnalyze(t *testing.T, addr, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/v1/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestStageHeaderAllTiers: every analyze reply carries X-Epvf-Stage,
+// and it names the tier that actually served the request.
+func TestStageHeaderAllTiers(t *testing.T) {
+	s := startDaemon(t, t.TempDir())
+	body, err := json.Marshal(AnalyzeRequest{IR: benchIR(t, "mm")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{StageComputed, StageSummary} {
+		resp := rawAnalyze(t, s.Addr(), string(body))
+		got := resp.Header.Get(StageHeader)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, want 200", i, resp.StatusCode)
+		}
+		if got != want {
+			t.Fatalf("request %d: %s = %q, want %q", i, StageHeader, got, want)
+		}
+	}
+}
+
+// TestBadRequestStageHeader: error replies carry the stage header too,
+// reporting unresolved — a truncated IR body (cut mid-module) and a
+// truncated JSON envelope both come back 400, never a silent hang or
+// an unheadered error.
+func TestBadRequestStageHeader(t *testing.T) {
+	s := startDaemon(t, t.TempDir())
+	full := benchIR(t, "mm")
+	truncatedIR, err := json.Marshal(AnalyzeRequest{IR: full[:len(full)/2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, body string
+	}{
+		{"truncated IR text", string(truncatedIR)},
+		{"truncated JSON body", `{"ir": "define`},
+		{"empty IR", `{"ir": ""}`},
+	}
+	for _, tc := range cases {
+		resp := rawAnalyze(t, s.Addr(), tc.body)
+		got := resp.Header.Get(StageHeader)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+		if got != StageUnresolved {
+			t.Errorf("%s: %s = %q, want %q", tc.name, StageHeader, got, StageUnresolved)
+		}
+	}
+}
+
+// servedIsolated is a module of mutually isolated functions (private
+// arrays, own outputs) so a one-function edit perturbs exactly one
+// section. Mirrors the internal/inc fixture.
+const servedIsolated = `
+void f() {
+  int a[8];
+  int i = 0;
+  while (i < 48) { a[i % 8] = i * 3 + 1; i = i + 1; }
+  int j = 0;
+  while (j < 8) { output(a[j]); j = j + 1; }
+}
+void g() {
+  int b[6];
+  int i = 0;
+  while (i < 36) { b[i % 6] = i * 5 + 2; i = i + 1; }
+  int j = 0;
+  while (j < 6) { output(b[j]); j = j + 1; }
+}
+int main() {
+  f();
+  g();
+  return 0;
+}
+`
+
+// TestIncrementalDaemon is the daemon-side acceptance check: with the
+// incremental tier enabled, analyzing a module after a single-function
+// edit recomputes only that function's section — proven by the reply's
+// stage tier, its section stats, and the epvf_inc_sections_recomputed
+// metric moving by exactly one.
+func TestIncrementalDaemon(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := New(Config{Addr: "127.0.0.1:0", CacheDir: t.TempDir(), Incremental: true, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	c := NewClient(s.Addr())
+
+	m, err := lang.Compile("prog", servedIsolated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := c.Analyze(ir.Print(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stage != StageComputed {
+		t.Fatalf("cold stage = %s, want computed", cold.Stage)
+	}
+	if cold.Sections == nil || cold.Sections.Reused != 0 || cold.Sections.Recomputed != cold.Sections.Total {
+		t.Fatalf("cold sections = %+v, want all recomputed", cold.Sections)
+	}
+
+	warm, err := c.Analyze(ir.Print(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stage != StageSummary || warm.Sections != nil {
+		t.Fatalf("warm reply: stage=%s sections=%+v, want summary-cache with no sections", warm.Stage, warm.Sections)
+	}
+
+	recomputedBefore := reg.Counter("epvf_inc_sections_recomputed_total").Value()
+
+	edited := strings.Replace(servedIsolated, "i * 3 + 1", "i * 3 + 2", 1)
+	m2, err := lang.Compile("prog", edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.Analyze(ir.Print(m2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Stage != StageIncremental || !reply.CacheHit {
+		t.Fatalf("edited reply: stage=%s hit=%v, want incremental hit", reply.Stage, reply.CacheHit)
+	}
+	if reply.Sections == nil {
+		t.Fatal("edited reply has no section stats")
+	}
+	if reply.Sections.Recomputed != 1 || len(reply.Sections.RecomputedNames) != 1 || reply.Sections.RecomputedNames[0] != "f" {
+		t.Fatalf("edited sections = %+v, want exactly [f] recomputed", reply.Sections)
+	}
+	if reply.Sections.Reused != reply.Sections.Total-1 {
+		t.Fatalf("edited sections = %+v, want all but one reused", reply.Sections)
+	}
+	if d := reg.Counter("epvf_inc_sections_recomputed_total").Value() - recomputedBefore; d != 1 {
+		t.Fatalf("epvf_inc_sections_recomputed_total moved by %d, want 1", d)
+	}
+
+	// Composed result must match a from-scratch local analysis exactly.
+	a, golden, err := epvf.AnalyzeModule(m2, epvf.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := Summarize(m2.Name, a, golden.DynInstrs)
+	if got, want := summaryScalars(reply.Summary), summaryScalars(local); !reflect.DeepEqual(got, want) {
+		t.Fatalf("incremental daemon summary diverges from local:\nlocal  %+v\ndaemon %+v", want, got)
 	}
 }

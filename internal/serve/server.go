@@ -13,6 +13,8 @@ import (
 	"repro/internal/cache"
 	"repro/internal/content"
 	"repro/internal/epvf"
+	"repro/internal/inc"
+	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -56,16 +58,22 @@ type Config struct {
 	// header for blob endpoints) so clients can stitch the daemon's work
 	// into their own traces. Long-lived daemons should SetRetain on it.
 	Tracer *obs.Tracer
+	// Incremental enables the incremental analysis tier: below the
+	// summary cache, analyses compose from per-function section profiles
+	// (internal/inc) stored in the same cache, so an edit to one
+	// function re-walks only that function's section.
+	Incremental bool
 }
 
 // Server is the analysis daemon: one obs.Server carrying /metrics,
 // /healthz, pprof and the /v1 analysis endpoints, backed by one
 // content-addressed store.
 type Server struct {
-	reg    *obs.Registry
-	obs    *obs.Server
-	store  *cache.Store
-	tracer *obs.Tracer
+	reg         *obs.Registry
+	obs         *obs.Server
+	store       *cache.Store
+	tracer      *obs.Tracer
+	incremental bool
 }
 
 // New binds the address and prepares the cache, but does not serve
@@ -87,7 +95,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{reg: reg, obs: osrv, store: store, tracer: cfg.Tracer}
+	s := &Server{reg: reg, obs: osrv, store: store, tracer: cfg.Tracer, incremental: cfg.Incremental}
 	osrv.Handle("/v1/analyze", http.HandlerFunc(s.handleAnalyze))
 	osrv.Handle("/v1/campaign/log", s.blobHandler(KindCampaign))
 	osrv.Handle("/v1/attr/snapshot", s.blobHandler(KindAttr))
@@ -171,15 +179,20 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
 	if err := json.NewDecoder(req.Body).Decode(&areq); err != nil {
 		sp.End()
 		s.countRequest("analyze", "bad_request")
-		s.observeStage("unresolved", "bad_request", t0)
+		s.observeStage(StageUnresolved, "bad_request", t0)
+		w.Header().Set(StageHeader, StageUnresolved)
 		http.Error(w, fmt.Sprintf("decode request: %v", err), http.StatusBadRequest)
 		return
 	}
 	m, err := ir.Parse(areq.IR)
+	if err == nil && len(m.Funcs) == 0 {
+		err = fmt.Errorf("empty module")
+	}
 	if err != nil {
 		sp.End()
 		s.countRequest("analyze", "bad_request")
-		s.observeStage("unresolved", "bad_request", t0)
+		s.observeStage(StageUnresolved, "bad_request", t0)
+		w.Header().Set(StageHeader, StageUnresolved)
 		http.Error(w, fmt.Sprintf("parse IR: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -189,29 +202,32 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
 	// goroutine's flight (or the cache itself) supplied the bytes, it
 	// stays empty and the result counts as a summary-cache hit.
 	stage := ""
+	var sections *SectionStats
 	data, hit, err := s.store.GetOrFill(KindSummary, modHash, func() ([]byte, error) {
-		sum, st, err := s.analyze(m, modHash)
+		sum, st, secs, err := s.analyze(m, modHash)
 		if err != nil {
 			return nil, err
 		}
-		stage = st
+		stage, sections = st, secs
 		return json.Marshal(sum)
 	})
 	if err != nil {
 		sp.End()
 		s.countRequest("analyze", "error")
-		s.observeStage("unresolved", "error", t0)
+		s.observeStage(StageUnresolved, "error", t0)
+		w.Header().Set(StageHeader, StageUnresolved)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	if hit || stage == "" {
-		stage = StageSummary
+		stage, sections = StageSummary, nil
 	}
 	var sum Summary
 	if err := json.Unmarshal(data, &sum); err != nil {
 		sp.End()
 		s.countRequest("analyze", "error")
 		s.observeStage(stage, "error", t0)
+		w.Header().Set(StageHeader, stage)
 		http.Error(w, fmt.Sprintf("decode cached summary: %v", err), http.StatusInternalServerError)
 		return
 	}
@@ -222,11 +238,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
 		Stage:      stage,
 		CacheHit:   stage != StageComputed,
 		Summary:    &sum,
+		Sections:   sections,
 	}
 	if sp != nil {
 		sp.Add("cache_hit", boolCounter(reply.CacheHit))
 		reply.Spans = []obs.SpanRecord{sp.EndRecord()}
 	}
+	w.Header().Set(StageHeader, stage)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(reply)
 }
@@ -239,29 +257,74 @@ func boolCounter(b bool) int64 {
 }
 
 // analyze computes a summary from the cheapest stage below the summary
-// cache: a cached golden trace if present (only the models re-run),
-// else a full profiled analysis whose trace is written back for next
-// time.
-func (s *Server) analyze(m *ir.Module, modHash string) (*Summary, string, error) {
+// cache. With the incremental tier enabled, the module is re-profiled
+// (from the cached golden trace when available) and the models compose
+// from per-function section profiles — after an edit to one function,
+// only that function's walks re-run. Otherwise: a cached golden trace if
+// present (only the models re-run), else a full profiled analysis whose
+// trace is written back for next time.
+func (s *Server) analyze(m *ir.Module, modHash string) (*Summary, string, *SectionStats, error) {
 	if raw, ok := s.store.Get(KindTrace, modHash); ok {
 		tr, err := trace.Load(bytes.NewReader(raw), m)
 		if err == nil {
+			if s.incremental {
+				return s.analyzeIncremental(m, tr, StageTrace)
+			}
 			a := epvf.AnalyzeTrace(tr, epvf.Config{})
-			return Summarize(m.Name, a, tr.NumEvents()), StageTrace, nil
+			return Summarize(m.Name, a, tr.NumEvents()), StageTrace, nil, nil
 		}
 		// A trace that fails to decode against its own module is a
 		// corrupt entry the framing checks missed; fall through to a
 		// full run that overwrites it.
 	}
+	if s.incremental {
+		icfg := epvf.Config{}
+		icfg.Interp.Record = true
+		res, err := interp.Run(m, icfg.Interp)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		s.saveTrace(res.Trace, modHash)
+		return s.analyzeIncremental(m, res.Trace, StageComputed)
+	}
 	a, golden, err := epvf.AnalyzeModule(m, epvf.Config{})
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
+	s.saveTrace(a.Trace, modHash)
+	return Summarize(m.Name, a, golden.DynInstrs), StageComputed, nil, nil
+}
+
+// analyzeIncremental composes the analysis from cached + fresh section
+// profiles. The stage reports StageIncremental when any section was
+// reused; otherwise fallbackStage tells the truth about where the work
+// happened (trace-cache when the trace was reused, computed for a cold
+// module).
+func (s *Server) analyzeIncremental(m *ir.Module, tr *trace.Trace, fallbackStage string) (*Summary, string, *SectionStats, error) {
+	r, err := inc.AnalyzeTrace(tr, inc.Config{Store: s.store, Registry: s.reg})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	stage := fallbackStage
+	if r.Stats.Reused > 0 {
+		stage = StageIncremental
+	}
+	secs := &SectionStats{
+		Total:           len(r.Stats.Sections),
+		Reused:          r.Stats.Reused,
+		Recomputed:      r.Stats.Recomputed,
+		RecomputedNames: r.Stats.RecomputedNames(),
+	}
+	return Summarize(m.Name, r.Analysis, r.DynInstrs), stage, secs, nil
+}
+
+// saveTrace writes the golden trace back for the next analysis of the
+// same module (best effort — a failed save only costs future speed).
+func (s *Server) saveTrace(tr *trace.Trace, modHash string) {
 	var buf bytes.Buffer
-	if err := a.Trace.Save(&buf); err == nil {
+	if err := tr.Save(&buf); err == nil {
 		s.store.Put(KindTrace, modHash, buf.Bytes())
 	}
-	return Summarize(m.Name, a, golden.DynInstrs), StageComputed, nil
 }
 
 // blobHandler serves GET/PUT of opaque byte artifacts (campaign logs,

@@ -22,9 +22,9 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (obs + campaign + dist + snapshot + mem + fi + attr + cache + serve + traced CLIs)"
+echo "== go test -race (obs + campaign + dist + snapshot + mem + fi + attr + cache + inc + serve + traced CLIs)"
 go test -race ./internal/obs/... ./internal/campaign/... ./internal/dist/... \
     ./internal/snapshot/... ./internal/mem/... ./internal/fi/... ./internal/attr/... \
-    ./internal/cache/... ./internal/serve/... ./cmd/epvf/... ./cmd/campaign/...
+    ./internal/cache/... ./internal/inc/... ./internal/serve/... ./cmd/epvf/... ./cmd/campaign/...
 
 echo "check: OK"
