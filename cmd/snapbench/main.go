@@ -27,9 +27,11 @@ import (
 	"repro/internal/snapshot"
 )
 
-// comparison is one benchmark's scratch-vs-snapshot measurement.
+// comparison is one benchmark's scratch-vs-snapshot measurement on one
+// execution engine.
 type comparison struct {
 	Benchmark       string  `json:"benchmark"`
+	Engine          string  `json:"engine,omitempty"`
 	Runs            int64   `json:"runs"`
 	Seed            int64   `json:"seed"`
 	TraceEvents     int64   `json:"trace_events"`
@@ -70,8 +72,19 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 2016, "campaign seed")
 	workers := fs.Int("workers", runtime.NumCPU(), "injection worker goroutines")
 	stride := fs.Int64("snapshot-stride", 0, "events between snapshots (0 = auto)")
+	engine := fs.String("engine", "both", "execution engine to measure: walker, vm, or both (one comparison per engine)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var engines []string
+	switch *engine {
+	case "both":
+		engines = []string{fi.EngineWalker, fi.EngineVM}
+	case fi.EngineWalker, fi.EngineVM:
+		engines = []string{*engine}
+	default:
+		return fmt.Errorf("unknown engine %q (want %q, %q or both)", *engine, fi.EngineWalker, fi.EngineVM)
 	}
 
 	b, ok := bench.Get(*benchName)
@@ -87,42 +100,49 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("golden run: %w", err)
 	}
 
-	cfg := fi.Config{Seed: *seed} // deterministic layout: snapshots apply
-
-	scratchRunner, err := fi.NewRunner(m, golden, cfg)
-	if err != nil {
-		return err
-	}
-	t0 := time.Now()
-	scratchRecs := scratchRunner.RunRange(0, *runs, *workers)
-	scratchSec := time.Since(t0).Seconds()
-
-	snapRunner, err := fi.NewRunner(m, golden, cfg)
-	if err != nil {
-		return err
-	}
-	if ok, err := snapRunner.EnableSnapshots(snapshot.Config{Stride: *stride}); err != nil || !ok {
-		return fmt.Errorf("enabling snapshots: ok=%v err=%v", ok, err)
-	}
-	t0 = time.Now()
-	snapRecs := snapRunner.RunRange(0, *runs, *workers)
-	snapSec := time.Since(t0).Seconds()
-
-	for i := range scratchRecs {
-		if snapRecs[i] != scratchRecs[i] {
-			return fmt.Errorf("bit-identity violated at run %d: snapshot %+v, scratch %+v",
-				i, snapRecs[i], scratchRecs[i])
-		}
-	}
-
-	v := snapRunner.SnapshotView()
-	scratchEvents := v.ReplayedEvents + v.SkippedEvents
-	snapEvents := v.ReplayedEvents + golden.DynInstrs
 	base := baseline{
-		Note:    "scratch vs snapshot campaign; wall times are machine-dependent — event_speedup and the snapshot counters are deterministic",
+		Note:    "scratch vs snapshot campaign per engine; wall times are machine-dependent — event_speedup and the snapshot counters are deterministic",
 		Workers: *workers,
-		Bench: []comparison{{
+	}
+	var ref []fi.Record
+	for _, eng := range engines {
+		cfg := fi.Config{Seed: *seed, Engine: eng} // deterministic layout: snapshots apply
+
+		scratchRunner, err := fi.NewRunner(m, golden, cfg)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		scratchRecs := scratchRunner.RunRange(0, *runs, *workers)
+		scratchSec := time.Since(t0).Seconds()
+
+		snapRunner, err := fi.NewRunner(m, golden, cfg)
+		if err != nil {
+			return err
+		}
+		if ok, err := snapRunner.EnableSnapshots(snapshot.Config{Stride: *stride}); err != nil || !ok {
+			return fmt.Errorf("enabling snapshots: ok=%v err=%v", ok, err)
+		}
+		t0 = time.Now()
+		snapRecs := snapRunner.RunRange(0, *runs, *workers)
+		snapSec := time.Since(t0).Seconds()
+
+		if ref == nil {
+			ref = scratchRecs
+		}
+		for i := range ref {
+			if scratchRecs[i] != ref[i] || snapRecs[i] != ref[i] {
+				return fmt.Errorf("%s: bit-identity violated at run %d: scratch %+v, snapshot %+v, ref %+v",
+					eng, i, scratchRecs[i], snapRecs[i], ref[i])
+			}
+		}
+
+		v := snapRunner.SnapshotView()
+		scratchEvents := v.ReplayedEvents + v.SkippedEvents
+		snapEvents := v.ReplayedEvents + golden.DynInstrs
+		base.Bench = append(base.Bench, comparison{
 			Benchmark:       *benchName,
+			Engine:          eng,
 			Runs:            *runs,
 			Seed:            *seed,
 			TraceEvents:     golden.DynInstrs,
@@ -132,7 +152,7 @@ func run(args []string, out io.Writer) error {
 			Speedup:         scratchSec / snapSec,
 			EventSpeedup:    float64(scratchEvents) / float64(snapEvents),
 			Snapshot:        v,
-		}},
+		})
 	}
 
 	w := out
@@ -150,9 +170,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *outPath != "" {
-		fmt.Fprintf(out, "snapbench: %s %d runs — scratch %.2fs, snapshot %.2fs (%.1fx wall, %.1fx events) -> %s\n",
-			*benchName, *runs, scratchSec, snapSec, scratchSec/snapSec,
-			float64(scratchEvents)/float64(snapEvents), *outPath)
+		for _, c := range base.Bench {
+			fmt.Fprintf(out, "snapbench: %s/%s %d runs — scratch %.2fs, snapshot %.2fs (%.1fx wall, %.1fx events) -> %s\n",
+				c.Benchmark, c.Engine, c.Runs, c.ScratchSeconds, c.SnapshotSeconds,
+				c.Speedup, c.EventSpeedup, *outPath)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,173 @@
+// Command vmbench measures the bytecode VM's speedup over the frame-stack
+// walker on the fault-injection hot path: for each benchmark it runs the
+// same snapshot-backed campaign once per engine, verifies the two engines
+// produce bit-identical records, and emits the per-engine events/sec
+// comparison as JSON. The committed BENCH_vm.json at the repository root
+// is its output; re-run
+//
+//	vmbench -out BENCH_vm.json
+//
+// after VM or interpreter changes to refresh it. -min-speedup turns the
+// tool into a regression gate: when any kernel's VM-over-walker ratio
+// falls below the floor, vmbench exits nonzero and writes nothing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/fi"
+	"repro/internal/interp"
+	"repro/internal/snapshot"
+	"repro/internal/vm"
+)
+
+// kernelResult is one benchmark's walker-vs-VM measurement. Both engines
+// execute the identical snapshot-backed campaign, so Events match and the
+// speedup is a pure throughput ratio.
+type kernelResult struct {
+	Benchmark   string `json:"benchmark"`
+	Runs        int64  `json:"runs"`
+	Seed        int64  `json:"seed"`
+	TraceEvents int64  `json:"trace_events"`
+	// CompileNanos and CodeBytes are the one-time cost of lowering the
+	// module to bytecode (amortized across every run of the campaign).
+	CompileNanos int64         `json:"compile_nanos"`
+	CodeBytes    int64         `json:"code_bytes"`
+	Walker       fi.EngineStat `json:"walker"`
+	VM           fi.EngineStat `json:"vm"`
+	// Speedup is VM events/sec over walker events/sec (wall-clock, so
+	// machine-dependent; the record streams are verified bit-identical).
+	Speedup float64 `json:"speedup"`
+}
+
+type baseline struct {
+	Note    string         `json:"note"`
+	Workers int            `json:"workers"`
+	Bench   []kernelResult `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vmbench", flag.ContinueOnError)
+	outPath := fs.String("out", "", "write the JSON comparison here (default stdout)")
+	benches := fs.String("bench", "lulesh,mm,pathfinder,hotspot,srad", "comma-separated benchmark names")
+	scale := fs.Int("scale", 1, "benchmark input scale")
+	runs := fs.Int64("runs", 600, "injections per campaign")
+	seed := fs.Int64("seed", 2016, "campaign seed")
+	workers := fs.Int("workers", runtime.NumCPU(), "injection worker goroutines")
+	stride := fs.Int64("snapshot-stride", 0, "events between snapshots (0 = auto)")
+	minSpeedup := fs.Float64("min-speedup", 0, "fail (and write nothing) if any kernel's VM speedup is below this")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := baseline{
+		Note:    "walker vs bytecode-VM fault-injection campaign with snapshots on; wall times are machine-dependent — record streams are verified bit-identical",
+		Workers: *workers,
+	}
+	for _, name := range strings.Split(*benches, ",") {
+		name = strings.TrimSpace(name)
+		r, err := measure(name, *scale, *runs, *seed, *workers, *stride)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(out, "vmbench: %-12s %d runs — walker %11.0f ev/s, vm %11.0f ev/s (%.2fx)\n",
+			name, *runs, r.Walker.EventsPerSec, r.VM.EventsPerSec, r.Speedup)
+		base.Bench = append(base.Bench, *r)
+	}
+
+	if *minSpeedup > 0 {
+		for _, r := range base.Bench {
+			if r.Speedup < *minSpeedup {
+				return fmt.Errorf("%s: VM speedup %.2fx below floor %.2fx", r.Benchmark, r.Speedup, *minSpeedup)
+			}
+		}
+	}
+
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		return err
+	}
+	if *outPath != "" {
+		fmt.Fprintf(out, "vmbench: wrote %s\n", *outPath)
+	}
+	return nil
+}
+
+func measure(name string, scale int, runs, seed int64, workers int, stride int64) (*kernelResult, error) {
+	b, ok := bench.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark")
+	}
+	m, err := b.Module(scale)
+	if err != nil {
+		return nil, err
+	}
+	golden, err := interp.Run(m, interp.Config{Record: true})
+	if err != nil {
+		return nil, fmt.Errorf("golden run: %w", err)
+	}
+	prog, err := vm.Compile(m, vm.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+
+	res := &kernelResult{
+		Benchmark: name, Runs: runs, Seed: seed,
+		TraceEvents:  golden.DynInstrs,
+		CompileNanos: prog.CompileNanos,
+		CodeBytes:    prog.CodeBytes,
+	}
+	var ref []fi.Record
+	for _, engine := range []string{fi.EngineWalker, fi.EngineVM} {
+		runner, err := fi.NewRunner(m, golden, fi.Config{Seed: seed, Engine: engine})
+		if err != nil {
+			return nil, err
+		}
+		if ok, err := runner.EnableSnapshots(snapshot.Config{Stride: stride}); err != nil || !ok {
+			return nil, fmt.Errorf("enabling snapshots: ok=%v err=%v", ok, err)
+		}
+		recs := runner.RunRange(0, runs, workers)
+		stats := runner.EngineStats()
+		if len(stats) != 1 || stats[0].Engine != engine {
+			return nil, fmt.Errorf("engine %s: unexpected stats %+v", engine, stats)
+		}
+		switch engine {
+		case fi.EngineWalker:
+			ref = recs
+			res.Walker = stats[0]
+		case fi.EngineVM:
+			for i := range ref {
+				if recs[i] != ref[i] {
+					return nil, fmt.Errorf("bit-identity violated at run %d: vm %+v, walker %+v", i, recs[i], ref[i])
+				}
+			}
+			res.VM = stats[0]
+		}
+	}
+	res.Speedup = res.VM.EventsPerSec / res.Walker.EventsPerSec
+	return res, nil
+}

@@ -41,6 +41,9 @@ type Monitor struct {
 	// snapSrc, when non-nil, supplies the runner's live snapshot stats
 	// for the status views; nil (snapshots off) omits the section.
 	snapSrc func() *snapshot.View
+	// engineSrc, when non-nil, supplies the runner's per-engine
+	// throughput split (VM vs walker events/sec) for the status views.
+	engineSrc func() []fi.EngineStat
 }
 
 // NewMonitor returns a monitor writing into reg; nil reg allocates a
@@ -69,6 +72,14 @@ func (m *Monitor) Registry() *obs.Registry { return m.reg }
 func (m *Monitor) setSnapshotSource(src func() *snapshot.View) {
 	m.mu.Lock()
 	m.snapSrc = src
+	m.mu.Unlock()
+}
+
+// setEngineSource binds the live per-engine stats source for status
+// rendering; the engine calls it with the runner's EngineStats.
+func (m *Monitor) setEngineSource(src func() []fi.EngineStat) {
+	m.mu.Lock()
+	m.engineSrc = src
 	m.mu.Unlock()
 }
 
@@ -200,6 +211,9 @@ func (m *Monitor) statusLocked(now time.Time) *StatusJSON {
 	if m.snapSrc != nil {
 		s.Snapshot = m.snapSrc()
 	}
+	if m.engineSrc != nil {
+		s.Engines = m.engineSrc()
+	}
 	// elapsed can be zero (coarse clocks, fake clocks): never divide by it.
 	s.ElapsedSeconds = now.Sub(m.start).Seconds()
 	if s.ElapsedSeconds > 0 {
@@ -271,6 +285,10 @@ type StatusJSON struct {
 	// Snapshot reports copy-on-write snapshot activity; absent when
 	// snapshots are disabled (or ruled out by layout jitter).
 	Snapshot *snapshot.View `json:"snapshot,omitempty"`
+	// Engines reports executed work split by execution engine (bytecode
+	// VM vs frame-stack walker) with per-engine events/sec; absent in
+	// cold-log status, where no engine is live.
+	Engines []fi.EngineStat `json:"engines,omitempty"`
 }
 
 // OutcomeJSON is one outcome tally with its Wilson 95% CI half-width.

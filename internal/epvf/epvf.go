@@ -8,6 +8,7 @@
 package epvf
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rangeprop"
 	"repro/internal/trace"
+	"repro/internal/vm"
 )
 
 // Config controls an analysis.
@@ -27,6 +29,11 @@ type Config struct {
 	Prop rangeprop.Config
 	// Interp configures the profiling run when analyzing a module.
 	Interp interp.Config
+	// Engine selects the profiling engine: "" or "vm" records the golden
+	// trace on the bytecode VM (falling back to the walker when the
+	// module cannot compile), "walker" forces the frame-stack walker.
+	// The recorded trace is bit-identical either way.
+	Engine string
 }
 
 // Timing breaks the analysis down the way Figure 10 does.
@@ -135,7 +142,7 @@ func AnalyzeModule(m *ir.Module, cfg Config) (*Analysis, *interp.Result, error) 
 	sp := obs.StartSpan("epvf_profile")
 	icfg := cfg.Interp
 	icfg.Record = true
-	res, err := interp.Run(m, icfg)
+	res, err := runProfile(m, icfg, cfg.Engine)
 	if err != nil {
 		sp.End()
 		return nil, nil, err
@@ -146,6 +153,24 @@ func AnalyzeModule(m *ir.Module, cfg Config) (*Analysis, *interp.Result, error) 
 	a := AnalyzeTrace(res.Trace, cfg)
 	a.Timing.GraphBuild += buildTime
 	return a, res, nil
+}
+
+// runProfile executes the recorded profiling run on the selected engine.
+// Modules the VM cannot compile profile on the walker instead (counted in
+// epvf_vm_fallbacks_total); an unknown engine name is an error.
+func runProfile(m *ir.Module, icfg interp.Config, engine string) (*interp.Result, error) {
+	switch engine {
+	case "", "vm":
+		prog, err := vm.Compile(m, vm.Options{})
+		if err != nil {
+			return interp.Run(m, icfg)
+		}
+		return prog.Run(icfg)
+	case "walker":
+		return interp.Run(m, icfg)
+	default:
+		return nil, fmt.Errorf("epvf: unknown engine %q (want \"vm\" or \"walker\")", engine)
+	}
 }
 
 // Compose assembles an Analysis around an externally merged propagation

@@ -205,24 +205,9 @@ func Run(m *ir.Module, cfg Config) (*Result, error) {
 // newMachine normalizes cfg, builds the address space, and loads globals.
 // It does not push the entry frame.
 func newMachine(m *ir.Module, cfg Config) (*machine, error) {
-	if cfg.Layout == (mem.Layout{}) {
-		cfg.Layout = mem.DefaultLayout()
-	}
-	if cfg.MaxDynInstrs == 0 {
-		cfg.MaxDynInstrs = DefaultMaxDynInstrs
-	}
-	if cfg.Align == 0 {
-		cfg.Align = AlignFourByte
-	}
-	if cfg.Entry == "" {
-		cfg.Entry = "main"
-	}
-	fn := m.Func(cfg.Entry)
-	if fn == nil {
-		return nil, fmt.Errorf("interp: module %q has no function %q", m.Name, cfg.Entry)
-	}
-	if len(fn.Params) != 0 {
-		return nil, fmt.Errorf("interp: entry %q must take no parameters", cfg.Entry)
+	cfg, fn, err := Normalize(m, cfg)
+	if err != nil {
+		return nil, err
 	}
 	vm := &machine{cfg: cfg, mod: m, as: mem.New(cfg.Layout), entryFn: fn}
 	if cfg.Record {
@@ -318,32 +303,12 @@ type machine struct {
 func (vm *machine) done() bool { return vm.exc != nil || vm.hang || vm.fatal != nil }
 
 func (vm *machine) loadGlobals() error {
-	vm.globals = make(map[*ir.Global]uint64, len(vm.mod.Globals))
 	vm.layouts = make(map[*ir.Function]*frameLayout)
-	var roSize, rwSize uint64
-	place := func(g *ir.Global, base, cursor uint64) uint64 {
-		align := uint64(g.Elem.Align())
-		cursor = (cursor + align - 1) &^ (align - 1)
-		vm.globals[g] = base + cursor
-		return cursor + uint64(g.ByteSize())
+	globals, err := LoadGlobals(vm.mod, vm.as)
+	if err != nil {
+		return err
 	}
-	l := vm.as.Layout()
-	for _, g := range vm.mod.Globals {
-		if g.ReadOnly {
-			roSize = place(g, l.RODataBase, roSize)
-		} else {
-			rwSize = place(g, l.DataBase, rwSize)
-		}
-	}
-	vm.as.EnsureSegmentSize(mem.SegROData, roSize+mem.PageSize)
-	vm.as.EnsureSegmentSize(mem.SegData, rwSize+mem.PageSize)
-	for _, g := range vm.mod.Globals {
-		addr := vm.globals[g]
-		esz := g.Elem.Size()
-		for i, v := range g.Init {
-			vm.as.WriteUint(addr+uint64(i)*uint64(esz), esz, v)
-		}
-	}
+	vm.globals = globals
 	return nil
 }
 
@@ -351,22 +316,8 @@ func (vm *machine) frameLayout(fn *ir.Function) *frameLayout {
 	if fl, ok := vm.layouts[fn]; ok {
 		return fl
 	}
-	fl := &frameLayout{offsets: make(map[*ir.Instr]uint64)}
-	for _, b := range fn.Blocks {
-		for _, in := range b.Instrs {
-			if in.Op != ir.OpAlloca {
-				continue
-			}
-			align := uint64(in.Elem.Align())
-			fl.size = (fl.size + align - 1) &^ (align - 1)
-			fl.offsets[in] = fl.size
-			fl.size += uint64(in.Elem.Size())
-		}
-	}
-	fl.size = (fl.size + 15) &^ 15
-	if fl.size == 0 {
-		fl.size = 16 // return-address slot: every call consumes stack
-	}
+	size, offsets := ComputeFrameLayout(fn)
+	fl := &frameLayout{size: size, offsets: offsets}
 	vm.layouts[fn] = fl
 	return fl
 }

@@ -204,6 +204,19 @@ type AddressSpace struct {
 	// at zero, so the delta between two points is the snapshot "dirty
 	// page" cost.
 	dirtied int64
+
+	// One-entry VMA-bounds caches for the LoadFast/StoreFast hot path.
+	// Each caches the [lo, hi) of the VMA that satisfied the most recent
+	// fast access, tagged with the version that made it valid; any VMA
+	// table change bumps version and so invalidates both. VMAs only ever
+	// grow or get appended (Free keeps mmap segments mapped), so a cached
+	// range at the current version can never cover unmapped addresses.
+	// The zero value is invalid (hi == 0 admits no address), which is why
+	// Fork need not copy these.
+	fastRLo, fastRHi uint64
+	fastRVer         int
+	fastWLo, fastWHi uint64
+	fastWVer         int
 }
 
 // New creates an address space with the given layout and reserves the text,
@@ -586,6 +599,69 @@ func (as *AddressSpace) ReadUint(addr uint64, size int64) uint64 {
 		v |= uint64(b[i]) << (8 * uint(i))
 	}
 	return v
+}
+
+// LoadFast validates and performs a little-endian load in one pass. It is
+// observably identical to CheckAccess(addr, size, false) followed by
+// ReadUint, but skips the binary VMA search when the access lands in the
+// same segment as the last fast load at an unchanged VMA version, and
+// reads page bytes in place instead of through an allocated slice. Loads
+// never require read permission (checkOne does not test it), so a cache
+// hit needs only a bounds check.
+func (as *AddressSpace) LoadFast(addr uint64, size int64) (uint64, error) {
+	if size <= 0 {
+		size = 1
+	}
+	last := addr + uint64(size) - 1
+	if !(as.fastRVer == as.version && addr >= as.fastRLo && last < as.fastRHi && last >= addr) {
+		if err := as.CheckAccess(addr, size, false); err != nil {
+			return 0, err
+		}
+		// CheckAccess may have grown the stack (and bumped version), so
+		// re-resolve the governing VMA for the refreshed cache entry.
+		if i, ok := as.findVMA(addr); ok && last < as.vmas[i].End {
+			as.fastRLo, as.fastRHi, as.fastRVer = as.vmas[i].Start, as.vmas[i].End, as.version
+		}
+	}
+	off := addr % PageSize
+	if off+uint64(size) <= PageSize {
+		var v uint64
+		if p := as.pages[addr/PageSize]; p != nil {
+			for i := int64(0); i < size; i++ {
+				v |= uint64(p.data[off+uint64(i)]) << (8 * uint(i))
+			}
+		}
+		return v, nil
+	}
+	return as.ReadUint(addr, size), nil
+}
+
+// StoreFast validates and performs a little-endian store in one pass —
+// the write counterpart of LoadFast. The cached range is only installed
+// for writable VMAs, so a hit implies write permission.
+func (as *AddressSpace) StoreFast(addr uint64, size int64, v uint64) error {
+	if size <= 0 {
+		size = 1
+	}
+	last := addr + uint64(size) - 1
+	if !(as.fastWVer == as.version && addr >= as.fastWLo && last < as.fastWHi && last >= addr) {
+		if err := as.CheckAccess(addr, size, true); err != nil {
+			return err
+		}
+		if i, ok := as.findVMA(addr); ok && last < as.vmas[i].End && as.vmas[i].Perm&PermWrite != 0 {
+			as.fastWLo, as.fastWHi, as.fastWVer = as.vmas[i].Start, as.vmas[i].End, as.version
+		}
+	}
+	off := addr % PageSize
+	if off+uint64(size) <= PageSize {
+		p := as.writablePage(addr)
+		for i := int64(0); i < size; i++ {
+			p.data[off+uint64(i)] = byte(v >> (8 * uint(i)))
+		}
+		return nil
+	}
+	as.WriteUint(addr, size, v)
+	return nil
 }
 
 // MmapThreshold is the allocation size above which Malloc places the block

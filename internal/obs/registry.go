@@ -347,6 +347,22 @@ type Bucket struct {
 	Count int64 `json:"count"`
 }
 
+// MarshalJSON encodes the overflow bound as the string "+Inf" (the
+// Prometheus convention): encoding/json rejects infinities, and a bare
+// json.Marshal failure inside expvar.Func would silently render the
+// whole /debug/vars document invalid.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "\"+Inf\""
+	if !math.IsInf(b.Le, 1) {
+		v, err := json.Marshal(b.Le)
+		if err != nil {
+			return nil, err
+		}
+		le = string(v)
+	}
+	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
+}
+
 // Sample is the frozen value of one series.
 type Sample struct {
 	Name   string            `json:"name"`

@@ -269,3 +269,24 @@ func TestHistogramBucketConflictRecorded(t *testing.T) {
 		t.Errorf("conflict counter missing from exposition:\n%s", buf.String())
 	}
 }
+
+// TestSnapshotMarshalsWithHistogram: a snapshot containing a histogram
+// must survive json.Marshal — the overflow bucket's +Inf bound encodes
+// as the string "+Inf" instead of failing the whole document (expvar's
+// /debug/vars renders an empty value on marshal error, which makes the
+// JSON invalid).
+func TestSnapshotMarshalsWithHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("epvf_test_seconds", []float64{0.1, 1}).Observe(5)
+	b, err := json.Marshal(r.Snapshot().Samples)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(b), `"le":"+Inf"`) {
+		t.Fatalf("overflow bucket not encoded as +Inf string: %s", b)
+	}
+	var back []Sample
+	if err := json.Unmarshal(bytes.Replace(b, []byte(`"+Inf"`), []byte(`1e308`), 1), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}

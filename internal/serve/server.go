@@ -18,6 +18,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/obs"
 	"repro/internal/trace"
+	"repro/internal/vm"
 )
 
 // moduleTag is the domain tag of the analysis content address: the
@@ -95,6 +96,9 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Compiled VM bytecode (vm-code-v1 entries) shares the daemon's
+	// store, so repeated analyses of the same module skip recompilation.
+	vm.SetDefaultCache(store)
 	s := &Server{reg: reg, obs: osrv, store: store, tracer: cfg.Tracer, incremental: cfg.Incremental}
 	osrv.Handle("/v1/analyze", http.HandlerFunc(s.handleAnalyze))
 	osrv.Handle("/v1/campaign/log", s.blobHandler(KindCampaign))

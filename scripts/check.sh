@@ -22,9 +22,13 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (obs + campaign + dist + snapshot + mem + fi + attr + cache + inc + serve + traced CLIs)"
+echo "== go test -race (obs + campaign + dist + snapshot + mem + fi + attr + cache + inc + serve + vm + traced CLIs)"
 go test -race ./internal/obs/... ./internal/campaign/... ./internal/dist/... \
     ./internal/snapshot/... ./internal/mem/... ./internal/fi/... ./internal/attr/... \
-    ./internal/cache/... ./internal/inc/... ./internal/serve/... ./cmd/epvf/... ./cmd/campaign/...
+    ./internal/cache/... ./internal/inc/... ./internal/serve/... ./internal/vm/... \
+    ./cmd/epvf/... ./cmd/campaign/...
+
+echo "== vm differential smoke (walker vs bytecode VM, fuzz corpus seeds)"
+go test ./internal/vm/ -run 'TestDifferentialKernels|TestDifferentialEdgeCases|FuzzDifferential' -count=1
 
 echo "check: OK"
