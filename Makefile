@@ -1,6 +1,6 @@
 # Tier-1 verification gate and convenience targets.
 
-.PHONY: check build test fmt vet bench-obs bench-snapshot bench-vm dist-demo attr-demo serve-demo trace-demo gate-demo
+.PHONY: check build test fmt vet bench-obs bench-snapshot bench-vm dist-demo attr-demo serve-demo trace-demo gate-demo dash-demo
 
 check:
 	./scripts/check.sh
@@ -40,6 +40,14 @@ trace-demo:
 # at least 5x faster.
 gate-demo:
 	./scripts/gate_demo.sh
+
+# dash-demo exercises the live telemetry surface end-to-end: a
+# worker-less coordinator stalls (alert fires, /healthz degrades, a
+# pprof bundle lands in the cache under obs-profile-v1), a worker joins
+# and the stall resolves; along the way it asserts /dashboard renders
+# well-formed HTML and /events streams at least one SSE event.
+dash-demo:
+	./scripts/dash_demo.sh
 
 # bench-obs asserts the disabled observability path stays under the noise
 # floor (TestDisabledOverheadUnderNoise) and prints the nil-handle

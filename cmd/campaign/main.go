@@ -8,6 +8,7 @@
 //	campaign run    -bench mm -runs 3000 -log mm.jsonl [-epsilon 0.01] [-workers W] [-shards 0,2]
 //	campaign resume -bench mm -runs 3000 -log mm.jsonl
 //	campaign status -log mm.jsonl [-json]
+//	campaign status -addr host:port [-watch] [-json]
 //	campaign merge  -out merged.jsonl shard-a.jsonl shard-b.jsonl
 //	campaign serve  -bench mm -runs 3000 -log merged.jsonl -addr :8766 [-lease-ttl 30s]
 //	campaign work   -bench mm -coordinator http://host:8766 [-workers W]
@@ -46,7 +47,17 @@
 // and `work` execute: /metrics (Prometheus text), /debug/pprof/*,
 // /debug/vars, /healthz, /campaign (JSON status, the same schema as
 // `campaign status -json`) and /attr (attribution drill-down: ?func=,
-// ?instr=, ?format=text).
+// ?instr=, ?format=text) — plus the live telemetry surface: /ts
+// (bounded in-process time-series), /events (SSE stream of metric
+// deltas, campaign progress, span completions and alert transitions),
+// /alerts (declarative alert rules: stall, worker loss, SDC-rate spike
+// vs the ePVF prediction, cache collapse, injection p99) and /dashboard
+// (a self-contained live HTML page). `campaign serve` carries the same
+// surface on its one -addr listener. While any alert fires, /healthz
+// degrades and — with -cache-dir — a CPU+heap pprof bundle is captured
+// into the content-addressed store under kind obs-profile-v1.
+// `campaign status -addr host:port -watch` follows the SSE stream and
+// redraws a terminal status view until the campaign ends.
 //
 // `-server host:port` on `run`/`resume` connects to an `epvf serve`
 // analysis daemon: a plan whose campaign already completed anywhere is
@@ -84,7 +95,9 @@ import (
 
 	"repro/internal/attr"
 	"repro/internal/bench"
+	"repro/internal/cache"
 	"repro/internal/campaign"
+	"repro/internal/dashboard"
 	"repro/internal/dist"
 	"repro/internal/epvf"
 	"repro/internal/fi"
@@ -93,6 +106,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/obs/alert"
 	"repro/internal/report"
 	"repro/internal/serve"
 )
@@ -180,7 +194,9 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 	budget := fs.Int64("budget", 0, "max new runs this invocation (0 = unlimited)")
 	shardsFlag := fs.String("shards", "", "comma-separated shard subset to execute (default: all)")
 	quiet := fs.Bool("q", false, "suppress progress output")
-	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/pprof and /campaign on this address while running")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/pprof, /campaign and the live /dashboard on this address while running")
+	cacheDir := fs.String("cache-dir", "", "with -obs-addr: content-addressed store directory; alert firings capture pprof bundles into it (kind obs-profile-v1)")
+	stallAfter := fs.Duration("stall-after", 0, "with -obs-addr: campaign-stall alert window (0 = built-in default)")
 	snap := fs.Bool("snapshot", true, "restore COW execution snapshots instead of replaying each run from scratch (auto-off under -jitter)")
 	snapStride := fs.Int64("snapshot-stride", 0, "events between snapshots (0 = auto, ~sqrt(trace length))")
 	engine := fs.String("engine", fi.EngineVM, "execution engine: vm (bytecode dispatch loop, walker fallback) or walker")
@@ -287,8 +303,9 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 		opts.Progress = out
 	}
 	var meta *attr.Meta
+	var predictedSDC float64
 	if *attrOn {
-		opts.Ledger, meta = buildLedger(golden)
+		opts.Ledger, meta, predictedSDC = buildLedger(golden)
 	}
 	if *obsAddr != "" {
 		reg := obs.NewRegistry()
@@ -297,14 +314,29 @@ func runCampaign(cmd string, args []string, out io.Writer) error {
 		mon := campaign.NewMonitor(reg)
 		opts.Monitor = mon
 		ledger := opts.Ledger
+		profiles, err := openProfileStore(*cacheDir, reg)
+		if err != nil {
+			return err
+		}
+		var mounted *dashboard.Mounted
 		stop, err := startObs(*obsAddr, reg, out, func(srv *obs.Server) {
 			srv.HandleJSON("/campaign", func() (any, error) { return mon.Status() })
 			srv.Handle("/attr", attr.Handler(ledger.Snapshot, meta))
+			mounted = dashboard.Mount(srv, dashboard.Config{
+				Registry:     reg,
+				Title:        fmt.Sprintf("campaign %s [%s]", plan.ID, label),
+				StallWindow:  *stallAfter,
+				PredictedSDC: predictedSDC,
+				Profiles:     profiles,
+			})
 		})
 		if err != nil {
 			return err
 		}
 		defer stop()
+		defer mounted.Stop()
+		mon.SetPublisher(mounted.Publish)
+		mon.SetTelemetry(mounted.Collector.Summarize, mounted.Alerts.Summarize)
 	}
 	ctx, cancel := interruptContext()
 	defer cancel()
@@ -380,15 +412,23 @@ func runStatus(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("campaign status", flag.ContinueOnError)
 	logPath := fs.String("log", "", "JSONL result log")
 	asJSON := fs.Bool("json", false, "emit the status as JSON (same schema as the /campaign HTTP view)")
+	addrFlag := fs.String("addr", "", "live campaign server (the -obs-addr of a running run/resume); reads /campaign over HTTP instead of a log")
+	watch := fs.Bool("watch", false, "with -addr: follow the /events SSE stream and redraw until the campaign ends (falls back to one-shot when the stream is absent)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *addrFlag != "" {
+		return watchStatus(out, *addrFlag, *watch, *asJSON)
+	}
+	if *watch {
+		return fmt.Errorf("status -watch requires -addr <host:port> (a running -obs-addr server)")
 	}
 	path := *logPath
 	if path == "" && fs.NArg() == 1 {
 		path = fs.Arg(0)
 	}
 	if path == "" {
-		return fmt.Errorf("status requires -log <path>")
+		return fmt.Errorf("status requires -log <path> or -addr <host:port>")
 	}
 	st, err := campaign.ReadStatus(path)
 	if err != nil {
@@ -437,8 +477,10 @@ func runServe(args []string, out io.Writer) error {
 	shardSize := fs.Int("shard-size", campaign.DefaultShardSize, "runs per shard (lease and checkpoint granularity)")
 	faultBits := fs.Int("fault-bits", 1, "bits flipped per injection")
 	logPath := fs.String("log", "", "durable merged JSONL log (required; restart resumes from it)")
-	addr := fs.String("addr", ":8766", "listen address (coordinator /v1/*, /metrics, /healthz, /fleet, /attr — one server)")
+	addr := fs.String("addr", ":8766", "listen address (coordinator /v1/*, /metrics, /healthz, /fleet, /attr, /dashboard — one server)")
 	leaseTTL := fs.Duration("lease-ttl", dist.DefaultLeaseTTL, "shard lease TTL (crashed workers' shards requeue after this)")
+	cacheDir := fs.String("cache-dir", "", "content-addressed store directory; alert firings capture pprof bundles into it (kind obs-profile-v1)")
+	stallAfter := fs.Duration("stall-after", 0, "coordinator-stall and worker-loss alert window (0 = built-in defaults)")
 	quiet := fs.Bool("q", false, "suppress progress output")
 	attrOn := fs.Bool("attr", true, "aggregate the attribution ledger across the fleet (see `campaign attr`)")
 	traceOut := fs.String("trace-out", "", "additionally stream every trace span to this JSONL file (spans always land in the merged log)")
@@ -478,14 +520,38 @@ func runServe(args []string, out io.Writer) error {
 	reg := obs.NewRegistry()
 	var ledger *attr.Ledger
 	var meta *attr.Meta
+	var predictedSDC float64
 	if *attrOn {
-		ledger, meta = buildLedger(golden)
+		ledger, meta, predictedSDC = buildLedger(golden)
 	}
 	tracer, stopTracing, err := setupTracing("coordinator", *traceOut)
 	if err != nil {
 		return err
 	}
 	defer stopTracing()
+	// One server carries everything: the coordinator's /v1/* worker
+	// protocol, /metrics, /healthz (with fleet and degradation sections),
+	// /fleet, /attr and the live /dashboard + /events telemetry surface —
+	// there is no separate -obs-addr for `serve`. The dashboard mounts
+	// before the coordinator exists so the coordinator's fleet publisher
+	// can feed the SSE hub from its first lease onward.
+	srv, err := obs.NewServer(*addr, reg)
+	if err != nil {
+		return err
+	}
+	profiles, err := openProfileStore(*cacheDir, reg)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	mounted := dashboard.Mount(srv, dashboard.Config{
+		Registry:     reg,
+		Title:        fmt.Sprintf("coordinator %s [%s]", plan.ID, label),
+		StallWindow:  *stallAfter,
+		PredictedSDC: predictedSDC,
+		Profiles:     profiles,
+	})
+	defer mounted.Stop()
 	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
 		Plan:      plan,
 		GoldenDyn: golden.DynInstrs,
@@ -494,16 +560,10 @@ func runServe(args []string, out io.Writer) error {
 		Registry:  reg,
 		Ledger:    ledger,
 		Tracer:    tracer,
+		Publish:   mounted.Publish,
 	})
 	if err != nil {
-		return err
-	}
-	// One server carries everything: the coordinator's /v1/* worker
-	// protocol, /metrics, /healthz (with a fleet section), /fleet and
-	// /attr — there is no separate -obs-addr for `serve`.
-	srv, err := obs.NewServer(*addr, reg)
-	if err != nil {
-		coord.Shutdown(context.Background())
+		srv.Close()
 		return err
 	}
 	srv.Handle("/v1/", coord)
@@ -610,7 +670,7 @@ func runWork(args []string, out io.Writer) error {
 		Tracer:           tracer,
 	}
 	if *attrOn {
-		ledger, _ := buildLedger(golden)
+		ledger, _, _ := buildLedger(golden)
 		cfg.Classifier = ledger.Classifier()
 	}
 	if !*quiet {
@@ -619,11 +679,18 @@ func runWork(args []string, out io.Writer) error {
 	if *obsAddr != "" {
 		reg := obs.NewRegistry()
 		cfg.Registry = reg
-		stop, err := startObs(*obsAddr, reg, out, nil)
+		var mounted *dashboard.Mounted
+		stop, err := startObs(*obsAddr, reg, out, func(srv *obs.Server) {
+			mounted = dashboard.Mount(srv, dashboard.Config{
+				Registry: reg,
+				Title:    fmt.Sprintf("worker %s", procName),
+			})
+		})
 		if err != nil {
 			return err
 		}
 		defer stop()
+		defer mounted.Stop()
 	}
 	w, err := dist.NewWorker(cfg)
 	if err != nil {
@@ -634,11 +701,24 @@ func runWork(args []string, out io.Writer) error {
 	return w.Run(ctx)
 }
 
+// openProfileStore opens the content-addressed store alert firings
+// capture pprof bundles into (kind obs-profile-v1). An empty dir means
+// no capture: the dashboard still mounts, alerts still fire, but
+// transitions carry no profile key.
+func openProfileStore(dir string, reg *obs.Registry) (alert.ProfileSink, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return cache.Open(cache.Config{Dir: dir, Registry: reg})
+}
+
 // buildLedger runs the ePVF analysis over the golden trace and returns
-// the attribution ledger plus the instruction metadata reports join in.
-func buildLedger(golden *interp.Result) (*attr.Ledger, *attr.Meta) {
+// the attribution ledger, the instruction metadata reports join in, and
+// the model's predicted SDC rate (the ePVF fraction — what the
+// SDC-spike alert compares the measured rate against).
+func buildLedger(golden *interp.Result) (*attr.Ledger, *attr.Meta, float64) {
 	a := epvf.AnalyzeTrace(golden.Trace, epvf.Config{})
-	return attr.NewLedger(attr.NewClassifier(a)), attr.NewMeta(golden.Trace)
+	return attr.NewLedger(attr.NewClassifier(a)), attr.NewMeta(golden.Trace), a.EPVF()
 }
 
 // runAttr renders the attribution ledger of a finished (or merged) log:
@@ -683,7 +763,7 @@ func runAttr(args []string, out io.Writer) error {
 				return fmt.Errorf("attr: golden trace has %d events, log plan %s expects %d — wrong module or scale",
 					n, d.Plan.ID, d.Plan.TraceEvents)
 			}
-			ledger, lmeta := buildLedger(golden)
+			ledger, lmeta, _ := buildLedger(golden)
 			meta = lmeta
 			snap = attr.Collect(ledger.Classifier(), d.SortedRecords())
 		}

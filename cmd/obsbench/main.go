@@ -23,6 +23,7 @@ import (
 	"repro/internal/fi"
 	"repro/internal/interp"
 	"repro/internal/obs"
+	"repro/internal/obs/ts"
 )
 
 // benchBaseline is one benchmark's traced analysis.
@@ -39,12 +40,12 @@ type benchBaseline struct {
 	Phases          []obs.PhaseStat `json:"phases"`
 }
 
-// spanOverhead is the per-operation cost of the span seam itself:
-// disabled (nil tracer — the shape every hot loop pays when tracing is
-// off) versus enabled (recording tracer). The disabled figure is the one
-// that matters: it must stay within the noise floor of the interpreter's
+// pathOverhead is the per-operation cost of one observability seam:
+// disabled (nil receiver — the shape every hot loop pays when the layer
+// is off) versus enabled. The disabled figure is the one that matters:
+// it must stay within the noise floor of the interpreter's
 // per-instruction cost, which the obsbench test asserts.
-type spanOverhead struct {
+type pathOverhead struct {
 	DisabledNsPerOp float64 `json:"disabled_ns_per_op"`
 	EnabledNsPerOp  float64 `json:"enabled_ns_per_op"`
 }
@@ -54,18 +55,34 @@ type baseline struct {
 	// machine-dependent; compare shapes and ratios, not absolutes.
 	Note         string          `json:"note"`
 	Scale        int             `json:"scale"`
-	SpanOverhead spanOverhead    `json:"span_overhead_ns"`
+	SpanOverhead pathOverhead    `json:"span_overhead_ns"`
+	TSSample     pathOverhead    `json:"ts_sample_ns"`
+	SSEPublish   pathOverhead    `json:"sse_publish_ns"`
 	Benchmarks   []benchBaseline `json:"benchmarks"`
 }
 
-// nilTracer lives in a package var so the compiler cannot prove it nil
-// and fold the disabled-path loop away.
-var nilTracer *obs.Tracer
+// nilTracer, nilCollector and nilHub live in package vars so the
+// compiler cannot prove them nil and fold the disabled-path loops away.
+var (
+	nilTracer    *obs.Tracer
+	nilCollector *ts.Collector
+	nilHub       *ts.Hub
+)
+
+// bestOf3 sheds scheduler noise from a timed loop.
+func bestOf3(fn func() time.Duration) time.Duration {
+	best := fn()
+	for i := 0; i < 2; i++ {
+		if d := fn(); d < best {
+			best = d
+		}
+	}
+	return best
+}
 
 // measureSpanOverhead times a start/annotate/end round trip on the
-// disabled and enabled span paths (best of three, to shed scheduler
-// noise).
-func measureSpanOverhead() spanOverhead {
+// disabled and enabled span paths.
+func measureSpanOverhead() pathOverhead {
 	const disabledIters = 5_000_000
 	disabled := func() time.Duration {
 		t0 := time.Now()
@@ -88,19 +105,67 @@ func measureSpanOverhead() spanOverhead {
 		}
 		return time.Since(t0)
 	}
-	bestOf3 := func(fn func() time.Duration) time.Duration {
-		best := fn()
-		for i := 0; i < 2; i++ {
-			if d := fn(); d < best {
-				best = d
-			}
-		}
-		return best
-	}
-	return spanOverhead{
+	return pathOverhead{
 		DisabledNsPerOp: float64(bestOf3(disabled).Nanoseconds()) / disabledIters,
 		EnabledNsPerOp:  float64(bestOf3(enabled).Nanoseconds()) / enabledIters,
 	}
+}
+
+// measureTelemetryOverhead times the live-telemetry seams: one ts
+// sampling tick and one SSE hub publish, each on the disabled (nil
+// receiver) path — what every process pays when the dashboard layer is
+// unmounted — and enabled (a small live registry; one draining
+// subscriber).
+func measureTelemetryOverhead() (tsSample, ssePublish pathOverhead) {
+	const disabledIters = 5_000_000
+	tsSample.DisabledNsPerOp = float64(bestOf3(func() time.Duration {
+		t0 := time.Now()
+		for i := 0; i < disabledIters; i++ {
+			nilCollector.Tick()
+		}
+		return time.Since(t0)
+	}).Nanoseconds()) / disabledIters
+	payload := []byte(`[{"k":"epvf_campaign_runs_total","v":1}]`)
+	ssePublish.DisabledNsPerOp = float64(bestOf3(func() time.Duration {
+		t0 := time.Now()
+		for i := 0; i < disabledIters; i++ {
+			nilHub.Publish(ts.EventMetrics, payload)
+		}
+		return time.Since(t0)
+	}).Nanoseconds()) / disabledIters
+
+	const enabledIters = 100_000
+	reg := obs.NewRegistry()
+	for i := 0; i < 8; i++ {
+		reg.Counter("obsbench_series_total", "i", fmt.Sprint(i)).Add(int64(i))
+	}
+	col := ts.New(ts.Config{Registry: reg})
+	tsSample.EnabledNsPerOp = float64(bestOf3(func() time.Duration {
+		t0 := time.Now()
+		for i := 0; i < enabledIters; i++ {
+			col.Tick()
+		}
+		return time.Since(t0)
+	}).Nanoseconds()) / enabledIters
+
+	hub := ts.NewHub(reg)
+	sub := hub.Subscribe(4096)
+	done := make(chan struct{})
+	go func() {
+		for range sub.C() {
+		}
+		close(done)
+	}()
+	ssePublish.EnabledNsPerOp = float64(bestOf3(func() time.Duration {
+		t0 := time.Now()
+		for i := 0; i < enabledIters; i++ {
+			hub.Publish(ts.EventMetrics, payload)
+		}
+		return time.Since(t0)
+	}).Nanoseconds()) / enabledIters
+	sub.Close()
+	<-done
+	return tsSample, ssePublish
 }
 
 func main() {
@@ -175,6 +240,7 @@ func run(args []string, out io.Writer) error {
 		Scale:        *scale,
 		SpanOverhead: measureSpanOverhead(),
 	}
+	base.TSSample, base.SSEPublish = measureTelemetryOverhead()
 	for _, b := range benches {
 		m, err := b.Module(*scale)
 		if err != nil {

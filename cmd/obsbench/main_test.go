@@ -47,6 +47,21 @@ func TestObsbenchEmitsPhases(t *testing.T) {
 	if ov.EnabledNsPerOp <= 0 {
 		t.Errorf("enabled span path measured %.2fns/op, want > 0", ov.EnabledNsPerOp)
 	}
+	// Same contract for the live-telemetry seams: an unmounted dashboard
+	// (nil collector / nil hub) must cost nothing measurable per tick or
+	// publish.
+	if ts := base.TSSample; ts.DisabledNsPerOp < 0 || ts.DisabledNsPerOp > 25 {
+		t.Errorf("disabled ts sample path costs %.2fns/op, want within noise (<= 25ns)", ts.DisabledNsPerOp)
+	}
+	if ts := base.TSSample; ts.EnabledNsPerOp <= 0 {
+		t.Errorf("enabled ts sample path measured %.2fns/op, want > 0", ts.EnabledNsPerOp)
+	}
+	if sse := base.SSEPublish; sse.DisabledNsPerOp < 0 || sse.DisabledNsPerOp > 25 {
+		t.Errorf("disabled sse publish path costs %.2fns/op, want within noise (<= 25ns)", sse.DisabledNsPerOp)
+	}
+	if sse := base.SSEPublish; sse.EnabledNsPerOp <= 0 {
+		t.Errorf("enabled sse publish path measured %.2fns/op, want > 0", sse.EnabledNsPerOp)
+	}
 }
 
 func TestObsbenchRejectsUnknownBenchmark(t *testing.T) {

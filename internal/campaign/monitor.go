@@ -8,6 +8,8 @@ import (
 
 	"repro/internal/fi"
 	"repro/internal/obs"
+	"repro/internal/obs/alert"
+	"repro/internal/obs/ts"
 	"repro/internal/snapshot"
 	"repro/internal/stats"
 )
@@ -44,6 +46,16 @@ type Monitor struct {
 	// engineSrc, when non-nil, supplies the runner's per-engine
 	// throughput split (VM vs walker events/sec) for the status views.
 	engineSrc func() []fi.EngineStat
+	// publish, when non-nil, receives throttled "campaign" progress
+	// events for the live SSE stream; it must never block (the ts.Hub
+	// publish path is non-blocking by construction).
+	publish     func(event string, v any)
+	lastPublish time.Time
+	// tsSrc / alertSrc, when non-nil, attach the live time-series and
+	// alert summaries to status views (the `ts` / `alerts` sections of
+	// /campaign and `campaign status -json`).
+	tsSrc    func() *ts.Summary
+	alertSrc func() *alert.Summary
 }
 
 // NewMonitor returns a monitor writing into reg; nil reg allocates a
@@ -83,6 +95,25 @@ func (m *Monitor) setEngineSource(src func() []fi.EngineStat) {
 	m.mu.Unlock()
 }
 
+// SetPublisher installs the live progress publisher: fn receives one
+// ("campaign", *StatusJSON) event at campaign start and end, and at
+// most one per second in between. CLIs wire the SSE hub in here.
+func (m *Monitor) SetPublisher(fn func(event string, v any)) {
+	m.mu.Lock()
+	m.publish = fn
+	m.mu.Unlock()
+}
+
+// SetTelemetry binds the live time-series and alert summary sources, so
+// status views (the /campaign endpoint, `campaign status -json`) carry
+// `ts` and `alerts` sections. Either may be nil.
+func (m *Monitor) SetTelemetry(tsSrc func() *ts.Summary, alertSrc func() *alert.Summary) {
+	m.mu.Lock()
+	m.tsSrc = tsSrc
+	m.alertSrc = alertSrc
+	m.mu.Unlock()
+}
+
 // begin binds the monitor to an invocation: it zeroes this plan's series
 // (a rerun in the same process must not double-count) and seeds the
 // outcome tallies with the runs replayed from the log.
@@ -103,6 +134,10 @@ func (m *Monitor) begin(plan *Plan, w io.Writer, replayed map[fi.Outcome]int) {
 	}
 	m.reg.Counter("epvf_campaign_runs_replayed_total", "id", plan.ID).Add(n)
 	m.reg.Counter("epvf_campaign_runs_executed_total", "id", plan.ID).Add(0)
+	// Unlabeled on purpose: the stall alert gates on "any campaign in
+	// flight in this process", not a particular plan.
+	m.reg.Gauge("epvf_campaign_active").Set(1)
+	m.publishStatus(false)
 }
 
 // record tallies one executed run and its latency (overall and
@@ -118,6 +153,31 @@ func (m *Monitor) record(shard int, index int64, rec fi.Record, t0 time.Time, du
 		"id", id, "stage", "campaign", "outcome", outcome).Observe(dur.Seconds())
 	obs.DefaultFlight().ObserveInjection(NewInjection(shard, index, rec, t0, dur))
 	m.maybePrint()
+	m.publishStatus(true)
+}
+
+// publishEvery throttles live progress events onto the SSE stream.
+const publishEvery = time.Second
+
+// publishStatus emits a "campaign" progress event, throttled to one per
+// publishEvery when throttle is set. The publisher runs outside the
+// monitor lock.
+func (m *Monitor) publishStatus(throttle bool) {
+	m.mu.Lock()
+	if m.publish == nil || m.plan == nil {
+		m.mu.Unlock()
+		return
+	}
+	now := m.now()
+	if throttle && now.Sub(m.lastPublish) < publishEvery {
+		m.mu.Unlock()
+		return
+	}
+	m.lastPublish = now
+	st := m.statusLocked(now)
+	pub := m.publish
+	m.mu.Unlock()
+	pub("campaign", st)
 }
 
 // shardComplete bumps the completed-shard gauge.
@@ -214,6 +274,12 @@ func (m *Monitor) statusLocked(now time.Time) *StatusJSON {
 	if m.engineSrc != nil {
 		s.Engines = m.engineSrc()
 	}
+	if m.tsSrc != nil {
+		s.TS = m.tsSrc()
+	}
+	if m.alertSrc != nil {
+		s.Alerts = m.alertSrc()
+	}
 	// elapsed can be zero (coarse clocks, fake clocks): never divide by it.
 	s.ElapsedSeconds = now.Sub(m.start).Seconds()
 	if s.ElapsedSeconds > 0 {
@@ -242,6 +308,8 @@ func (m *Monitor) finish(res *Result) {
 	if res.Stopped {
 		m.stop(res.Saved, res.Reason)
 	}
+	m.reg.Gauge("epvf_campaign_active").Set(0)
+	m.publishStatus(false)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -289,6 +357,10 @@ type StatusJSON struct {
 	// VM vs frame-stack walker) with per-engine events/sec; absent in
 	// cold-log status, where no engine is live.
 	Engines []fi.EngineStat `json:"engines,omitempty"`
+	// TS and Alerts carry the live telemetry summaries when the
+	// dashboard layer is mounted; absent in cold-log status.
+	TS     *ts.Summary    `json:"ts,omitempty"`
+	Alerts *alert.Summary `json:"alerts,omitempty"`
 }
 
 // OutcomeJSON is one outcome tally with its Wilson 95% CI half-width.

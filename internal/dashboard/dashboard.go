@@ -1,0 +1,153 @@
+// Package dashboard mounts the live-telemetry surface onto an
+// obs.Server: the /ts time-series endpoint, the /events SSE stream, the
+// /alerts rule view and the /dashboard HTML page (rendered with
+// internal/report, no external assets). Mount wires the whole layer —
+// collector, fanout hub, alert engine, span sink, /healthz degradation
+// and the /debug/vars ts/alerts sections — and returns one handle that
+// tears it all down.
+package dashboard
+
+import (
+	"expvar"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/alert"
+	"repro/internal/obs/ts"
+)
+
+// Config tunes a Mount.
+type Config struct {
+	// Registry is the sampled/evaluated registry (required).
+	Registry *obs.Registry
+	// Title heads the dashboard page; empty means "epvf live dashboard".
+	Title string
+	// Stride is the ts sampling and alert evaluation period; zero means
+	// ts.DefaultStride.
+	Stride time.Duration
+	// StallWindow tunes the built-in campaign/coordinator stall rules.
+	StallWindow time.Duration
+	// PredictedSDC enables the SDC-spike rule when > 0: the
+	// ePVF-predicted SDC rate the measured rate is compared against.
+	PredictedSDC float64
+	// SDCFactor is the spike multiplier (default 2x the prediction).
+	SDCFactor float64
+	// P99Limit tunes the injection-latency rule (default 250ms).
+	P99Limit time.Duration
+	// Profiles, when non-nil, stores pprof bundles on alert firing
+	// (*cache.Store satisfies it).
+	Profiles alert.ProfileSink
+	// ProfileDuration is the CPU profile length per capture.
+	ProfileDuration time.Duration
+	// Rules are appended after the built-ins.
+	Rules []alert.Rule
+	// NoBuiltins skips the built-in rule set (tests).
+	NoBuiltins bool
+}
+
+// Mounted is a live telemetry layer: the pieces CLIs wire into their
+// publishers, plus Stop.
+type Mounted struct {
+	Collector *ts.Collector
+	Hub       *ts.Hub
+	Alerts    *alert.Engine
+
+	stopOnce sync.Once
+	stops    []func()
+}
+
+// Publish forwards an event to the SSE hub (the func(event, v) shape
+// the campaign monitor and dist coordinator publisher seams expect).
+func (m *Mounted) Publish(event string, v any) {
+	if m == nil {
+		return
+	}
+	m.Hub.PublishJSON(event, v)
+}
+
+// Stop tears the layer down: sampling and evaluation goroutines, the
+// span sink, and the process-wide defaults (only if still ours — a
+// later Mount is never clobbered).
+func (m *Mounted) Stop() {
+	if m == nil {
+		return
+	}
+	m.stopOnce.Do(func() {
+		for _, fn := range m.stops {
+			fn()
+		}
+	})
+}
+
+// expvarOnce guards the one-time /debug/vars publication of the ts and
+// alerts sections (expvar.Publish panics on duplicates). The sections
+// read the process-wide defaults, so they follow the latest Mount.
+var expvarOnce sync.Once
+
+// Mount wires the live-telemetry layer onto srv and starts it. The
+// returned handle is live immediately; call Stop on shutdown.
+func Mount(srv *obs.Server, cfg Config) *Mounted {
+	if cfg.Title == "" {
+		cfg.Title = "epvf live dashboard"
+	}
+	hub := ts.NewHub(cfg.Registry)
+	col := ts.New(ts.Config{Registry: cfg.Registry, Stride: cfg.Stride, Hub: hub})
+	eng := alert.New(alert.Config{
+		Registry: cfg.Registry,
+		Stride:   cfg.Stride,
+		OnTransition: func(tr alert.Transition) {
+			hub.PublishJSON(ts.EventAlert, tr)
+		},
+		Profile:         cfg.Profiles,
+		ProfileDuration: cfg.ProfileDuration,
+	})
+	if !cfg.NoBuiltins {
+		eng.Add(alert.Builtins(alert.BuiltinConfig{
+			StallWindow:  cfg.StallWindow,
+			PredictedSDC: cfg.PredictedSDC,
+			SDCFactor:    cfg.SDCFactor,
+			P99Limit:     cfg.P99Limit,
+		})...)
+	}
+	eng.Add(cfg.Rules...)
+
+	m := &Mounted{Collector: col, Hub: hub, Alerts: eng}
+
+	srv.Handle("/ts", col)
+	srv.Handle("/events", hub)
+	srv.Handle("/alerts", eng)
+	srv.Handle("/dashboard", pageHandler(cfg.Title))
+	srv.SetDegraded(eng.Firing)
+
+	removeSink := obs.SetSpanSink(func(rec obs.SpanRecord) {
+		hub.PublishJSON(ts.EventSpan, rec)
+	})
+
+	ts.SetDefault(col)
+	ts.SetDefaultHub(hub)
+	alert.SetDefault(eng)
+	expvarOnce.Do(func() {
+		expvar.Publish("epvf_ts", expvar.Func(func() any {
+			return ts.Default().Summarize()
+		}))
+		expvar.Publish("epvf_alerts", expvar.Func(func() any {
+			return alert.Default().Summarize()
+		}))
+	})
+
+	stopCol := col.Start()
+	stopEng := eng.Start()
+	m.stops = []func(){stopCol, stopEng, removeSink, func() {
+		if ts.Default() == col {
+			ts.SetDefault(nil)
+		}
+		if ts.DefaultHub() == hub {
+			ts.SetDefaultHub(nil)
+		}
+		if alert.Default() == eng {
+			alert.SetDefault(nil)
+		}
+	}}
+	return m
+}

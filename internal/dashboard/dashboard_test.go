@@ -1,0 +1,207 @@
+package dashboard
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/alert"
+	"repro/internal/obs/ts"
+)
+
+func mountTest(t *testing.T, cfg Config) (*obs.Server, *Mounted) {
+	t.Helper()
+	srv, err := obs.NewServer("127.0.0.1:0", cfg.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Mount(srv, cfg)
+	srv.Start()
+	t.Cleanup(func() {
+		m.Stop()
+		srv.Close()
+	})
+	return srv, m
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestMountServesDashboardSurface(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("epvf_cache_hits_total", "tier", "mem", "kind", "summary").Add(3)
+	srv, _ := mountTest(t, Config{Registry: reg, Stride: 10 * time.Millisecond})
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/dashboard")
+	if code != 200 {
+		t.Fatalf("/dashboard = %d", code)
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "dash-campaign", "dash-alerts",
+		"EventSource('/events')", "</html>"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/dashboard missing %q", want)
+		}
+	}
+
+	// /ts picks up the registry series once the sampler has ticked.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, body = get(t, base+"/ts?prefix=epvf_cache")
+		if strings.Contains(body, "epvf_cache_hits_total") || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !strings.Contains(body, "epvf_cache_hits_total") {
+		t.Fatalf("/ts missing sampled series: %s", body)
+	}
+
+	code, body = get(t, base+"/alerts")
+	if code != 200 || !strings.Contains(body, `"rules"`) {
+		t.Fatalf("/alerts = %d %s", code, body)
+	}
+	if !strings.Contains(body, "campaign_stall") {
+		t.Fatalf("/alerts missing built-in rules: %s", body)
+	}
+
+	// The index advertises the new routes.
+	_, body = get(t, base+"/")
+	if !strings.Contains(body, "/dashboard") || !strings.Contains(body, "/events") {
+		t.Fatalf("index missing dashboard routes: %s", body)
+	}
+}
+
+func TestHealthzDegradesWhileFiring(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("test_pressure")
+	srv, err := obs.NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Mount(srv, Config{
+		Registry: reg, Stride: 10 * time.Millisecond, NoBuiltins: true,
+		Rules: []alert.Rule{{
+			Name:      "pressure",
+			Signal:    alert.Signal{Kind: alert.Value, Num: []alert.Selector{{Metric: "test_pressure"}}},
+			Op:        alert.Above,
+			Threshold: 5,
+		}},
+	})
+	srv.Start()
+	defer func() { m.Stop(); srv.Close() }()
+	base := "http://" + srv.Addr()
+
+	_, body := get(t, base+"/healthz")
+	if !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthz before firing: %s", body)
+	}
+
+	g.Set(10)
+	waitFor(t, func() bool {
+		_, body := get(t, base+"/healthz")
+		return strings.Contains(body, `"degraded"`) && strings.Contains(body, `"pressure"`)
+	}, "healthz degraded with rule name")
+
+	g.Set(0)
+	waitFor(t, func() bool {
+		_, body := get(t, base+"/healthz")
+		return strings.Contains(body, `"ok"`)
+	}, "healthz back to ok after resolve")
+}
+
+func TestSpanSinkFansOutOverSSE(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := obs.NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Mount(srv, Config{Registry: reg, Stride: time.Hour, NoBuiltins: true})
+	srv.Start()
+	defer func() { m.Stop(); srv.Close() }()
+
+	sub := m.Hub.Subscribe(8)
+	defer sub.Close()
+
+	tracer := obs.NewTracer(nil)
+	tracer.Start("unit-span").End()
+
+	select {
+	case ev := <-sub.C():
+		if ev.Type != ts.EventSpan {
+			t.Fatalf("event type = %q, want span", ev.Type)
+		}
+		var rec obs.SpanRecord
+		if err := json.Unmarshal(ev.Data, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Name != "unit-span" {
+			t.Fatalf("span name = %q", rec.Name)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("span never reached the hub")
+	}
+
+	// Stop removes the sink: later spans must not be delivered.
+	m.Stop()
+	tracer.Start("after-stop").End()
+	select {
+	case ev, ok := <-sub.C():
+		if ok {
+			t.Fatalf("unexpected event after Stop: %s %s", ev.Type, ev.Data)
+		}
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestMountedPublishAndStopIdempotent(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := obs.NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Mount(srv, Config{Registry: reg, Stride: time.Hour, NoBuiltins: true})
+	defer srv.Close()
+
+	sub := m.Hub.Subscribe(2)
+	m.Publish("campaign", map[string]string{"id": "x"})
+	select {
+	case ev := <-sub.C():
+		if ev.Type != "campaign" {
+			t.Fatalf("type = %q", ev.Type)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("publish not delivered")
+	}
+	sub.Close()
+
+	m.Stop()
+	m.Stop() // idempotent
+	var nilM *Mounted
+	nilM.Publish("x", 1)
+	nilM.Stop()
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}

@@ -65,6 +65,10 @@ type CoordinatorConfig struct {
 	Tracer *obs.Tracer
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
+	// Publish, when non-nil, receives throttled ("fleet", Status) events
+	// for the live SSE stream; it must never block (the ts.Hub publish
+	// path is non-blocking by construction).
+	Publish func(event string, v any)
 }
 
 // Coordinator owns the plan, the lease table and the merge. It is an
@@ -86,6 +90,9 @@ type Coordinator struct {
 
 	doneOnce sync.Once
 	doneCh   chan struct{}
+
+	fleetMu      sync.Mutex
+	lastFleetPub time.Time
 
 	ln  net.Listener
 	srv *http.Server
@@ -338,6 +345,30 @@ func (c *Coordinator) syncMetrics() {
 	reg.Gauge("epvf_dist_workers", "id", id).Set(float64(workers))
 	reg.Gauge("epvf_dist_runs_merged", "id", id).Set(float64(runs))
 	reg.Gauge("epvf_dist_duplicate_deliveries", "id", id).Set(float64(dups))
+	c.publishFleet()
+}
+
+// fleetPublishEvery throttles live fleet events onto the SSE stream.
+const fleetPublishEvery = time.Second
+
+// publishFleet emits a throttled ("fleet", Status) event to the
+// configured publisher (the SSE hub).
+func (c *Coordinator) publishFleet() {
+	if c.cfg.Publish == nil {
+		return
+	}
+	now := time.Now()
+	if c.cfg.Clock != nil {
+		now = c.cfg.Clock()
+	}
+	c.fleetMu.Lock()
+	if now.Sub(c.lastFleetPub) < fleetPublishEvery {
+		c.fleetMu.Unlock()
+		return
+	}
+	c.lastFleetPub = now
+	c.fleetMu.Unlock()
+	c.cfg.Publish("fleet", c.Status())
 }
 
 func (c *Coordinator) handlePlan(w http.ResponseWriter, r *http.Request) {

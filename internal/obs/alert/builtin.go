@@ -1,0 +1,176 @@
+package alert
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Built-in rules. Each constructor returns a Rule wired to the metric
+// names the subsystems actually publish; callers tune thresholds and
+// windows per deployment (the dashboard mounts them with defaults).
+
+// CampaignStall fires when an active campaign executes no runs for the
+// window: Delta(epvf_campaign_runs_executed_total) < 1 while the
+// epvf_campaign_active gauge says a run loop is in flight.
+func CampaignStall(window time.Duration) Rule {
+	if window <= 0 {
+		window = 10 * time.Second
+	}
+	return Rule{
+		Name:      "campaign_stall",
+		Desc:      fmt.Sprintf("no injections executed for %v while a campaign is active", window),
+		Signal:    Signal{Kind: Delta, Num: []Selector{{Metric: "epvf_campaign_runs_executed_total"}}, Window: window},
+		Op:        Below,
+		Threshold: 1,
+		Clear:     1,
+		ActiveWhen: &Cond{
+			Signal:    Signal{Kind: Value, Num: []Selector{{Metric: "epvf_campaign_active"}}},
+			Op:        Above,
+			Threshold: 0.5,
+		},
+	}
+}
+
+// CoordinatorStall fires when a dist coordinator with pending shards
+// merges no runs for the window — the fleet is leased out but nothing
+// is coming back.
+func CoordinatorStall(window time.Duration) Rule {
+	if window <= 0 {
+		window = 15 * time.Second
+	}
+	return Rule{
+		Name:      "coordinator_stall",
+		Desc:      fmt.Sprintf("no worker results merged for %v with shards pending", window),
+		Signal:    Signal{Kind: Delta, Num: []Selector{{Metric: "epvf_dist_runs_merged_total"}}, Window: window},
+		Op:        Below,
+		Threshold: 1,
+		Clear:     1,
+		ActiveWhen: &Cond{
+			Signal:    Signal{Kind: Value, Num: []Selector{{Metric: "epvf_dist_shards_pending"}}},
+			Op:        Above,
+			Threshold: 0.5,
+		},
+	}
+}
+
+// WorkerLoss fires when a coordinator with pending shards has no live
+// workers for the for-duration.
+func WorkerLoss(hold time.Duration) Rule {
+	if hold <= 0 {
+		hold = 5 * time.Second
+	}
+	return Rule{
+		Name:      "worker_loss",
+		Desc:      "dist coordinator has pending shards but zero live workers",
+		Signal:    Signal{Kind: Value, Num: []Selector{{Metric: "epvf_dist_workers"}}},
+		Op:        Below,
+		Threshold: 0.5,
+		Clear:     0.5,
+		For:       hold,
+		ActiveWhen: &Cond{
+			Signal:    Signal{Kind: Value, Num: []Selector{{Metric: "epvf_dist_shards_pending"}}},
+			Op:        Above,
+			Threshold: 0.5,
+		},
+	}
+}
+
+// SDCSpike fires when the measured SDC rate exceeds the ePVF-predicted
+// rate by more than factor (hysteresis: resolves once back under the
+// prediction itself), after at least minRuns completed injections. The
+// predicted rate comes from the attr ledger / analysis (a.EPVF()).
+func SDCSpike(predicted, factor float64, minRuns int) Rule {
+	if factor <= 1 {
+		factor = 2
+	}
+	if minRuns <= 0 {
+		minRuns = 200
+	}
+	return Rule{
+		Name: "sdc_rate_spike",
+		Desc: fmt.Sprintf("measured SDC rate above %.3gx the ePVF-predicted %.4g", factor, predicted),
+		Signal: Signal{Kind: Ratio,
+			Num: []Selector{{Metric: "epvf_campaign_runs_total", Labels: []string{"outcome", "sdc"}}},
+			Den: []Selector{{Metric: "epvf_campaign_runs_total"}}},
+		Op:        Above,
+		Threshold: predicted * factor,
+		Clear:     predicted,
+		MinDenom:  float64(minRuns),
+	}
+}
+
+// CacheHitCollapse fires when the overall result-cache hit ratio drops
+// below floor after at least minLookups lookups.
+func CacheHitCollapse(floor float64, minLookups int) Rule {
+	if floor <= 0 {
+		floor = 0.2
+	}
+	if minLookups <= 0 {
+		minLookups = 100
+	}
+	hits := Selector{Metric: "epvf_cache_hits_total"}
+	misses := Selector{Metric: "epvf_cache_misses_total"}
+	return Rule{
+		Name:      "cache_hit_collapse",
+		Desc:      fmt.Sprintf("result-cache hit ratio below %.2g", floor),
+		Signal:    Signal{Kind: Ratio, Num: []Selector{hits}, Den: []Selector{hits, misses}},
+		Op:        Below,
+		Threshold: floor,
+		Clear:     floor * 1.25,
+		MinDenom:  float64(minLookups),
+	}
+}
+
+// InjectionP99 fires when the p99 injection latency exceeds the limit,
+// after at least minObs recorded injections.
+func InjectionP99(limit time.Duration, minObs int) Rule {
+	if limit <= 0 {
+		limit = 250 * time.Millisecond
+	}
+	if minObs <= 0 {
+		minObs = 100
+	}
+	return Rule{
+		Name:      "injection_p99_latency",
+		Desc:      fmt.Sprintf("injection p99 latency above %v", limit),
+		Signal:    Signal{Kind: Quantile, Num: []Selector{{Metric: "epvf_injection_latency_seconds"}}, Q: 0.99},
+		Op:        Above,
+		Threshold: limit.Seconds(),
+		Clear:     limit.Seconds() * 0.8,
+		MinDenom:  float64(minObs),
+	}
+}
+
+// BuiltinConfig tunes the default rule set.
+type BuiltinConfig struct {
+	StallWindow  time.Duration // campaign/coordinator stall window
+	PredictedSDC float64       // ePVF-predicted SDC rate (0 disables the spike rule)
+	SDCFactor    float64
+	P99Limit     time.Duration
+}
+
+// Builtins returns the default rule set the dashboard mounts.
+func Builtins(cfg BuiltinConfig) []Rule {
+	rules := []Rule{
+		CampaignStall(cfg.StallWindow),
+		CoordinatorStall(cfg.StallWindow * 3 / 2),
+		WorkerLoss(0),
+		CacheHitCollapse(0, 0),
+		InjectionP99(cfg.P99Limit, 0),
+	}
+	if cfg.PredictedSDC > 0 {
+		rules = append(rules, SDCSpike(cfg.PredictedSDC, cfg.SDCFactor, 0))
+	}
+	return rules
+}
+
+// defaultEngine mirrors obs.Default: the process-wide engine the
+// /debug/vars alerts section reads. Installed by dashboard.Mount.
+var defaultEngine atomic.Pointer[Engine]
+
+// Default returns the process-wide engine (nil when disabled).
+func Default() *Engine { return defaultEngine.Load() }
+
+// SetDefault installs the process-wide engine (nil disables).
+func SetDefault(e *Engine) { defaultEngine.Store(e) }

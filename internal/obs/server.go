@@ -26,6 +26,7 @@ type Server struct {
 
 	healthMu sync.Mutex
 	health   []healthSection
+	degraded func() []string
 }
 
 // healthSection is one named stats provider on /healthz (e.g. "cache" →
@@ -101,6 +102,16 @@ func (s *Server) AddHealth(name string, fn func() any) {
 	s.health = append(s.health, healthSection{name: name, fn: fn})
 }
 
+// SetDegraded installs the degradation probe: when fn returns a
+// non-empty list (the names of firing alert rules), /healthz reports
+// status "degraded" and the list instead of flat "ok". The dashboard
+// wires the alert engine in here.
+func (s *Server) SetDegraded(fn func() []string) {
+	s.healthMu.Lock()
+	s.degraded = fn
+	s.healthMu.Unlock()
+}
+
 // handleHealth is the liveness endpoint: a process that answers it is up,
 // and the payload carries uptime plus every registered stats section —
 // the cache and fleet state a load balancer or operator needs before
@@ -112,7 +123,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, req *http.Request) {
 	}
 	s.healthMu.Lock()
 	sections := append([]healthSection(nil), s.health...)
+	degraded := s.degraded
 	s.healthMu.Unlock()
+	if degraded != nil {
+		if firing := degraded(); len(firing) > 0 {
+			body["status"] = "degraded"
+			body["firing"] = firing
+		}
+	}
 	for _, sec := range sections {
 		body[sec.name] = sec.fn()
 	}
@@ -180,6 +198,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, req *http.Request) {
 	fmt.Fprintln(w, "  /healthz            liveness + registered stats sections (cache, fleet)")
 	fmt.Fprintln(w, "  /campaign           live campaign status (when a campaign is running)")
 	fmt.Fprintln(w, "  /attr               attribution drill-down (when the ledger is enabled; ?func=, ?instr=, ?format=text)")
+	fmt.Fprintln(w, "  /dashboard          live HTML dashboard (when telemetry is mounted)")
+	fmt.Fprintln(w, "  /ts                 metric time-series rings (?res=1s|10s|60s, ?prefix=)")
+	fmt.Fprintln(w, "  /events             SSE stream: metrics, campaign, fleet, span, alert events")
+	fmt.Fprintln(w, "  /alerts             alert rule states + transition log")
 	fmt.Fprintln(w, "  /debug/flight       flight recorder: recent spans + shard exemplars (?format=text)")
 	fmt.Fprintln(w, "  /debug/pprof/       CPU, heap, goroutine profiles")
 	fmt.Fprintln(w, "  /debug/vars         expvar (includes the epvf_obs snapshot)")

@@ -279,6 +279,25 @@ func (t *Tracer) procName() string {
 	return t.proc
 }
 
+// spanSink is the process-wide completed-span hook: the live-telemetry
+// layer installs a function fanning spans onto the SSE stream. Kept as
+// a generic func pointer so obs does not depend on the ts package.
+var spanSink atomic.Pointer[func(SpanRecord)]
+
+// SetSpanSink installs (or, with nil, clears) the process-wide
+// completed-span hook. It returns the hook's remover, which clears the
+// sink only if it is still this installation — a later mount is never
+// clobbered by an earlier unmount.
+func SetSpanSink(fn func(SpanRecord)) (remove func()) {
+	if fn == nil {
+		spanSink.Store(nil)
+		return func() {}
+	}
+	p := &fn
+	spanSink.Store(p)
+	return func() { spanSink.CompareAndSwap(p, nil) }
+}
+
 // record stores one completed span and emits its JSONL line. A sink
 // write error increments the epvf_obs_trace_drops counter and the tracer
 // keeps working — one bad write must not poison subsequent spans.
@@ -291,6 +310,9 @@ func (t *Tracer) record(rec SpanRecord) {
 	w := t.w
 	t.mu.Unlock()
 	DefaultFlight().Record(rec)
+	if sink := spanSink.Load(); sink != nil {
+		(*sink)(rec)
+	}
 	if w == nil {
 		return
 	}

@@ -16,11 +16,12 @@ type HTMLDoc struct {
 
 // htmlBlock is one rendered section. Kind selects the template branch.
 type htmlBlock struct {
-	Kind     string // "heading", "para", "table", "heatmap", "pre", "timeline"
+	Kind     string // "heading", "para", "table", "heatmap", "pre", "timeline", "div", "script"
 	Text     string
 	Table    *Table
 	Heatmap  *Heatmap
 	Timeline *Timeline
+	Script   template.JS
 }
 
 // NewHTMLDoc starts an empty document.
@@ -56,6 +57,19 @@ func (d *HTMLDoc) AddHeatmap(h *Heatmap) {
 // AddTimeline appends a horizontal span chart.
 func (d *HTMLDoc) AddTimeline(t *Timeline) {
 	d.blocks = append(d.blocks, htmlBlock{Kind: "timeline", Timeline: t})
+}
+
+// AddDiv appends an empty anchor <div id=...> for script-driven content
+// (the live dashboard fills these from its event stream).
+func (d *HTMLDoc) AddDiv(id string) {
+	d.blocks = append(d.blocks, htmlBlock{Kind: "div", Text: id})
+}
+
+// AddScript appends an inline <script> block. The script source is
+// emitted verbatim (template.JS): callers pass trusted, compiled-in
+// code only — never user input.
+func (d *HTMLDoc) AddScript(js string) {
+	d.blocks = append(d.blocks, htmlBlock{Kind: "script", Script: template.JS(js)})
 }
 
 // Timeline is a horizontal span chart: one labelled row per span, with a
@@ -228,6 +242,8 @@ pre { background: #f7f7f7; padding: 0.75em; overflow-x: auto; }
 {{else if eq .Kind "timeline"}}<div class="tl"><div class="tlcap">{{.Timeline.Title}}</div>
 {{range .Timeline.Bars}}<div class="tlrow" title="{{.Text}}"><span class="tllbl">{{.Label}}</span><span class="tlproc">{{.Proc}}</span><span class="tltrack"><span class="tlbar" style="{{.Style}}"></span></span></div>
 {{end}}</div>
+{{else if eq .Kind "div"}}<div id="{{.Text}}"></div>
+{{else if eq .Kind "script"}}<script>{{.Script}}</script>
 {{end}}{{end}}</body>
 </html>
 `))

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/content"
+	"repro/internal/dashboard"
 	"repro/internal/epvf"
 	"repro/internal/inc"
 	"repro/internal/interp"
@@ -75,6 +76,7 @@ type Server struct {
 	store       *cache.Store
 	tracer      *obs.Tracer
 	incremental bool
+	dash        *dashboard.Mounted
 }
 
 // New binds the address and prepares the cache, but does not serve
@@ -104,6 +106,14 @@ func New(cfg Config) (*Server, error) {
 	osrv.Handle("/v1/campaign/log", s.blobHandler(KindCampaign))
 	osrv.Handle("/v1/attr/snapshot", s.blobHandler(KindAttr))
 	osrv.AddHealth("cache", func() any { return store.Stats() })
+	// The live telemetry layer — /ts, /events, /alerts, /dashboard —
+	// rides the same listener; alert firings capture pprof bundles into
+	// the daemon's own store (kind obs-profile-v1).
+	s.dash = dashboard.Mount(osrv, dashboard.Config{
+		Registry: reg,
+		Title:    "epvf analysis daemon",
+		Profiles: store,
+	})
 	return s, nil
 }
 
@@ -126,6 +136,7 @@ func (s *Server) Start() { s.obs.Start() }
 // land in the disk tier for the next process) before the listener
 // closes, or ctx expires.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.dash.Stop()
 	return s.obs.Shutdown(ctx)
 }
 

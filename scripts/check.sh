@@ -22,8 +22,9 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (obs + campaign + dist + snapshot + mem + fi + attr + cache + inc + serve + vm + traced CLIs)"
-go test -race ./internal/obs/... ./internal/campaign/... ./internal/dist/... \
+echo "== go test -race (obs + ts + alert + dashboard + campaign + dist + snapshot + mem + fi + attr + cache + inc + serve + vm + traced CLIs)"
+go test -race ./internal/obs/... ./internal/obs/ts/... ./internal/obs/alert/... \
+    ./internal/dashboard/... ./internal/campaign/... ./internal/dist/... \
     ./internal/snapshot/... ./internal/mem/... ./internal/fi/... ./internal/attr/... \
     ./internal/cache/... ./internal/inc/... ./internal/serve/... ./internal/vm/... \
     ./cmd/epvf/... ./cmd/campaign/...

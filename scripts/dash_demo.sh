@@ -1,0 +1,131 @@
+#!/bin/sh
+# dash-demo: the live telemetry surface end-to-end. A worker-less
+# coordinator serves the dashboard; with no workers its shards stay
+# pending and nothing merges, so the coordinator_stall alert must fire,
+# degrade /healthz, and capture a pprof bundle into the content-addressed
+# cache (kind obs-profile-v1). A worker then joins, the stall resolves,
+# and the campaign completes. Along the way the demo asserts /dashboard
+# renders well-formed HTML and /events streams at least one SSE event.
+#
+# Tunables (environment): BENCH, RUNS, SHARD, PORT.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH=${BENCH:-mm}
+# The campaign must outlive a few 1s alert-engine ticks once the worker
+# joins, so the firing->ok transition is observable over HTTP before the
+# coordinator exits; mm executes runs in well under a millisecond.
+RUNS=${RUNS:-5000}
+SHARD=${SHARD:-100}
+PORT=${PORT:-8799}
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/campaign" ./cmd/campaign
+
+"$DIR/campaign" serve -bench "$BENCH" -runs "$RUNS" -shard-size "$SHARD" \
+    -log "$DIR/merged.jsonl" -addr "127.0.0.1:$PORT" -lease-ttl 2s \
+    -cache-dir "$DIR/cache" -stall-after 2s \
+    >"$DIR/serve.log" 2>&1 &
+SERVE=$!
+
+BASE="http://127.0.0.1:$PORT"
+i=0
+until grep -q 'coordinator: serving' "$DIR/serve.log" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "dash-demo: coordinator failed to start:" >&2
+        cat "$DIR/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== /dashboard renders"
+curl -sf "$BASE/dashboard" >"$DIR/dash.html"
+for want in '<!DOCTYPE html>' 'dash-campaign' 'dash-alerts' '</html>'; do
+    if ! grep -qF "$want" "$DIR/dash.html"; then
+        echo "dash-demo: /dashboard missing $want" >&2
+        exit 1
+    fi
+done
+
+echo "== /events streams"
+curl -sN --max-time 3 "$BASE/events" >"$DIR/events.sse" || true
+if ! grep -q '^event:' "$DIR/events.sse"; then
+    echo "dash-demo: no SSE events seen on /events" >&2
+    cat "$DIR/events.sse" >&2
+    exit 1
+fi
+
+echo "== coordinator_stall fires with no workers"
+i=0
+until curl -sf "$BASE/alerts" | tr -d ' \n' | grep -q '"firing":\[[^]]*"coordinator_stall"'; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "dash-demo: coordinator_stall never fired:" >&2
+        curl -sf "$BASE/alerts" >&2 || true
+        exit 1
+    fi
+    sleep 0.1
+done
+if ! curl -sf "$BASE/healthz" | grep -q '"degraded"'; then
+    echo "dash-demo: /healthz not degraded while alert fires:" >&2
+    curl -sf "$BASE/healthz" >&2 || true
+    exit 1
+fi
+
+echo "== profile bundle captured into the cache"
+i=0
+until [ -n "$(find "$DIR/cache/epvf-cache-v1/obs-profile-v1" -type f 2>/dev/null | head -1)" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "dash-demo: no obs-profile-v1 bundle appeared under $DIR/cache" >&2
+        find "$DIR/cache" -type f >&2 || true
+        exit 1
+    fi
+    sleep 0.1
+done
+find "$DIR/cache/epvf-cache-v1/obs-profile-v1" -type f | head -1
+
+echo "== worker joins, stall resolves"
+"$DIR/campaign" work -coordinator "$BASE" -bench "$BENCH" -name dash-worker -q \
+    >"$DIR/work.log" 2>&1 &
+WORK=$!
+resolved=0
+i=0
+while [ "$i" -lt 600 ]; do
+    if curl -sf "$BASE/alerts" >"$DIR/alerts.json" 2>/dev/null; then
+        if tr -d ' \n' <"$DIR/alerts.json" |
+            grep -q '"rule":"coordinator_stall","from":"firing","to":"ok"'; then
+            resolved=1
+            break
+        fi
+    elif ! kill -0 "$SERVE" 2>/dev/null; then
+        # Coordinator already exited: fall back to the last /alerts
+        # capture for the resolve transition.
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ "$resolved" -ne 1 ]; then
+    if [ -s "$DIR/alerts.json" ] && tr -d ' \n' <"$DIR/alerts.json" |
+        grep -q '"rule":"coordinator_stall","from":"firing","to":"ok"'; then
+        resolved=1
+    fi
+fi
+if [ "$resolved" -ne 1 ]; then
+    echo "dash-demo: coordinator_stall never resolved after the worker joined:" >&2
+    cat "$DIR/alerts.json" >&2 || true
+    cat "$DIR/work.log" >&2 || true
+    exit 1
+fi
+
+wait "$WORK"
+wait "$SERVE"
+
+echo "== merged log status"
+"$DIR/campaign" status -log "$DIR/merged.jsonl"
+echo "dash-demo: OK"
